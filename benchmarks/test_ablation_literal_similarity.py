@@ -1,0 +1,72 @@
+"""Section 5.3 ablation — literal-similarity functions.
+
+"Obviously, precision could be raised even higher by implementing more
+elaborate literal similarity functions."  This bench quantifies that on
+the restaurant benchmark (formatting-noisy values): strict identity
+(paper default) vs normalized identity vs Levenshtein vs the typed
+composite.
+
+Expected: identity already works (the paper's point); normalization
+recovers the formatting-noised matches (higher recall); edit distance
+recovers typo-noised ones on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.datasets import restaurant_benchmark
+from repro.evaluation import evaluate_instances, render_table
+from repro.literals import (
+    EditDistanceSimilarity,
+    IdentitySimilarity,
+    NormalizedIdentitySimilarity,
+    tolerant_similarity,
+)
+
+from helpers import run_once, save_artifact
+
+MEASURES = [
+    ("identity (paper default)", IdentitySimilarity),
+    ("normalized identity", NormalizedIdentitySimilarity),
+    ("edit distance (d<=1)", lambda: EditDistanceSimilarity(max_distance=1)),
+    ("typed composite", tolerant_similarity),
+]
+
+
+@pytest.mark.benchmark(group="ablation-literal")
+def test_ablation_literal_similarity(benchmark):
+    pair = restaurant_benchmark(seed=7)
+
+    def sweep():
+        prfs = {}
+        for label, factory in MEASURES:
+            result = align(
+                pair.ontology1,
+                pair.ontology2,
+                ParisConfig(literal_similarity=factory()),
+            )
+            prfs[label] = evaluate_instances(result.assignment12, pair.gold)
+        return prfs
+
+    prfs = run_once(benchmark, sweep)
+    rows = [
+        [label, f"{prf.precision:.0%}", f"{prf.recall:.0%}", f"{prf.f1:.0%}"]
+        for label, prf in prfs.items()
+    ]
+    save_artifact(
+        "ablation_literal_similarity",
+        render_table(["Literal similarity", "Prec", "Rec", "F"], rows),
+    )
+
+    identity = prfs["identity (paper default)"]
+    normalized = prfs["normalized identity"]
+    edit = prfs["edit distance (d<=1)"]
+    # the paper's point: the trivial measure already aligns well
+    assert identity.f1 >= 0.85
+    # richer measures recover formatting/typo-noised matches
+    assert normalized.recall >= identity.recall
+    assert edit.recall >= identity.recall
+    for prf in prfs.values():
+        assert prf.precision >= 0.80

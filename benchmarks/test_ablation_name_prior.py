@@ -1,0 +1,70 @@
+"""Section 7 extension bench — relation-name priors.
+
+The paper conjectures that "the name heuristics of more traditional
+schema-alignment techniques could be factored into the model".  This
+bench compares the uniform bootstrap against the name-informed prior of
+:mod:`repro.core.priors` on the KB pair whose relation names carry
+partial signal (``y:wasBornIn`` vs ``dbp:birthPlace`` share no token;
+``y:wasBornOnDate`` vs ``dbp:birthDate`` share one).
+
+Expected: final quality unchanged or marginally better — the prior
+accelerates trust but the data always dominates by iteration 2 — and
+the alignments with completely *different* names (actedIn/starring)
+must still be found, preserving the paper's headline property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.datasets import yago_dbpedia_pair
+from repro.evaluation import evaluate_instances, evaluate_relations, render_table
+from repro.rdf.terms import Relation
+
+from helpers import run_once, save_artifact
+
+
+@pytest.mark.benchmark(group="ablation-name-prior")
+def test_ablation_name_prior(benchmark):
+    pair = yago_dbpedia_pair()
+
+    def both():
+        uniform = align(
+            pair.ontology1, pair.ontology2,
+            ParisConfig(max_iterations=4, convergence_threshold=0.0),
+        )
+        primed = align(
+            pair.ontology1, pair.ontology2,
+            ParisConfig(
+                max_iterations=4, convergence_threshold=0.0, use_name_prior=True
+            ),
+        )
+        return uniform, primed
+
+    uniform, primed = run_once(benchmark, both)
+    rows = []
+    prfs = {}
+    for label, result in (("uniform theta", uniform), ("name prior", primed)):
+        instances = evaluate_instances(result.assignment12, pair.gold)
+        relations = evaluate_relations(result.relation_pairs(), pair.gold)
+        prfs[label] = (instances, relations)
+        rows.append([
+            label,
+            f"{instances.precision:.0%}", f"{instances.recall:.0%}",
+            f"{instances.f1:.0%}", f"{relations.precision:.0%}",
+        ])
+    save_artifact(
+        "ablation_name_prior",
+        render_table(["Bootstrap", "Inst-P", "Inst-R", "Inst-F", "Rel-P"], rows),
+    )
+
+    uniform_inst, _ = prfs["uniform theta"]
+    primed_inst, primed_rel = prfs["name prior"]
+    # quality preserved (±2 points)
+    assert abs(primed_inst.f1 - uniform_inst.f1) <= 0.02
+    assert primed_rel.precision >= 0.9
+    # alignments with completely different names still discovered
+    assert primed.relations12.get(
+        Relation("y:actedIn"), Relation("dbp:starring").inverse
+    ) > 0.1

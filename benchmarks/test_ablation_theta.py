@@ -1,0 +1,58 @@
+"""Section 6.3 ablation — θ-invariance.
+
+"To measure the influence of θ on our algorithm, we ran paris with
+θ = 0.001, 0.01, 0.05, 0.1, 0.2 on the restaurant dataset.  [...] the
+final probability scores are the same, independently of θ."
+
+We assert that the final maximal assignments (the quantity the paper
+evaluates) are essentially identical across the θ sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.datasets import restaurant_benchmark
+from repro.evaluation import evaluate_instances, render_table
+
+from helpers import run_once, save_artifact
+
+THETAS = (0.01, 0.05, 0.1, 0.2)
+
+
+@pytest.mark.benchmark(group="ablation-theta")
+def test_ablation_theta_invariance(benchmark):
+    pair = restaurant_benchmark(seed=7)
+
+    def sweep():
+        results = {}
+        for theta in THETAS:
+            result = align(
+                pair.ontology1, pair.ontology2, ParisConfig(theta=theta)
+            )
+            results[theta] = result
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = []
+    assignments = {}
+    for theta, result in results.items():
+        prf = evaluate_instances(result.assignment12, pair.gold)
+        assignments[theta] = {
+            (l.name, r.name) for l, (r, _p) in result.assignment12.items()
+        }
+        rows.append(
+            [f"{theta:g}", f"{prf.precision:.0%}", f"{prf.recall:.0%}",
+             f"{prf.f1:.0%}", len(assignments[theta])]
+        )
+    save_artifact(
+        "ablation_theta",
+        render_table(["theta", "Prec", "Rec", "F", "#assignments"], rows),
+    )
+
+    reference = assignments[0.1]
+    for theta, produced in assignments.items():
+        overlap = len(reference & produced) / max(1, len(reference | produced))
+        assert overlap >= 0.95, f"theta={theta} diverged (overlap {overlap:.2f})"

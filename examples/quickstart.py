@@ -1,0 +1,73 @@
+"""Quickstart: align two tiny ontologies with PARIS.
+
+Two knowledge bases describe the same two musicians with completely
+different identifiers, relation names and class names.  PARIS discovers
+the instance matches, the relation inclusions AND the class inclusions
+in one run, with no configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OntologyBuilder, align
+
+
+def main() -> None:
+    # Ontology 1: a small curated KB.
+    left = (
+        OntologyBuilder("curated")
+        .value("person:elvis", "hasName", "Elvis Presley")
+        .value("person:elvis", "bornOn", "1935-01-08")
+        .fact("person:elvis", "bornIn", "place:tupelo")
+        .value("place:tupelo", "placeName", "Tupelo")
+        .value("person:cash", "hasName", "Johnny Cash")
+        .value("person:cash", "bornOn", "1932-02-26")
+        .fact("person:cash", "bornIn", "place:kingsland")
+        .value("place:kingsland", "placeName", "Kingsland")
+        .type("person:elvis", "Musician")
+        .type("person:cash", "Musician")
+        .type("place:tupelo", "Town")
+        .type("place:kingsland", "Town")
+        .build()
+    )
+    # Ontology 2: an automatically extracted KB — different vocabulary,
+    # one fact missing, an extra person.
+    right = (
+        OntologyBuilder("extracted")
+        .value("n1", "label", "Elvis Presley")
+        .value("n1", "birthDate", "1935-01-08")
+        .fact("n1", "birthPlace", "n2")
+        .value("n2", "label", "Tupelo")
+        .value("n3", "label", "Johnny Cash")
+        .fact("n3", "birthPlace", "n4")
+        .value("n4", "label", "Kingsland")
+        .value("n5", "label", "Carl Perkins")
+        .type("n1", "Artist")
+        .type("n3", "Artist")
+        .type("n5", "Artist")
+        .type("n2", "Settlement")
+        .type("n4", "Settlement")
+        .build()
+    )
+
+    result = align(left, right)
+
+    print(result.summary())
+    print("\nInstance matches (maximal assignment):")
+    for entity, counterpart, probability in sorted(
+        result.instance_pairs(), key=lambda pair: pair[0].name
+    ):
+        print(f"  {entity}  ≡  {counterpart}   ({probability:.2f})")
+
+    print("\nRelation inclusions (curated ⊆ extracted):")
+    for sub, sup, probability in result.relation_pairs(threshold=0.2):
+        print(f"  {sub}  ⊆  {sup}   ({probability:.2f})")
+
+    print("\nClass inclusions:")
+    for sub, sup, probability in result.class_pairs(threshold=0.2):
+        print(f"  {sub}  ⊆  {sup}   ({probability:.2f})")
+    for sub, sup, probability in result.class_pairs(threshold=0.2, reverse=True):
+        print(f"  {sub}  ⊆  {sup}   ({probability:.2f})")
+
+
+if __name__ == "__main__":
+    main()

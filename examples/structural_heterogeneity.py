@@ -1,0 +1,91 @@
+"""Repairing structural heterogeneity with dereification (Section 7).
+
+The paper's conclusion names this as PARIS's main limitation: one
+ontology says ``wonAward(person, award)`` while the other models a
+``WinningEvent`` entity with ``winner``/``award``/``year`` relations.
+Plain PARIS cannot match across the two styles; the
+:func:`repro.rdf.transforms.dereify` preprocessing collapses the event
+entities into direct statements, after which alignment succeeds.
+
+Run:  python examples/structural_heterogeneity.py
+"""
+
+from repro import OntologyBuilder, align
+from repro.rdf.terms import Relation, Resource
+from repro.rdf.transforms import dereify
+
+
+def build_direct() -> "object":
+    builder = OntologyBuilder("direct")
+    laureates = [
+        ("marie", "Marie Sklodowska", "prix:physics", "1903"),
+        ("pierre", "Pierre Curie", "prix:physics", "1903"),
+        ("henri", "Henri Becquerel", "prix:physics", "1903"),
+        ("linus", "Linus Pauling", "prix:chemistry", "1954"),
+    ]
+    for person, name, award, _year in laureates:
+        builder.value(person, "hasName", name)
+        builder.fact(person, "wonAward", award)
+    builder.value("prix:physics", "awardTitle", "Physics Prize")
+    builder.value("prix:chemistry", "awardTitle", "Chemistry Prize")
+    return builder.build()
+
+
+def build_event_style() -> "object":
+    builder = OntologyBuilder("events")
+    people = [
+        ("w1", "Marie Sklodowska"),
+        ("w2", "Pierre Curie"),
+        ("w3", "Henri Becquerel"),
+        ("w4", "Linus Pauling"),
+    ]
+    for node, name in people:
+        builder.value(node, "label", name)
+    builder.value("aw1", "title", "Physics Prize")
+    builder.value("aw2", "title", "Chemistry Prize")
+    events = [
+        ("ev1", "w1", "aw1", "1903"),
+        ("ev2", "w2", "aw1", "1903"),
+        ("ev3", "w3", "aw1", "1903"),
+        ("ev4", "w4", "aw2", "1954"),
+    ]
+    for event, winner, award, year in events:
+        builder.type(event, "WinningEvent")
+        builder.fact(event, "winner", winner)
+        builder.fact(event, "award", award)
+        builder.value(event, "inYear", year)
+    return builder.build()
+
+
+def main() -> None:
+    direct = build_direct()
+    events = build_event_style()
+
+    print("Without the transform:")
+    naive = align(direct, events)
+    award_score = naive.relations12.get(Relation("wonAward"), Relation("award"))
+    print(f"  Pr(wonAward ⊆ award) = {award_score:.2f}  (no event bridging)")
+
+    flattened = dereify(
+        events,
+        event_class=Resource("WinningEvent"),
+        subject_relation=Relation("winner"),
+        object_relation=Relation("award"),
+        new_relation=Relation("won"),
+        copy_relations=[(Relation("inYear"), Relation("wonInYear"))],
+    )
+    print(f"\nAfter dereify: {flattened!r}")
+    repaired = align(direct, flattened)
+    print("\nInstance matches:")
+    for left, right, probability in sorted(
+        repaired.instance_pairs(), key=lambda p: p[0].name
+    ):
+        print(f"  {left} ≡ {right}  ({probability:.2f})")
+    print("\nRelation alignments:")
+    for sub, sup, probability in repaired.relation_pairs(threshold=0.3):
+        if not sub.inverted:
+            print(f"  {sub} ⊆ {sup}  ({probability:.2f})")
+
+
+if __name__ == "__main__":
+    main()

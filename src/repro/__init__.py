@@ -1,0 +1,106 @@
+"""repro — a full Python reproduction of PARIS (VLDB 2011).
+
+PARIS (Probabilistic Alignment of Relations, Instances, and Schema;
+Suchanek, Abiteboul, Senellart; PVLDB 5(3), 2011) aligns two RDFS
+ontologies holistically: instance matches, relation inclusions and
+class inclusions cross-fertilize in one probabilistic fixpoint, with no
+training data and no tuning parameters.
+
+Quickstart::
+
+    from repro import OntologyBuilder, align
+
+    left = (OntologyBuilder("left")
+            .value("p1", "bornIn", "Tupelo")
+            .value("p1", "name", "Elvis Presley")
+            .build())
+    right = (OntologyBuilder("right")
+             .value("x9", "birthPlace", "Tupelo")
+             .value("x9", "label", "Elvis Presley")
+             .build())
+    result = align(left, right)
+    print(result.instance_pairs())
+
+Subpackages
+-----------
+``repro.rdf``
+    RDFS substrate: terms, the indexed triple store, closure, codecs.
+``repro.literals``
+    Clamped literal-similarity measures (Section 5.3).
+``repro.core``
+    The probabilistic model and fixpoint driver (Sections 4–5).
+``repro.datasets``
+    Synthetic benchmark generators standing in for OAEI 2010, YAGO,
+    DBpedia and IMDb (see DESIGN.md for the substitution rationale).
+``repro.evaluation``
+    Gold standards, precision/recall/F1 and report rendering.
+``repro.baselines``
+    The rdfs:label matcher of Section 6.4 and comparator constants.
+"""
+
+from .core import (
+    AlignmentResult,
+    EntityCluster,
+    EquivalenceStore,
+    FunctionalityDefinition,
+    FunctionalityOracle,
+    MultiAligner,
+    MultiAlignmentResult,
+    ParisAligner,
+    ParisConfig,
+    SubsumptionMatrix,
+    align,
+    align_many,
+)
+from .io import load_result, save_result, write_sameas_links
+from .literals import (
+    CompositeSimilarity,
+    EditDistanceSimilarity,
+    IdentitySimilarity,
+    LiteralSimilarity,
+    NormalizedIdentitySimilarity,
+    NumericSimilarity,
+)
+from .rdf import (
+    Literal,
+    Ontology,
+    OntologyBuilder,
+    Relation,
+    Resource,
+    Triple,
+    deductive_closure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "align",
+    "ParisAligner",
+    "ParisConfig",
+    "AlignmentResult",
+    "EquivalenceStore",
+    "SubsumptionMatrix",
+    "FunctionalityDefinition",
+    "FunctionalityOracle",
+    "Ontology",
+    "OntologyBuilder",
+    "Resource",
+    "Literal",
+    "Relation",
+    "Triple",
+    "deductive_closure",
+    "LiteralSimilarity",
+    "IdentitySimilarity",
+    "NormalizedIdentitySimilarity",
+    "EditDistanceSimilarity",
+    "NumericSimilarity",
+    "CompositeSimilarity",
+    "MultiAligner",
+    "MultiAlignmentResult",
+    "EntityCluster",
+    "align_many",
+    "save_result",
+    "load_result",
+    "write_sameas_links",
+]

@@ -1,0 +1,42 @@
+"""Alignment diagnostics: match explanations and error forensics.
+
+These tools automate the manual analyses of Section 6 of the paper —
+"why did PARIS match these two?" (:func:`explain_match`) and "what do
+the remaining errors look like?" (:func:`classify_errors`).
+"""
+
+from .convergence import (
+    ConvergencePoint,
+    convergence_series,
+    detect_oscillation,
+    render_convergence,
+)
+from .errors import (
+    ErrorCase,
+    ErrorReport,
+    FalseNegativeKind,
+    FalsePositiveKind,
+    classify_errors,
+)
+from .explanation import (
+    EvidenceItem,
+    MatchExplanation,
+    explain_match,
+    render_explanation,
+)
+
+__all__ = [
+    "ConvergencePoint",
+    "convergence_series",
+    "detect_oscillation",
+    "render_convergence",
+    "explain_match",
+    "render_explanation",
+    "MatchExplanation",
+    "EvidenceItem",
+    "classify_errors",
+    "ErrorReport",
+    "ErrorCase",
+    "FalsePositiveKind",
+    "FalseNegativeKind",
+]

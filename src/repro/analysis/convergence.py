@@ -1,0 +1,94 @@
+"""Convergence diagnostics for alignment runs.
+
+The paper notes (Section 5.1) that no theoretical convergence condition
+is known for the Eq. 12/13 iteration; in practice the maximal
+assignments settle after a few iterations, sometimes into a short
+cycle.  :func:`convergence_series` extracts the per-iteration signals
+from a result's snapshots, and :func:`detect_oscillation` finds the
+entities trapped in assignment cycles — the candidates the paper's
+suggested dampening factor would freeze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.result import AlignmentResult
+from ..rdf.terms import Resource
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One iteration's convergence signals."""
+
+    iteration: int
+    change_fraction: Optional[float]
+    num_equivalences: int
+    #: Total probability mass of the maximal assignment (rises while
+    #: scores are still hardening even when targets are stable).
+    assignment_mass: float
+    duration_seconds: float
+
+
+def convergence_series(result: AlignmentResult) -> List[ConvergencePoint]:
+    """Extract per-iteration convergence signals from the snapshots."""
+    points = []
+    for snapshot in result.iterations:
+        mass = sum(probability for _t, probability in snapshot.assignment12.values())
+        points.append(
+            ConvergencePoint(
+                iteration=snapshot.index,
+                change_fraction=snapshot.change_fraction,
+                num_equivalences=snapshot.num_equivalences,
+                assignment_mass=mass,
+                duration_seconds=snapshot.duration_seconds,
+            )
+        )
+    return points
+
+
+def detect_oscillation(result: AlignmentResult) -> Dict[Resource, List[Optional[str]]]:
+    """Entities whose maximal assignment flips between the last
+    iterations.
+
+    Returns a map from each oscillating left-instance to its assignment
+    trajectory (counterpart names, ``None`` for unassigned) over the
+    recorded iterations.  Empty when the run settled.
+    """
+    if len(result.iterations) < 3:
+        return {}
+    last = result.iterations[-1].assignment12
+    previous = result.iterations[-2].assignment12
+    before = result.iterations[-3].assignment12
+    oscillating: Dict[Resource, List[Optional[str]]] = {}
+    for entity in set(last) | set(previous) | set(before):
+        trajectory = [
+            snapshot.assignment12.get(entity)
+            for snapshot in result.iterations
+        ]
+        names = [entry[0].name if entry else None for entry in trajectory]
+        last_name, prev_name, before_name = names[-1], names[-2], names[-3]
+        # a 2-cycle: A, B, A with A != B
+        if last_name == before_name and last_name != prev_name:
+            oscillating[entity] = names
+    return oscillating
+
+
+def render_convergence(points: List[ConvergencePoint]) -> str:
+    """Text table of the convergence series."""
+    from ..evaluation.report import render_table
+
+    rows = []
+    for point in points:
+        rows.append([
+            point.iteration,
+            "-" if point.change_fraction is None
+            else f"{point.change_fraction:.1%}",
+            point.num_equivalences,
+            f"{point.assignment_mass:.1f}",
+            f"{point.duration_seconds:.2f}s",
+        ])
+    return render_table(
+        ["iter", "change", "#equiv", "assignment mass", "time"], rows
+    )

@@ -1,0 +1,207 @@
+"""Error forensics for alignments against a gold standard.
+
+Section 6.4 of the paper analyses its remaining errors by hand and
+finds three patterns: (1) gold-standard / source errors, (2) *near
+duplicates* — "instances that were not equivalent, but very closely
+related" (the feature version of a TV series, with the same cast and
+crew), and (3) *label noise* that "the very naive string comparison"
+cannot bridge ("Sugata Sanshirô" vs "Sanshiro Sugata").
+
+:func:`classify_errors` automates that analysis:
+
+* false positives become ``NEAR_DUPLICATE`` (the wrong match shares a
+  large fraction of the gold counterpart's neighbourhood),
+  ``HOMONYM`` (shares a literal value with the gold counterpart, e.g. a
+  name) or ``OTHER``;
+* false negatives become ``NO_SHARED_LITERAL`` (nothing the literal
+  measure accepts — label noise or dropped facts), ``LOST_TO_RIVAL``
+  (some other instance scored higher) or ``BELOW_THRESHOLD``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.result import AlignmentResult
+from ..evaluation.gold import GoldStandard
+from ..literals.base import LiteralSimilarity
+from ..literals.identity import IdentitySimilarity
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Literal, Resource
+
+
+class FalsePositiveKind(enum.Enum):
+    """Why a produced match is wrong."""
+
+    #: The wrong counterpart shares most of the gold counterpart's
+    #: neighbourhood — the paper's "very closely related" instances.
+    NEAR_DUPLICATE = "near-duplicate"
+    #: The wrong counterpart shares a literal value with the left
+    #: instance (same name / title) but little structure.
+    HOMONYM = "homonym"
+    #: Anything else.
+    OTHER = "other"
+
+
+class FalseNegativeKind(enum.Enum):
+    """Why a gold pair was missed."""
+
+    #: The pair shares no literal the similarity accepts — the aligner
+    #: never saw first-iteration evidence (label noise, dropped facts).
+    NO_SHARED_LITERAL = "no-shared-literal"
+    #: The left instance was matched, but to something else.
+    LOST_TO_RIVAL = "lost-to-rival"
+    #: The pair had a positive score but no assignment survived
+    #: truncation.
+    BELOW_THRESHOLD = "below-threshold"
+
+
+@dataclass
+class ErrorCase:
+    """One classified error with its participants."""
+
+    left: Resource
+    produced: Optional[Resource]
+    expected: Optional[Resource]
+    kind: object
+    detail: str = ""
+
+
+@dataclass
+class ErrorReport:
+    """Classified false positives and false negatives."""
+
+    false_positives: List[ErrorCase] = field(default_factory=list)
+    false_negatives: List[ErrorCase] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Error-kind histogram."""
+        histogram: Dict[str, int] = {}
+        for case in self.false_positives + self.false_negatives:
+            key = case.kind.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        """One-line-per-kind text summary."""
+        lines = [
+            f"false positives: {len(self.false_positives)}, "
+            f"false negatives: {len(self.false_negatives)}"
+        ]
+        for kind, count in sorted(self.counts().items()):
+            lines.append(f"  {kind}: {count}")
+        return "\n".join(lines)
+
+
+def _literal_values(ontology: Ontology, instance: Resource) -> Set[str]:
+    values = set()
+    for _relation, obj in ontology.statements_about(instance):
+        if isinstance(obj, Literal):
+            values.add(obj.value)
+    return values
+
+
+def _resource_neighbours(ontology: Ontology, instance: Resource) -> Set[Resource]:
+    neighbours = set()
+    for _relation, obj in ontology.statements_about(instance):
+        if isinstance(obj, Resource):
+            neighbours.add(obj)
+    return neighbours
+
+
+def _shares_accepted_literal(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    left: Resource,
+    right: Resource,
+    similarity: LiteralSimilarity,
+) -> bool:
+    left_values = _literal_values(ontology1, left)
+    right_values = _literal_values(ontology2, right)
+    for left_value in left_values:
+        for right_value in right_values:
+            if similarity.similarity(Literal(left_value), Literal(right_value)) > 0:
+                return True
+    return False
+
+
+def classify_errors(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    result: AlignmentResult,
+    gold: GoldStandard,
+    similarity: Optional[LiteralSimilarity] = None,
+    near_duplicate_overlap: float = 0.5,
+) -> ErrorReport:
+    """Classify every instance-alignment error against the gold standard.
+
+    Parameters
+    ----------
+    near_duplicate_overlap:
+        Minimum Jaccard overlap between the wrong counterpart's and the
+        gold counterpart's resource neighbourhoods for the error to
+        count as a near duplicate.
+    """
+    similarity = similarity or IdentitySimilarity()
+    right_instances = {r.name: r for r in ontology2.instances}
+    left_instances = {l.name: l for l in ontology1.instances}
+    gold_by_left: Dict[str, str] = {}
+    for left_name, right_name in gold.instance_pairs:
+        gold_by_left[left_name] = right_name
+
+    report = ErrorReport()
+    for left_name, expected_name in gold_by_left.items():
+        left = left_instances.get(left_name)
+        if left is None:
+            continue
+        expected = right_instances.get(expected_name)
+        produced_entry = result.assignment12.get(left)
+        produced = produced_entry[0] if produced_entry else None
+        if produced is not None and produced.name == expected_name:
+            continue  # correct
+        # ---- false positive side (a wrong assignment was produced)
+        if produced is not None:
+            kind: FalsePositiveKind
+            detail = ""
+            if expected is not None:
+                produced_neighbours = _resource_neighbours(ontology2, produced)
+                expected_neighbours = _resource_neighbours(ontology2, expected)
+                union = produced_neighbours | expected_neighbours
+                overlap = (
+                    len(produced_neighbours & expected_neighbours) / len(union)
+                    if union
+                    else 0.0
+                )
+            else:
+                overlap = 0.0
+            if overlap >= near_duplicate_overlap:
+                kind = FalsePositiveKind.NEAR_DUPLICATE
+                detail = f"neighbour overlap {overlap:.2f}"
+            elif _shares_accepted_literal(ontology1, ontology2, left, produced, similarity):
+                kind = FalsePositiveKind.HOMONYM
+                detail = "shares a literal value"
+            else:
+                kind = FalsePositiveKind.OTHER
+            report.false_positives.append(
+                ErrorCase(left=left, produced=produced, expected=expected,
+                          kind=kind, detail=detail)
+            )
+        # ---- false negative side (the gold pair was not produced)
+        if expected is None:
+            continue
+        if produced is not None:
+            kind_fn = FalseNegativeKind.LOST_TO_RIVAL
+            detail = f"matched {produced} instead"
+        elif not _shares_accepted_literal(ontology1, ontology2, left, expected, similarity):
+            kind_fn = FalseNegativeKind.NO_SHARED_LITERAL
+            detail = "no literal evidence the similarity accepts"
+        else:
+            kind_fn = FalseNegativeKind.BELOW_THRESHOLD
+            detail = "evidence existed but no assignment survived"
+        report.false_negatives.append(
+            ErrorCase(left=left, produced=produced, expected=expected,
+                      kind=kind_fn, detail=detail)
+        )
+    return report

@@ -1,0 +1,19 @@
+"""Baselines and comparators used in the paper's evaluation.
+
+* :func:`align_by_labels` — the rdfs:label exact matcher of
+  Section 6.4,
+* :data:`OBJECTCOREF_RESULTS` — the published ObjectCoref figures
+  quoted in Table 1, plus :func:`self_training_matcher`, a transparent
+  runnable stand-in for the self-training approach.
+"""
+
+from .label_matcher import align_by_labels, detect_label_relations
+from .objectcoref import OBJECTCOREF_RESULTS, ReportedResult, self_training_matcher
+
+__all__ = [
+    "align_by_labels",
+    "detect_label_relations",
+    "OBJECTCOREF_RESULTS",
+    "ReportedResult",
+    "self_training_matcher",
+]

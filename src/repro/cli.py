@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+::
+
+    python -m repro align left.nt right.nt --out result_dir [options]
+    python -m repro stats onto1.nt onto2.nt ...
+    python -m repro demo {person,restaurant,kb,movies}
+    python -m repro convert input.nt output.tsv
+
+``align`` loads two ontologies (N-Triples or TSV, by extension), runs
+PARIS and writes the full result (instances/relations/classes) plus an
+``owl:sameAs`` link file.  ``demo`` regenerates one of the paper's
+experiments on its synthetic benchmark and prints the report tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+from .core.aligner import align
+from .core.config import ParisConfig
+from .io.alignment_io import save_result, write_sameas_links
+from .literals import (
+    EditDistanceSimilarity,
+    IdentitySimilarity,
+    LiteralSimilarity,
+    NormalizedIdentitySimilarity,
+    tolerant_similarity,
+)
+from .rdf import ntriples, tsv
+from .rdf.ontology import Ontology
+from .rdf.stats import statistics_table
+
+#: Literal-similarity choices exposed on the command line.
+SIMILARITIES = {
+    "identity": IdentitySimilarity,
+    "normalized": NormalizedIdentitySimilarity,
+    "edit-distance": EditDistanceSimilarity,
+    "tolerant": tolerant_similarity,
+}
+
+
+def load_ontology(path: str, name: Optional[str] = None) -> Ontology:
+    """Load an ontology by extension (``.nt``/``.ntriples`` or ``.tsv``)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SystemExit(f"error: no such file: {path}")
+    suffix = file_path.suffix.lower()
+    if suffix in (".nt", ".ntriples"):
+        return ntriples.read_ntriples(file_path, name=name)
+    if suffix == ".tsv":
+        return tsv.read_tsv(file_path, name=name)
+    raise SystemExit(f"error: unsupported extension {suffix!r} (use .nt or .tsv)")
+
+
+def _build_config(args: argparse.Namespace) -> ParisConfig:
+    similarity: LiteralSimilarity = SIMILARITIES[args.similarity]()
+    return ParisConfig(
+        theta=args.theta,
+        literal_similarity=similarity,
+        max_iterations=args.max_iterations,
+        use_negative_evidence=args.negative_evidence,
+        use_name_prior=args.name_prior,
+    )
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    left = load_ontology(args.left, name=args.left_name)
+    right = load_ontology(args.right, name=args.right_name)
+    if left.name == right.name:
+        # default stems collided; disambiguate instead of failing
+        right = load_ontology(args.right, name=left.name + "-2")
+    config = _build_config(args)
+    print(f"aligning {left!r}\n     with {right!r}", file=sys.stderr)
+    started = time.perf_counter()
+    result = align(left, right, config)
+    elapsed = time.perf_counter() - started
+    print(
+        f"done in {elapsed:.1f}s: {result.summary()}",
+        file=sys.stderr,
+    )
+    out_dir = Path(args.out)
+    save_result(result, out_dir)
+    links = write_sameas_links(
+        result.assignment12, out_dir / "sameas.nt", threshold=args.threshold
+    )
+    print(f"wrote {out_dir}/ ({links} owl:sameAs links)", file=sys.stderr)
+    if args.print_pairs:
+        for entity, counterpart, probability in sorted(
+            result.instance_pairs(args.threshold), key=lambda p: -p[2]
+        ):
+            print(f"{entity}\t{counterpart}\t{probability:.4f}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    ontologies = [load_ontology(path) for path in args.files]
+    print(statistics_table(ontologies))
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    ontology = load_ontology(args.input)
+    target = Path(args.output)
+    suffix = target.suffix.lower()
+    if suffix in (".nt", ".ntriples"):
+        count = ntriples.write_ntriples(ontology, target)
+    elif suffix == ".tsv":
+        count = tsv.write_tsv(ontology, target)
+    else:
+        raise SystemExit(f"error: unsupported output extension {suffix!r}")
+    print(f"wrote {count} statements to {target}", file=sys.stderr)
+    return 0
+
+
+def cmd_multi(args: argparse.Namespace) -> int:
+    from .core.multi import align_many
+
+    if len(args.files) < 2:
+        raise SystemExit("error: need at least two ontology files")
+    ontologies = []
+    for index, path in enumerate(args.files):
+        ontology = load_ontology(path)
+        if any(o.name == ontology.name for o in ontologies):
+            ontology = load_ontology(path, name=f"{ontology.name}-{index}")
+        ontologies.append(ontology)
+    result = align_many(ontologies, _build_config(args))
+    print(
+        f"aligned {len(ontologies)} ontologies "
+        f"({len(result.pairwise)} pairwise runs), "
+        f"{len(result.clusters)} entity clusters",
+        file=sys.stderr,
+    )
+    target = Path(args.out)
+    with target.open("w", encoding="utf-8") as stream:
+        stream.write("confidence\t" + "\t".join(o.name for o in ontologies) + "\n")
+        for cluster in result.clusters:
+            cells = [f"{cluster.confidence:.4f}"]
+            for ontology in ontologies:
+                member = cluster.members.get(ontology.name)
+                cells.append(member.name if member else "-")
+            stream.write("\t".join(cells) + "\n")
+    print(f"wrote {target}", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis import explain_match, render_explanation
+    from .rdf.terms import Resource
+
+    left = load_ontology(args.left, name=args.left_name)
+    right = load_ontology(args.right, name=args.right_name)
+    if left.name == right.name:
+        right = load_ontology(args.right, name=left.name + "-2")
+    config = _build_config(args)
+    result = align(left, right, config)
+    explanation = explain_match(
+        left, right, result, Resource(args.entity), Resource(args.counterpart), config
+    )
+    print(render_explanation(explanation, limit=args.limit))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .datasets import (
+        person_benchmark,
+        restaurant_benchmark,
+        yago_dbpedia_pair,
+        yago_imdb_pair,
+    )
+    from .evaluation import (
+        evaluate_instances,
+        evaluate_relations,
+        render_iteration_table,
+        render_relation_alignments,
+    )
+
+    makers = {
+        "person": person_benchmark,
+        "restaurant": restaurant_benchmark,
+        "kb": yago_dbpedia_pair,
+        "movies": yago_imdb_pair,
+    }
+    pair = makers[args.benchmark]()
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    result = align(pair.ontology1, pair.ontology2, config)
+    print(render_iteration_table(result, pair.gold))
+    print()
+    print(render_relation_alignments(result, threshold=0.1, limit=15))
+    instances = evaluate_instances(result.assignment12, pair.gold)
+    relations = evaluate_relations(result.relation_pairs(), pair.gold)
+    print(f"\ninstances: {instances}\nrelations: {relations}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARIS (VLDB 2011) ontology alignment — Python reproduction",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    align_parser = commands.add_parser("align", help="align two ontologies")
+    align_parser.add_argument("left", help="left ontology (.nt or .tsv)")
+    align_parser.add_argument("right", help="right ontology (.nt or .tsv)")
+    align_parser.add_argument("--out", default="alignment", help="output directory")
+    align_parser.add_argument("--left-name", default=None)
+    align_parser.add_argument("--right-name", default=None)
+    align_parser.add_argument("--theta", type=float, default=0.1,
+                              help="bootstrap/truncation value (default 0.1)")
+    align_parser.add_argument("--max-iterations", type=int, default=10)
+    align_parser.add_argument("--threshold", type=float, default=0.0,
+                              help="minimum probability for exported links")
+    align_parser.add_argument("--similarity", choices=sorted(SIMILARITIES),
+                              default="identity",
+                              help="literal similarity (default: identity)")
+    align_parser.add_argument("--negative-evidence", action="store_true",
+                              help="use Eq. 14 instead of Eq. 13")
+    align_parser.add_argument("--name-prior", action="store_true",
+                              help="seed relation priors from relation names")
+    align_parser.add_argument("--print-pairs", action="store_true",
+                              help="print matched instance pairs to stdout")
+    align_parser.set_defaults(handler=cmd_align)
+
+    def add_model_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--theta", type=float, default=0.1)
+        subparser.add_argument("--max-iterations", type=int, default=10)
+        subparser.add_argument("--similarity", choices=sorted(SIMILARITIES),
+                               default="identity")
+        subparser.add_argument("--negative-evidence", action="store_true")
+        subparser.add_argument("--name-prior", action="store_true")
+
+    multi_parser = commands.add_parser(
+        "multi", help="align three or more ontologies into entity clusters"
+    )
+    multi_parser.add_argument("files", nargs="+")
+    multi_parser.add_argument("--out", default="clusters.tsv",
+                              help="output TSV of entity clusters")
+    add_model_options(multi_parser)
+    multi_parser.set_defaults(handler=cmd_multi)
+
+    explain_parser = commands.add_parser(
+        "explain", help="show the evidence behind one instance match"
+    )
+    explain_parser.add_argument("left")
+    explain_parser.add_argument("right")
+    explain_parser.add_argument("entity", help="instance name in the left ontology")
+    explain_parser.add_argument("counterpart",
+                                help="instance name in the right ontology")
+    explain_parser.add_argument("--left-name", default=None)
+    explain_parser.add_argument("--right-name", default=None)
+    explain_parser.add_argument("--limit", type=int, default=8,
+                                help="max evidence items to print")
+    add_model_options(explain_parser)
+    explain_parser.set_defaults(handler=cmd_explain)
+
+    stats_parser = commands.add_parser("stats", help="print ontology statistics")
+    stats_parser.add_argument("files", nargs="+")
+    stats_parser.set_defaults(handler=cmd_stats)
+
+    convert_parser = commands.add_parser("convert", help="convert .nt <-> .tsv")
+    convert_parser.add_argument("input")
+    convert_parser.add_argument("output")
+    convert_parser.set_defaults(handler=cmd_convert)
+
+    demo_parser = commands.add_parser("demo", help="run a paper benchmark")
+    demo_parser.add_argument("benchmark",
+                             choices=["person", "restaurant", "kb", "movies"])
+    demo_parser.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,250 @@
+"""The PARIS fixpoint driver (Section 5.1).
+
+One run alternates two steps until convergence:
+
+1. **Instance pass** — recompute ``Pr(x ≡ x')`` for all instances from
+   the previous iteration's equivalences (Eq. 13 / Eq. 14).  The very
+   first pass is bootstrapped purely by clamped literal equivalences
+   and the uniform relation prior ``θ``.
+2. **Relation pass** — recompute ``Pr(r ⊆ r')`` in both directions from
+   the fresh instance equivalences (Eq. 12).
+
+Convergence is declared when fewer than ``convergence_threshold`` of
+the instances change their maximal assignment (Section 6.1).  After the
+fixpoint, class inclusions are computed once (Eq. 17, Section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Relation
+from .config import ParisConfig
+from .equivalence import instance_equivalence_pass
+from .functionality import FunctionalityOracle
+from .literal_index import LiteralIndex
+from .matrix import SubsumptionMatrix
+from .result import AlignmentResult, IterationSnapshot
+from .store import EquivalenceStore
+from .subclasses import subclass_pass
+from .subrelations import subrelation_pass
+from .view import EquivalenceView
+
+
+class ParisAligner:
+    """Aligns two ontologies with the PARIS probabilistic fixpoint.
+
+    Parameters
+    ----------
+    ontology1, ontology2:
+        The two input ontologies.  Following the paper's assumption
+        (Section 3), neither may contain internal duplicates; entities
+        are only ever matched *across* the two.
+    config:
+        Algorithm settings; defaults reproduce the paper's setup
+        (θ = 0.1, strict literal identity, positive evidence only,
+        maximal-assignment restriction, 10 000-pair cap).
+
+    Examples
+    --------
+    >>> from repro import ParisAligner, ParisConfig
+    >>> result = ParisAligner(onto1, onto2).align()   # doctest: +SKIP
+    >>> result.instance_pairs(threshold=0.5)          # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        ontology1: Ontology,
+        ontology2: Ontology,
+        config: Optional[ParisConfig] = None,
+    ) -> None:
+        if ontology1.name == ontology2.name:
+            raise ValueError("the two ontologies must have distinct names")
+        self.ontology1 = ontology1
+        self.ontology2 = ontology2
+        self.config = config or ParisConfig()
+        # Functionalities are computed upfront (Section 5.1): the
+        # no-internal-duplicates assumption means they never change.
+        self.fun1 = FunctionalityOracle(ontology1, self.config.functionality)
+        self.fun2 = FunctionalityOracle(ontology2, self.config.functionality)
+        # Literal equivalences are clamped (Section 5.3): index once.
+        similarity = self.config.literal_similarity
+        self.literals2 = LiteralIndex(ontology2, similarity)
+        self.literals1 = LiteralIndex(ontology1, similarity)
+
+    # ------------------------------------------------------------------
+
+    def _view(self, store: EquivalenceStore) -> EquivalenceView:
+        if self.config.restrict_to_maximal_assignment:
+            store = store.restricted_to_maximal()
+        return EquivalenceView(store, self.literals2, self.literals1)
+
+    def _dampen(
+        self, old_store: EquivalenceStore, new_store: EquivalenceStore
+    ) -> EquivalenceStore:
+        """Blend successive estimates (Section 5.1's dampening remedy)."""
+        factor = self.config.dampening
+        if factor <= 0.0:
+            return new_store
+        blended = EquivalenceStore(new_store.truncation_threshold)
+        pairs = {(left, right) for left, right, _p in new_store.items()}
+        pairs |= {(left, right) for left, right, _p in old_store.items()}
+        for left, right in pairs:
+            probability = (
+                factor * old_store.get(left, right)
+                + (1.0 - factor) * new_store.get(left, right)
+            )
+            if probability >= blended.truncation_threshold:
+                blended.set(left, right, probability)
+        return blended
+
+    @staticmethod
+    def _same_targets(
+        first: "dict", second: "dict"
+    ) -> bool:
+        """Whether two maximal assignments pick the same counterparts."""
+        if first.keys() != second.keys():
+            return False
+        return all(first[key][0] == second[key][0] for key in first)
+
+    def align(self) -> AlignmentResult:
+        """Run the fixpoint and return the full alignment."""
+        config = self.config
+        theta = config.theta
+        # Bootstrap: Pr(r ⊆ r') = θ for all cross-ontology relation
+        # pairs in the very first step (Section 5.1) — or the
+        # name-informed prior if the Section 7 extension is enabled.
+        if config.use_name_prior:
+            from .priors import name_prior_matrix
+
+            rel12: SubsumptionMatrix[Relation] = name_prior_matrix(
+                self.ontology1, self.ontology2, theta, config.name_prior_max
+            )
+            rel21: SubsumptionMatrix[Relation] = name_prior_matrix(
+                self.ontology2, self.ontology1, theta, config.name_prior_max
+            )
+        else:
+            rel12 = SubsumptionMatrix.bootstrap(theta)
+            rel21 = SubsumptionMatrix.bootstrap(theta)
+        store = EquivalenceStore(theta)
+        previous_assignment = store.maximal_assignment()
+        assignment_history: list = []
+        snapshots = []
+        converged = False
+        for iteration in range(1, config.max_iterations + 1):
+            started = time.perf_counter()
+            view = self._view(store)
+            new_store = instance_equivalence_pass(
+                self.ontology1,
+                self.ontology2,
+                view,
+                self.fun1,
+                self.fun2,
+                rel12,
+                rel21,
+                truncation_threshold=theta,
+                use_negative_evidence=config.use_negative_evidence,
+            )
+            store = self._dampen(store, new_store)
+            assignment12 = store.maximal_assignment()
+            assignment21 = store.maximal_assignment(reverse=True)
+            change = (
+                EquivalenceStore.assignment_change(previous_assignment, assignment12)
+                if iteration > 1
+                else None
+            )
+            previous_assignment = assignment12
+            cycle = (
+                config.detect_cycles
+                and len(assignment_history) >= 2
+                and self._same_targets(assignment12, assignment_history[-2])
+            )
+            assignment_history.append(assignment12)
+            if len(assignment_history) > 3:
+                assignment_history.pop(0)
+            # Relation pass uses the fresh equivalences ("These two
+            # steps are iterated until convergence", Section 5.1).  The
+            # second round uses the computed values and no longer θ.
+            relation_view = self._view(store)
+            rel12 = subrelation_pass(
+                self.ontology1,
+                self.ontology2,
+                relation_view,
+                truncation_threshold=theta,
+                max_pairs=config.max_pairs_per_relation,
+                bootstrap_theta=theta,
+            )
+            rel21 = subrelation_pass(
+                self.ontology2,
+                self.ontology1,
+                relation_view,
+                truncation_threshold=theta,
+                max_pairs=config.max_pairs_per_relation,
+                reverse=True,
+                bootstrap_theta=theta,
+            )
+            duration = time.perf_counter() - started
+            if config.keep_snapshots:
+                snapshots.append(
+                    IterationSnapshot(
+                        index=iteration,
+                        duration_seconds=duration,
+                        change_fraction=change,
+                        num_equivalences=len(store),
+                        assignment12=assignment12,
+                        assignment21=assignment21,
+                        relations12=rel12,
+                        relations21=rel21,
+                    )
+                )
+            if change is not None and change < config.convergence_threshold:
+                converged = True
+                break
+            if cycle:
+                # Period-2 oscillation between equally plausible
+                # matches: the fixpoint will not settle further.
+                converged = True
+                break
+        # Classes are aligned once, from the final assignment
+        # (Section 4.3 / 5.1: "In a last step, the equivalences between
+        # classes are computed by Equation (17)").
+        class_view = self._view(store)
+        classes12 = subclass_pass(
+            self.ontology1,
+            self.ontology2,
+            class_view,
+            truncation_threshold=theta,
+            max_instances=config.max_pairs_per_relation,
+        )
+        classes21 = subclass_pass(
+            self.ontology2,
+            self.ontology1,
+            class_view,
+            truncation_threshold=theta,
+            max_instances=config.max_pairs_per_relation,
+            reverse=True,
+        )
+        return AlignmentResult(
+            left_name=self.ontology1.name,
+            right_name=self.ontology2.name,
+            instances=store,
+            assignment12=store.maximal_assignment(),
+            assignment21=store.maximal_assignment(reverse=True),
+            relations12=rel12,
+            relations21=rel21,
+            classes12=classes12,
+            classes21=classes21,
+            converged=converged,
+            iterations=snapshots,
+        )
+
+
+def align(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    config: Optional[ParisConfig] = None,
+) -> AlignmentResult:
+    """Convenience wrapper: ``ParisAligner(o1, o2, config).align()``."""
+    return ParisAligner(ontology1, ontology2, config).align()

@@ -1,0 +1,148 @@
+"""Instance-equivalence pass (Section 4.1–4.2, Eq. 13 and Eq. 14).
+
+For every instance ``x`` of the first ontology the pass computes::
+
+    Pr(x ≡ x') = 1 − ∏ (1 − Pr(r'⊆r)·fun⁻¹(r)·Pr(y ≡ y'))
+                     · (1 − Pr(r⊆r')·fun⁻¹(r')·Pr(y ≡ y'))
+
+over all statement pairs ``r(x, y)``, ``r'(x', y')`` with
+``Pr(y ≡ y') > 0`` (Eq. 13) — optionally multiplied by the
+negative-evidence factors of Eq. 14.
+
+The traversal is the optimized one of Section 5.2: starting from ``x``,
+walk its statements ``r(x, y)``; for each ``y`` fetch the known
+equivalents ``y'`` (clamped literal matches, or the previous iteration's
+instance equivalences); for each ``y'`` walk the statements
+``r'(x', y')`` of the second ontology and update the score of ``x'``.
+This costs ``O(n·m²·e)`` rather than the naive ``O(n²·m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Literal, Relation, Resource
+from .functionality import FunctionalityOracle
+from .matrix import SubsumptionMatrix
+from .store import EquivalenceStore
+from .view import EquivalenceView
+
+#: Probabilities whose complement underflows to exactly 0 would make a
+#: single statement pair decide the whole product; clamp factors away
+#: from 0 so several strong pairs still outrank one.
+_MIN_FACTOR = 1e-12
+
+
+def score_instance(
+    x: Resource,
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+) -> Dict[Resource, float]:
+    """Positive-evidence scores ``Pr1(x ≡ ·)`` for one instance (Eq. 13).
+
+    Returns a map from candidate instances ``x'`` of ``ontology2`` to
+    their scores; candidates that no statement pair supports are absent
+    (score 0, never stored — Section 5.2).
+    """
+    products: Dict[Resource, float] = {}
+    for relation, y in ontology1.statements_about(x):
+        inverse_fun_r = fun1.inverse_fun(relation)
+        for y_prime, prob_y in view.equivalents(y):
+            for relation2_inverse, x_prime in ontology2.statements_about(y_prime):
+                if isinstance(x_prime, Literal):
+                    continue
+                relation2 = relation2_inverse.inverse
+                factor = 1.0
+                score_21 = rel21.get(relation2, relation)
+                if score_21 > 0.0:
+                    factor *= 1.0 - score_21 * inverse_fun_r * prob_y
+                score_12 = rel12.get(relation, relation2)
+                if score_12 > 0.0:
+                    factor *= 1.0 - score_12 * fun2.inverse_fun(relation2) * prob_y
+                if factor >= 1.0:
+                    continue
+                current = products.get(x_prime, 1.0)
+                products[x_prime] = max(current * factor, _MIN_FACTOR)
+    return {x_prime: 1.0 - product for x_prime, product in products.items()}
+
+
+def negative_evidence_factor(
+    x: Resource,
+    x_prime: Resource,
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+) -> float:
+    """The Eq. 14 penalty term ``Pr2(x ≡ x')``.
+
+    For every statement ``r(x, y)`` and every relation ``r'`` of the
+    second ontology aligned with ``r``, the candidate is penalized in
+    proportion to ``fun(r)`` unless some ``y'`` with ``r'(x', y')``
+    matches ``y``.  When ``x'`` has no ``r'`` statement at all, the
+    inner product is 1 (the paper: "this decreases Pr(x ≡ x') in case
+    one instance has relations that the other one does not have").
+    """
+    penalty = 1.0
+    for relation, y in ontology1.statements_about(x):
+        fun_r = fun1.fun(relation)
+        # Relations r' explicitly aligned with r, in either direction.
+        aligned: Dict[Relation, Tuple[float, float]] = {}
+        for relation2, score in rel21.subs_of(relation).items():
+            aligned.setdefault(relation2, (0.0, 0.0))
+            aligned[relation2] = (score, aligned[relation2][1])
+        for relation2, score in rel12.supers_of(relation).items():
+            previous = aligned.setdefault(relation2, (0.0, 0.0))
+            aligned[relation2] = (previous[0], score)
+        for relation2, (score_21, score_12) in aligned.items():
+            inner = 1.0
+            for y_prime in ontology2.objects(relation2, x_prime):
+                inner *= 1.0 - view.prob(y, y_prime)
+                if inner == 0.0:
+                    break
+            if score_21 > 0.0:
+                penalty *= 1.0 - fun_r * score_21 * inner
+            if score_12 > 0.0:
+                penalty *= 1.0 - fun2.fun(relation2) * score_12 * inner
+            if penalty < _MIN_FACTOR:
+                return 0.0
+    return penalty
+
+
+def instance_equivalence_pass(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+    truncation_threshold: float,
+    use_negative_evidence: bool = False,
+) -> EquivalenceStore:
+    """One full instance-equivalence sweep over ``ontology1``.
+
+    The scores of Eq. 13 are symmetric in the two ontologies (each
+    statement pair contributes the same two factors seen from either
+    side), so a single sweep fills the store for both directions.
+    """
+    store = EquivalenceStore(truncation_threshold)
+    for x in ontology1.instances:
+        scores = score_instance(x, ontology1, ontology2, view, fun1, fun2, rel12, rel21)
+        for x_prime, score in scores.items():
+            if use_negative_evidence and score >= truncation_threshold:
+                score *= negative_evidence_factor(
+                    x, x_prime, ontology1, ontology2, view, fun1, fun2, rel12, rel21
+                )
+            if score >= truncation_threshold:
+                store.set(x, x_prime, score)
+    return store

@@ -1,0 +1,159 @@
+"""Functionality of relations (Section 3, Eq. 1–2, Appendix A).
+
+The *local functionality* of relation ``r`` at first argument ``x`` is
+``fun(r, x) = 1 / #y : r(x, y)`` — the degree to which ``r`` behaves
+like a function at ``x``.  The *global functionality* aggregates the
+local values; the paper weighs five candidate definitions (Appendix A)
+and picks the harmonic mean::
+
+    fun(r) = (#x ∃y : r(x, y)) / (#x, y : r(x, y))
+
+All five definitions are implemented here so the Appendix-A choice can
+be ablated (``benchmarks/test_ablation_functionality.py``).
+
+Because PARIS assumes no duplicate entities within one ontology
+(Section 5.1), functionalities are computed once per ontology up front
+and never revised — :class:`FunctionalityOracle` caches them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Node, Relation
+
+
+class FunctionalityDefinition(enum.Enum):
+    """The five global-functionality definitions of Appendix A."""
+
+    #: Alternative 1: ``#statements / #statement pairs with same source``.
+    #: "Very volatile to single sources that have a large number of
+    #: targets."
+    PAIR_RATIO = "pair-ratio"
+
+    #: Alternative 2: ``#first args / #second args``.  "Treacherous":
+    #: assigns functionality 1 to a complete bipartite relation.
+    ARGUMENT_RATIO = "argument-ratio"
+
+    #: Alternative 3: arithmetic mean of the local functionalities
+    #: (the definition of Hogan et al. [17]).
+    ARITHMETIC_MEAN = "arithmetic-mean"
+
+    #: Alternative 4/5 (equivalent): harmonic mean of the local
+    #: functionalities — the paper's choice (Eq. 2).
+    HARMONIC = "harmonic"
+
+
+def local_functionality(ontology: Ontology, relation: Relation, subject: Node) -> float:
+    """``fun(r, x) = 1 / #y : r(x, y)`` (Eq. 1); 0 if ``x`` has no ``r``-edge."""
+    count = len(ontology.objects(relation, subject))
+    return 1.0 / count if count else 0.0
+
+
+def local_inverse_functionality(
+    ontology: Ontology, relation: Relation, obj: Node
+) -> float:
+    """``fun⁻¹(r, y) = fun(r⁻, y)``."""
+    return local_functionality(ontology, relation.inverse, obj)
+
+
+def _pair_ratio(ontology: Ontology, relation: Relation) -> float:
+    statements = ontology.num_statements(relation)
+    if not statements:
+        return 0.0
+    # #x,y,y' : r(x,y) ∧ r(x,y') counts ordered pairs including y = y'.
+    same_source_pairs = sum(
+        count * fanout * fanout
+        for fanout, count in ontology.fanout_histogram(relation).items()
+    )
+    return statements / same_source_pairs
+
+
+def _argument_ratio(ontology: Ontology, relation: Relation) -> float:
+    objects = ontology.num_objects(relation)
+    if not objects:
+        return 0.0
+    return min(1.0, ontology.num_subjects(relation) / objects)
+
+
+def _arithmetic_mean(ontology: Ontology, relation: Relation) -> float:
+    subjects = ontology.num_subjects(relation)
+    if not subjects:
+        return 0.0
+    total = sum(
+        count / fanout for fanout, count in ontology.fanout_histogram(relation).items()
+    )
+    return total / subjects
+
+
+def _harmonic_mean(ontology: Ontology, relation: Relation) -> float:
+    statements = ontology.num_statements(relation)
+    if not statements:
+        return 0.0
+    return ontology.num_subjects(relation) / statements
+
+
+_DISPATCH = {
+    FunctionalityDefinition.PAIR_RATIO: _pair_ratio,
+    FunctionalityDefinition.ARGUMENT_RATIO: _argument_ratio,
+    FunctionalityDefinition.ARITHMETIC_MEAN: _arithmetic_mean,
+    FunctionalityDefinition.HARMONIC: _harmonic_mean,
+}
+
+
+def global_functionality(
+    ontology: Ontology,
+    relation: Relation,
+    definition: FunctionalityDefinition = FunctionalityDefinition.HARMONIC,
+) -> float:
+    """Global functionality of ``relation`` under ``definition`` (Eq. 2)."""
+    return _DISPATCH[definition](ontology, relation)
+
+
+def global_inverse_functionality(
+    ontology: Ontology,
+    relation: Relation,
+    definition: FunctionalityDefinition = FunctionalityDefinition.HARMONIC,
+) -> float:
+    """``fun⁻¹(r) = fun(r⁻)``."""
+    return global_functionality(ontology, relation.inverse, definition)
+
+
+class FunctionalityOracle:
+    """Precomputed global functionalities for one ontology.
+
+    Section 5.1: "since we assume that there are no equivalent entities
+    within one ontology, we compute the functionalities of the
+    relations within each ontology upfront".
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        definition: FunctionalityDefinition = FunctionalityDefinition.HARMONIC,
+    ) -> None:
+        self.ontology = ontology
+        self.definition = definition
+        self._cache: Dict[Relation, float] = {}
+        for relation in ontology.relations(include_inverses=True):
+            self._cache[relation] = global_functionality(ontology, relation, definition)
+
+    def fun(self, relation: Relation) -> float:
+        """Cached global functionality of ``relation``."""
+        value = self._cache.get(relation)
+        if value is None:
+            value = global_functionality(self.ontology, relation, self.definition)
+            self._cache[relation] = value
+        return value
+
+    def inverse_fun(self, relation: Relation) -> float:
+        """Cached global inverse functionality ``fun⁻¹(r) = fun(r⁻)``."""
+        return self.fun(relation.inverse)
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionalityOracle({self.ontology.name!r}, "
+            f"{self.definition.value}, {len(self._cache)} relations)"
+        )

@@ -1,0 +1,67 @@
+"""Blocking index over one ontology's literals.
+
+Literal equivalence probabilities are clamped (Section 5.3), so for a
+literal ``y`` of one ontology the set ``{y' : Pr(y ≡ y') > 0}`` in the
+other ontology is fixed for the whole run.  This index materializes the
+lookup: literals are bucketed by the similarity measure's blocking keys
+(see :meth:`repro.literals.base.LiteralSimilarity.keys`), and candidate
+sets are memoized because the same literal (a common city name, a
+popular release year) is queried many times per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..literals.base import LiteralSimilarity
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Literal
+
+
+class LiteralIndex:
+    """Candidate lookup ``literal → {(other_literal, similarity)}``.
+
+    Parameters
+    ----------
+    ontology:
+        The ontology whose literals are indexed (the *target* side of
+        lookups).
+    similarity:
+        The clamped literal-similarity measure.
+    """
+
+    def __init__(self, ontology: Ontology, similarity: LiteralSimilarity) -> None:
+        self.similarity = similarity
+        self._buckets: Dict[str, Set[Literal]] = {}
+        for literal in ontology.literals:
+            for key in similarity.keys(literal):
+                self._buckets.setdefault(key, set()).add(literal)
+        self._memo: Dict[Literal, Tuple[Tuple[Literal, float], ...]] = {}
+
+    def candidates(self, literal: Literal) -> Tuple[Tuple[Literal, float], ...]:
+        """All indexed literals with positive similarity to ``literal``.
+
+        Results are memoized per query literal.
+        """
+        cached = self._memo.get(literal)
+        if cached is not None:
+            return cached
+        seen: Set[Literal] = set()
+        result: List[Tuple[Literal, float]] = []
+        for key in self.similarity.keys(literal):
+            for candidate in self._buckets.get(key, ()):
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                score = self.similarity.similarity(literal, candidate)
+                if score > 0.0:
+                    result.append((candidate, score))
+        frozen = tuple(result)
+        self._memo[literal] = frozen
+        return frozen
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:
+        return f"LiteralIndex({len(self._buckets)} buckets, sim={self.similarity.name})"

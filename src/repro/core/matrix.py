@@ -1,0 +1,132 @@
+"""Sparse subsumption score matrix.
+
+Both relation inclusion ``Pr(r ⊆ r')`` (Eq. 12) and class inclusion
+``Pr(c ⊆ c')`` (Eq. 17) are sparse maps from a *sub* term of one
+ontology to *super* terms of the other with a probability each.
+:class:`SubsumptionMatrix` stores one direction (sub-side ontology →
+super-side ontology) with reverse indexing, an optional default score
+(the bootstrap ``θ`` of Section 5.1), and the usual report helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Mapping, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class SubsumptionMatrix(Generic[K]):
+    """Sparse ``Pr(sub ⊆ super)`` scores with a default for unknown pairs.
+
+    Parameters
+    ----------
+    default:
+        Score returned for pairs without an explicit entry.  The very
+        first PARIS iteration bootstraps with ``default = θ``
+        (Section 5.1); later iterations use ``default = 0``.
+    """
+
+    def __init__(self, default: float = 0.0) -> None:
+        if default < 0.0 or default > 1.0:
+            raise ValueError("default must be in [0, 1]")
+        self.default = default
+        self._by_sub: Dict[K, Dict[K, float]] = {}
+        self._by_super: Dict[K, Dict[K, float]] = {}
+        self._sub_defaults: Dict[K, float] = {}
+
+    @classmethod
+    def bootstrap(cls, theta: float) -> "SubsumptionMatrix[K]":
+        """The Section 5.1 bootstrap: every pair scores ``θ``."""
+        return cls(default=theta)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def set(self, sub: K, sup: K, probability: float) -> None:
+        """Record ``Pr(sub ⊆ sup) = probability``."""
+        if probability < 0.0 or probability > 1.0 + 1e-9:
+            raise ValueError(f"probability out of range: {probability}")
+        probability = min(probability, 1.0)
+        if probability == 0.0:
+            row = self._by_sub.get(sub)
+            if row and sup in row:
+                del row[sup]
+                del self._by_super[sup][sub]
+            return
+        self._by_sub.setdefault(sub, {})[sup] = probability
+        self._by_super.setdefault(sup, {})[sub] = probability
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def set_sub_default(self, sub: K, default: float) -> None:
+        """Keep ``sub`` in its prior state: unknown pairs score ``default``.
+
+        Used when Eq. 12 has *no evidence at all* for a relation (its
+        statements have no matched counterpart pairs yet): the paper
+        distinguishes computed-zero from unknown, and an unknown
+        relation keeps the bootstrap prior ``θ`` so entities reachable
+        only through it can still start matching in a later iteration.
+        """
+        if default < 0.0 or default > 1.0:
+            raise ValueError("default must be in [0, 1]")
+        self._sub_defaults[sub] = default
+
+    def get(self, sub: K, sup: K) -> float:
+        """``Pr(sub ⊆ sup)``, falling back to per-sub then global default."""
+        row = self._by_sub.get(sub)
+        if row is not None and sup in row:
+            return row[sup]
+        return self._sub_defaults.get(sub, self.default)
+
+    def supers_of(self, sub: K) -> Mapping[K, float]:
+        """Explicitly stored super-terms of ``sub`` (no default entries)."""
+        return self._by_sub.get(sub, {})
+
+    def subs_of(self, sup: K) -> Mapping[K, float]:
+        """Explicitly stored sub-terms of ``sup`` (no default entries)."""
+        return self._by_super.get(sup, {})
+
+    def best_super(self, sub: K) -> Optional[Tuple[K, float]]:
+        """Highest-scoring super-term of ``sub`` (the maximal assignment)."""
+        row = self._by_sub.get(sub)
+        if not row:
+            return None
+        best_key = max(row, key=lambda key: row[key])
+        return best_key, row[best_key]
+
+    def items(self) -> Iterator[Tuple[K, K, float]]:
+        """Iterate all explicitly stored ``(sub, sup, probability)``."""
+        for sub, row in self._by_sub.items():
+            for sup, probability in row.items():
+                yield sub, sup, probability
+
+    def pairs_above(self, threshold: float) -> List[Tuple[K, K, float]]:
+        """All stored pairs with score ≥ ``threshold``, best first."""
+        selected = [
+            (sub, sup, probability)
+            for sub, sup, probability in self.items()
+            if probability >= threshold
+        ]
+        selected.sort(key=lambda entry: -entry[2])
+        return selected
+
+    def subs_with_match_above(self, threshold: float) -> int:
+        """Number of sub-terms having at least one score ≥ ``threshold``.
+
+        This is the quantity plotted in Figure 2 of the paper (number
+        of YAGO classes with an assignment above the threshold).
+        """
+        return sum(
+            1
+            for row in self._by_sub.values()
+            if row and max(row.values()) >= threshold
+        )
+
+    def __len__(self) -> int:
+        return sum(len(row) for row in self._by_sub.values())
+
+    def __repr__(self) -> str:
+        return f"SubsumptionMatrix({len(self)} pairs, default={self.default})"

@@ -1,0 +1,166 @@
+"""Alignment of more than two ontologies (the paper's future work).
+
+"It would also be interesting to apply paris to more than two
+ontologies.  This would further increase the usefulness of paris for
+the dream of the Semantic Web."  (Section 7)
+
+:class:`MultiAligner` runs pairwise PARIS over every ontology pair and
+fuses the maximal assignments into *entity clusters*: connected
+components of the match graph.  Because each input ontology is assumed
+duplicate-free (the paper's unique-name assumption within one
+ontology), a cluster is **consistent** only if it contains at most one
+instance per ontology; inconsistent components are split by dropping
+their weakest edges until every cluster is consistent — a conservative
+resolution that preserves the strongest pairwise evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Resource
+from .aligner import ParisAligner
+from .config import ParisConfig
+from .result import AlignmentResult
+
+
+@dataclass(frozen=True)
+class EntityCluster:
+    """One real-world entity seen across several ontologies."""
+
+    #: ``ontology name → instance`` — at most one member per ontology.
+    members: Dict[str, Resource]
+    #: Lowest pairwise probability along the cluster's spanning edges.
+    confidence: float
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, resource: object) -> bool:
+        return resource in self.members.values()
+
+
+@dataclass
+class MultiAlignmentResult:
+    """Pairwise alignments plus fused entity clusters."""
+
+    #: Ontology names in input order.
+    ontology_names: List[str]
+    #: ``(left name, right name) → AlignmentResult`` for every pair.
+    pairwise: Dict[Tuple[str, str], AlignmentResult]
+    #: Fused clusters, largest first.
+    clusters: List[EntityCluster] = field(default_factory=list)
+
+    def clusters_spanning(self, min_ontologies: int) -> List[EntityCluster]:
+        """Clusters covering at least ``min_ontologies`` ontologies."""
+        return [c for c in self.clusters if len(c) >= min_ontologies]
+
+
+class MultiAligner:
+    """Pairwise PARIS over N ontologies with cluster fusion.
+
+    Parameters
+    ----------
+    ontologies:
+        Two or more ontologies with distinct names.
+    config:
+        Shared :class:`ParisConfig` for every pairwise run.
+    """
+
+    def __init__(
+        self,
+        ontologies: Sequence[Ontology],
+        config: Optional[ParisConfig] = None,
+    ) -> None:
+        if len(ontologies) < 2:
+            raise ValueError("need at least two ontologies")
+        names = [o.name for o in ontologies]
+        if len(set(names)) != len(names):
+            raise ValueError("ontology names must be distinct")
+        self.ontologies = list(ontologies)
+        self.config = config or ParisConfig()
+
+    def align(self) -> MultiAlignmentResult:
+        """Run all pairwise alignments and fuse the clusters."""
+        pairwise: Dict[Tuple[str, str], AlignmentResult] = {}
+        for left, right in itertools.combinations(self.ontologies, 2):
+            result = ParisAligner(left, right, self.config).align()
+            pairwise[(left.name, right.name)] = result
+        clusters = self._fuse(pairwise)
+        return MultiAlignmentResult(
+            ontology_names=[o.name for o in self.ontologies],
+            pairwise=pairwise,
+            clusters=clusters,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fuse(
+        self, pairwise: Dict[Tuple[str, str], AlignmentResult]
+    ) -> List[EntityCluster]:
+        """Connected components of the mutual-assignment match graph."""
+        home: Dict[Resource, str] = {}
+        for ontology in self.ontologies:
+            for instance in ontology.instances:
+                home[instance] = ontology.name
+        # Edges: pairs that are each other's maximal assignment (the
+        # conservative "mutual best match" criterion).
+        edges: List[Tuple[float, Resource, Resource]] = []
+        for (_left_name, _right_name), result in pairwise.items():
+            for left, (right, probability) in result.assignment12.items():
+                back = result.assignment21.get(right)
+                if back is not None and back[0] == left:
+                    edges.append((probability, left, right))
+        # Build clusters greedily from the strongest edges, refusing
+        # any edge that would put two instances of one ontology in the
+        # same cluster (the unique-name assumption).
+        parent: Dict[Resource, Resource] = {}
+        cluster_homes: Dict[Resource, Set[str]] = {}
+        cluster_min: Dict[Resource, float] = {}
+
+        def find(node: Resource) -> Resource:
+            root = node
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(node, node) != node:
+                parent[node], node = root, parent[node]
+            return root
+
+        for probability, left, right in sorted(edges, key=lambda e: -e[0]):
+            for node in (left, right):
+                if node not in parent:
+                    parent[node] = node
+                    cluster_homes[node] = {home.get(node, "?")}
+                    cluster_min[node] = 1.0
+            left_root, right_root = find(left), find(right)
+            if left_root == right_root:
+                continue
+            if cluster_homes[left_root] & cluster_homes[right_root]:
+                continue  # would merge two instances of one ontology
+            parent[right_root] = left_root
+            cluster_homes[left_root] |= cluster_homes.pop(right_root)
+            cluster_min[left_root] = min(
+                cluster_min[left_root], cluster_min.pop(right_root), probability
+            )
+        # materialize
+        members: Dict[Resource, Dict[str, Resource]] = {}
+        for node in parent:
+            root = find(node)
+            members.setdefault(root, {})[home.get(node, "?")] = node
+        clusters = [
+            EntityCluster(members=mapping, confidence=cluster_min[root])
+            for root, mapping in members.items()
+            if len(mapping) >= 2
+        ]
+        clusters.sort(key=lambda c: (-len(c), -c.confidence))
+        return clusters
+
+
+def align_many(
+    ontologies: Sequence[Ontology], config: Optional[ParisConfig] = None
+) -> MultiAlignmentResult:
+    """Convenience wrapper: ``MultiAligner(ontologies, config).align()``."""
+    return MultiAligner(ontologies, config).align()

@@ -1,0 +1,107 @@
+"""Relation-name priors (the paper's conjectured extension).
+
+PARIS deliberately "does not use any kind of heuristics on relation
+names, which allows aligning relations with completely different
+names.  We conjecture that the name heuristics of more traditional
+schema-alignment techniques could be factored into the model"
+(Section 7).  This module implements that factoring: instead of the
+uniform bootstrap ``Pr(r ⊆ r') = θ``, the first iteration can start
+from a per-pair prior derived from the relations' names::
+
+    prior(r, r') = θ + (θ_max − θ) · name_similarity(r, r')
+
+where ``name_similarity`` is a token-based Jaccard similarity over
+camelCase/snake_case/namespace-split name fragments.  Relations with
+similar names start with more trust but never *less* than θ, so
+alignments with completely different names remain discoverable — the
+prior only accelerates, it cannot exclude.
+
+The ``test_ablation_name_prior`` bench measures the effect: same final
+quality (θ-invariance extends to informed priors), sometimes fewer
+iterations to convergence.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Set
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Relation
+from .matrix import SubsumptionMatrix
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_SEPARATORS = re.compile(r"[:_\-./]+")
+
+#: Tokens too generic to signal a correspondence on their own.
+_STOP_TOKENS = frozenset({"has", "is", "of", "was", "the", "in", "on", "a"})
+
+
+def name_tokens(relation: Relation) -> Set[str]:
+    """Lowercased word fragments of a relation name.
+
+    ``y:wasBornIn`` → ``{"born"}``;  ``dbp:birth_place`` →
+    ``{"birth", "place"}``.  Namespace prefixes, separators and stop
+    words are dropped; the inversion marker is ignored (the prior is
+    about the lexical name, directionality comes from the data).
+    """
+    name = relation.name
+    if ":" in name:
+        name = name.split(":", 1)[1]
+    pieces = _SEPARATORS.split(name)
+    tokens: Set[str] = set()
+    for piece in pieces:
+        for token in _CAMEL_BOUNDARY.split(piece):
+            lowered = token.lower()
+            if lowered and lowered not in _STOP_TOKENS:
+                tokens.add(lowered)
+    return tokens
+
+
+def name_similarity(left: Relation, right: Relation) -> float:
+    """Jaccard similarity of the two relations' name-token sets."""
+    left_tokens = name_tokens(left)
+    right_tokens = name_tokens(right)
+    if not left_tokens or not right_tokens:
+        return 0.0
+    intersection = len(left_tokens & right_tokens)
+    if not intersection:
+        return 0.0
+    return intersection / len(left_tokens | right_tokens)
+
+
+def name_prior_matrix(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    theta: float,
+    theta_max: float = 0.5,
+) -> SubsumptionMatrix[Relation]:
+    """Bootstrap matrix seeded with name similarity.
+
+    Every pair defaults to ``θ`` (so nothing is excluded); pairs with
+    lexically similar names get an explicit boosted entry up to
+    ``θ_max``.
+
+    Parameters
+    ----------
+    theta:
+        The uniform floor (the paper's bootstrap value).
+    theta_max:
+        Prior for a perfect name match; intermediate similarities
+        interpolate linearly.
+    """
+    if not 0.0 < theta <= theta_max <= 1.0:
+        raise ValueError("need 0 < theta <= theta_max <= 1")
+    matrix: SubsumptionMatrix[Relation] = SubsumptionMatrix.bootstrap(theta)
+    relations2 = ontology2.relations(include_inverses=True)
+    for relation1 in ontology1.relations(include_inverses=True):
+        for relation2 in relations2:
+            # Align same-direction pairs lexically; cross-direction
+            # pairs keep the floor (names say nothing about inversion).
+            if relation1.inverted != relation2.inverted:
+                continue
+            similarity = name_similarity(relation1, relation2)
+            if similarity > 0.0:
+                prior = theta + (theta_max - theta) * similarity
+                matrix.set(relation1, relation2, prior)
+    return matrix

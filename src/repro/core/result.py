@@ -1,0 +1,139 @@
+"""Result objects of an alignment run.
+
+An :class:`AlignmentResult` bundles everything Section 6 evaluates:
+
+* final instance equivalences and their maximal assignments (both
+  directions),
+* relation-inclusion matrices in both directions (Tables 3–5 report
+  them separately as ``yago ⊆ DBp`` and ``DBp ⊆ yago``),
+* class-inclusion matrices in both directions,
+* per-iteration snapshots carrying the maximal assignment and relation
+  matrices of each iteration, which is what the per-iteration rows of
+  Tables 3 and 5 are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.terms import Relation, Resource
+from .matrix import SubsumptionMatrix
+from .store import EquivalenceStore
+
+#: Maximal assignment: instance → (best counterpart, probability).
+Assignment = Dict[Resource, Tuple[Resource, float]]
+
+
+@dataclass
+class IterationSnapshot:
+    """State captured at the end of one fixpoint iteration."""
+
+    #: 1-based iteration number.
+    index: int
+    #: Wall-clock seconds spent in this iteration.
+    duration_seconds: float
+    #: Fraction of instances whose maximal assignment changed relative
+    #: to the previous iteration (the "Change to prev." column of
+    #: Tables 3 and 5); ``None`` for the first iteration.
+    change_fraction: Optional[float]
+    #: Number of stored positive equivalences after this iteration.
+    num_equivalences: int
+    #: Maximal assignment, left ontology → right ontology.
+    assignment12: Assignment
+    #: Maximal assignment, right ontology → left ontology.
+    assignment21: Assignment
+    #: Relation inclusions left ⊆ right computed in this iteration.
+    relations12: SubsumptionMatrix[Relation]
+    #: Relation inclusions right ⊆ left computed in this iteration.
+    relations21: SubsumptionMatrix[Relation]
+
+
+@dataclass
+class AlignmentResult:
+    """Complete output of a PARIS run."""
+
+    #: Name of the left ontology.
+    left_name: str
+    #: Name of the right ontology.
+    right_name: str
+    #: Final instance-equivalence store.
+    instances: EquivalenceStore
+    #: Final maximal assignment, left → right.
+    assignment12: Assignment
+    #: Final maximal assignment, right → left.
+    assignment21: Assignment
+    #: Final relation inclusions, left ⊆ right.
+    relations12: SubsumptionMatrix[Relation]
+    #: Final relation inclusions, right ⊆ left.
+    relations21: SubsumptionMatrix[Relation]
+    #: Class inclusions, left ⊆ right (computed after the fixpoint).
+    classes12: SubsumptionMatrix[Resource]
+    #: Class inclusions, right ⊆ left.
+    classes21: SubsumptionMatrix[Resource]
+    #: Whether the run stopped because the change criterion was met
+    #: (as opposed to hitting the iteration cap).
+    converged: bool
+    #: Per-iteration snapshots (empty if ``keep_snapshots`` was off).
+    iterations: List[IterationSnapshot] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of fixpoint iterations that ran."""
+        return len(self.iterations)
+
+    def instance_pairs(self, threshold: float = 0.0) -> List[Tuple[Resource, Resource, float]]:
+        """Maximal-assignment pairs with probability ≥ ``threshold``.
+
+        This is the output evaluated against gold standards in
+        Section 6.1 ("For instances, we considered only the assignment
+        with the maximal score").
+        """
+        return [
+            (left, right, probability)
+            for left, (right, probability) in self.assignment12.items()
+            if probability >= threshold
+        ]
+
+    def relation_pairs(
+        self, threshold: float = 0.0, reverse: bool = False
+    ) -> List[Tuple[Relation, Relation, float]]:
+        """Maximally-assigned relation inclusions with score ≥ ``threshold``.
+
+        Section 6.4: "We consider only the maximally assigned relation,
+        because the relations do not form a hierarchy."
+        """
+        matrix = self.relations21 if reverse else self.relations12
+        pairs: List[Tuple[Relation, Relation, float]] = []
+        for sub in {sub for sub, _sup, _p in matrix.items()}:
+            best = matrix.best_super(sub)
+            if best is not None and best[1] >= threshold:
+                pairs.append((sub, best[0], best[1]))
+        pairs.sort(key=lambda entry: -entry[2])
+        return pairs
+
+    def class_pairs(
+        self, threshold: float = 0.0, reverse: bool = False
+    ) -> List[Tuple[Resource, Resource, float]]:
+        """All class inclusions with score ≥ ``threshold`` (best first).
+
+        Unlike relations, classes keep *all* assignments above the
+        threshold: "paris assigns one class of one ontology to multiple
+        classes in the taxonomy of the other ontology" (Section 6.4).
+        """
+        matrix = self.classes21 if reverse else self.classes12
+        return matrix.pairs_above(threshold)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        status = "converged" if self.converged else "stopped at iteration cap"
+        return (
+            f"PARIS alignment {self.left_name} <-> {self.right_name}: "
+            f"{self.num_iterations} iterations ({status}), "
+            f"{len(self.assignment12)} instances matched left-to-right, "
+            f"{len(self.assignment21)} right-to-left, "
+            f"{len(self.relations12)} relation inclusions left-in-right, "
+            f"{len(self.relations21)} right-in-left, "
+            f"{len(self.classes12)} class inclusions left-in-right, "
+            f"{len(self.classes21)} right-in-left."
+        )

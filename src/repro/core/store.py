@@ -1,0 +1,175 @@
+"""Sparse storage of cross-ontology instance equivalences.
+
+Section 5.2: "our model distinguishes true equivalences
+(Pr(x ≡ x') > 0) from false equivalences (Pr(x ≡ x') = 0) and unknown
+equivalences [...]  our algorithm does not need to store equivalences
+of value 0 at all."  The store therefore keeps only strictly positive
+probabilities, truncated at ``θ``, in both directions.
+
+The *maximal assignment* (Section 4.2) maps each instance to the single
+equivalent with the highest score, ties broken arbitrarily but
+deterministically (first encountered wins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..rdf.terms import Resource
+
+
+class EquivalenceStore:
+    """Bidirectional sparse map ``Pr(x ≡ x')`` between two ontologies.
+
+    Parameters
+    ----------
+    truncation_threshold:
+        Probabilities strictly below this are treated as zero and not
+        stored (Section 5.2 thresholds at ``θ``).
+    """
+
+    def __init__(self, truncation_threshold: float = 0.0) -> None:
+        if truncation_threshold < 0 or truncation_threshold >= 1:
+            raise ValueError("truncation_threshold must be in [0, 1)")
+        self.truncation_threshold = truncation_threshold
+        self._forward: Dict[Resource, Dict[Resource, float]] = {}
+        self._backward: Dict[Resource, Dict[Resource, float]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def set(self, left: Resource, right: Resource, probability: float) -> None:
+        """Record ``Pr(left ≡ right) = probability`` (both directions).
+
+        Values below the truncation threshold erase any stored entry.
+        """
+        if probability < 0.0 or probability > 1.0 + 1e-9:
+            raise ValueError(f"probability out of range: {probability}")
+        probability = min(probability, 1.0)
+        if probability < self.truncation_threshold or probability == 0.0:
+            self.discard(left, right)
+            return
+        self._forward.setdefault(left, {})[right] = probability
+        self._backward.setdefault(right, {})[left] = probability
+
+    def discard(self, left: Resource, right: Resource) -> None:
+        """Remove a stored equivalence if present."""
+        row = self._forward.get(left)
+        if row and right in row:
+            del row[right]
+            if not row:
+                del self._forward[left]
+        row = self._backward.get(right)
+        if row and left in row:
+            del row[left]
+            if not row:
+                del self._backward[right]
+
+    def clear(self) -> None:
+        """Drop all stored equivalences."""
+        self._forward.clear()
+        self._backward.clear()
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, left: Resource, right: Resource) -> float:
+        """``Pr(left ≡ right)``; 0.0 when unknown (Section 5.2 semantics)."""
+        return self._forward.get(left, {}).get(right, 0.0)
+
+    def equals_of(self, left: Resource) -> Mapping[Resource, float]:
+        """All ``x'`` with positive ``Pr(left ≡ x')`` (may be empty)."""
+        return self._forward.get(left, {})
+
+    def equals_of_right(self, right: Resource) -> Mapping[Resource, float]:
+        """All ``x`` with positive ``Pr(x ≡ right)`` (may be empty)."""
+        return self._backward.get(right, {})
+
+    def __len__(self) -> int:
+        """Number of stored (left, right) pairs."""
+        return sum(len(row) for row in self._forward.values())
+
+    def items(self) -> Iterator[Tuple[Resource, Resource, float]]:
+        """Iterate all ``(left, right, probability)`` entries."""
+        for left, row in self._forward.items():
+            for right, probability in row.items():
+                yield left, right, probability
+
+    # ------------------------------------------------------------------
+    # maximal assignment
+    # ------------------------------------------------------------------
+
+    def maximal_assignment(self, reverse: bool = False) -> Dict[Resource, Tuple[Resource, float]]:
+        """Best counterpart per instance (Section 4.2).
+
+        Parameters
+        ----------
+        reverse:
+            ``False``: best right-instance for each left-instance.
+            ``True``: best left-instance for each right-instance.
+        """
+        source = self._backward if reverse else self._forward
+        assignment: Dict[Resource, Tuple[Resource, float]] = {}
+        for entity, row in source.items():
+            best: Optional[Tuple[Resource, float]] = None
+            for other, probability in row.items():
+                # Exact ties break deterministically on the name so the
+                # fixpoint cannot oscillate between equally good matches.
+                if (
+                    best is None
+                    or probability > best[1]
+                    or (probability == best[1] and other.name < best[0].name)
+                ):
+                    best = (other, probability)
+            if best is not None:
+                assignment[entity] = best
+        return assignment
+
+    @staticmethod
+    def assignment_change(
+        old: Mapping[Resource, Tuple[Resource, float]],
+        new: Mapping[Resource, Tuple[Resource, float]],
+    ) -> float:
+        """Fraction of entities whose assigned counterpart changed.
+
+        This is the paper's convergence criterion (Section 6.1: run
+        "until less than 1 % of the entities changed their maximal
+        assignment").  Entities appearing in either assignment count;
+        appearing/disappearing counts as a change.
+        """
+        keys = set(old) | set(new)
+        if not keys:
+            return 0.0
+        changed = 0
+        for key in keys:
+            old_match = old.get(key)
+            new_match = new.get(key)
+            old_target = old_match[0] if old_match else None
+            new_target = new_match[0] if new_match else None
+            if old_target != new_target:
+                changed += 1
+        return changed / len(keys)
+
+    def restricted_to_maximal(self) -> "EquivalenceStore":
+        """A copy containing only the maximal assignment of each side.
+
+        Section 5.2: "For each computation, our algorithm considers
+        only the equalities of the previous maximal assignment and
+        ignores all other equalities."  An entry survives if it is the
+        best match of its left instance *or* of its right instance, so
+        the restricted view stays symmetric.
+        """
+        restricted = EquivalenceStore(self.truncation_threshold)
+        for left, (right, probability) in self.maximal_assignment().items():
+            restricted.set(left, right, probability)
+        for right, (left, probability) in self.maximal_assignment(reverse=True).items():
+            restricted.set(left, right, probability)
+        return restricted
+
+    def __repr__(self) -> str:
+        return (
+            f"EquivalenceStore({len(self)} pairs, "
+            f"threshold={self.truncation_threshold})"
+        )

@@ -1,0 +1,112 @@
+"""Sub-class pass (Section 4.3, Eq. 17).
+
+For classes ``c`` of one ontology and ``c'`` of the other::
+
+                Σ_{x : type(x,c)} (1 − ∏_{y : type(y,c')} (1 − Pr(x ≡ y)))
+  Pr(c ⊆ c') = ────────────────────────────────────────────────────────────
+                                  #x : type(x, c)
+
+i.e. the expected fraction of ``c``'s instances that match some
+instance of ``c'``.  The paper computes class inclusions **once, after
+the instance fixpoint has converged** (class evidence is deliberately
+not fed back into instance equivalence — Section 4.3 explains why:
+granularity mismatches and class-vs-relation modelling differences make
+it unreliable).
+
+Class extensions are taken in their deductive closure: an instance of
+``MaleSingers`` counts as an instance of ``singer`` and ``person`` too,
+which is what lets PARIS assign one class to multiple superclasses in
+the other taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Set
+
+from ..rdf.closure import superclass_closure
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Resource
+from .matrix import SubsumptionMatrix
+from .view import EquivalenceView
+
+
+def closed_classes_of(
+    ontology: Ontology, closure: Mapping[Resource, Set[Resource]] | None = None
+) -> Dict[Resource, Set[Resource]]:
+    """Map each instance to its classes including all superclasses."""
+    if closure is None:
+        closure = superclass_closure(ontology)
+    result: Dict[Resource, Set[Resource]] = {}
+    for instance in ontology.instances:
+        direct = ontology.classes_of(instance)
+        if not direct:
+            continue
+        closed: Set[Resource] = set()
+        for cls in direct:
+            closed.add(cls)
+            closed |= closure.get(cls, set())
+        result[instance] = closed
+    return result
+
+
+def score_class(
+    cls: Resource,
+    ontology1: Ontology,
+    view: EquivalenceView,
+    classes_of_right: Mapping[Resource, Set[Resource]],
+    max_instances: int,
+    reverse: bool = False,
+) -> Dict[Resource, float]:
+    """Scores ``Pr(cls ⊆ c')`` for every class ``c'`` of the other side.
+
+    Parameters
+    ----------
+    classes_of_right:
+        Closed instance→classes map of the *other* ontology.
+    max_instances:
+        Cap on evaluated members (the Eq. 17 pair cap of Section 5.2).
+        When the extension is larger, the score is computed over the
+        first ``max_instances`` members and remains an unbiased
+        estimate of the full ratio.
+    """
+    members = ontology1.instances_of(cls)
+    if not members:
+        return {}
+    numerators: Dict[Resource, float] = {}
+    examined = 0
+    for x in members:
+        if examined >= max_instances:
+            break
+        examined += 1
+        products: Dict[Resource, float] = {}
+        for y, probability in view.equivalents(x, reverse=reverse):
+            if probability <= 0.0:
+                continue
+            for cls2 in classes_of_right.get(y, ()):  # type: ignore[arg-type]
+                products[cls2] = products.get(cls2, 1.0) * (1.0 - probability)
+        for cls2, product in products.items():
+            numerators[cls2] = numerators.get(cls2, 0.0) + (1.0 - product)
+    if examined == 0:
+        return {}
+    return {cls2: min(1.0, total / examined) for cls2, total in numerators.items()}
+
+
+def subclass_pass(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    truncation_threshold: float,
+    max_instances: int,
+    reverse: bool = False,
+) -> SubsumptionMatrix[Resource]:
+    """Compute ``Pr(c ⊆ c')`` for every class ``c`` of ``ontology1``."""
+    matrix: SubsumptionMatrix[Resource] = SubsumptionMatrix()
+    classes_of_right = closed_classes_of(ontology2)
+    for cls in ontology1.classes:
+        scores = score_class(
+            cls, ontology1, view, classes_of_right, max_instances, reverse=reverse
+        )
+        for cls2, score in scores.items():
+            if score >= truncation_threshold:
+                matrix.set(cls, cls2, score)
+    return matrix

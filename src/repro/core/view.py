@@ -1,0 +1,90 @@
+"""Unified read view over instance equivalences and literal similarities.
+
+The equations of Section 4 mix two kinds of equivalence:
+
+* clamped literal equivalences (Section 5.3) — available from the very
+  first iteration, they are what bootstraps instance matching, and
+* computed instance equivalences — read from the *previous* iteration's
+  store (optionally restricted to the maximal assignment, Section 5.2).
+
+:class:`EquivalenceView` exposes both behind one interface so the
+equivalence/subrelation/subclass passes need not care which kind of
+node they are looking at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple
+
+from ..rdf.terms import Literal, Node, Resource
+from .literal_index import LiteralIndex
+from .store import EquivalenceStore
+
+#: The empty candidate mapping, shared to avoid allocation.
+_EMPTY: Mapping[Resource, float] = {}
+
+
+class EquivalenceView:
+    """Candidate equivalents and probabilities across two ontologies.
+
+    Parameters
+    ----------
+    store:
+        Instance equivalences of the previous iteration (possibly
+        already restricted to the maximal assignment).
+    literals_of_right:
+        Blocking index over the right ontology's literals (used when a
+        left node is a literal).
+    literals_of_left:
+        Blocking index over the left ontology's literals.
+    """
+
+    def __init__(
+        self,
+        store: EquivalenceStore,
+        literals_of_right: LiteralIndex,
+        literals_of_left: LiteralIndex,
+    ) -> None:
+        self.store = store
+        self._right_index = literals_of_right
+        self._left_index = literals_of_left
+        if literals_of_right.similarity is not literals_of_left.similarity:
+            raise ValueError("both literal indexes must share one similarity measure")
+        self.similarity = literals_of_right.similarity
+
+    def equivalents(
+        self, node: Node, reverse: bool = False
+    ) -> Iterable[Tuple[Node, float]]:
+        """Iterate ``(counterpart, probability)`` for ``node``.
+
+        Parameters
+        ----------
+        node:
+            A node of the left ontology (or of the right one when
+            ``reverse`` is set).
+        reverse:
+            Look up right-to-left instead of left-to-right.
+        """
+        if isinstance(node, Literal):
+            index = self._left_index if reverse else self._right_index
+            return index.candidates(node)
+        row = (
+            self.store.equals_of_right(node)
+            if reverse
+            else self.store.equals_of(node)
+        )
+        return row.items()
+
+    def prob(self, left: Node, right: Node) -> float:
+        """``Pr(left ≡ right)`` for any node kinds.
+
+        A literal and a resource are never equivalent (the paper treats
+        "one ontology refers to cities by strings" as future work).
+        """
+        left_is_literal = isinstance(left, Literal)
+        right_is_literal = isinstance(right, Literal)
+        if left_is_literal != right_is_literal:
+            return 0.0
+        if left_is_literal:
+            return self.similarity.similarity(left, right)  # type: ignore[arg-type]
+        return self.store.get(left, right)  # type: ignore[arg-type]

@@ -1,0 +1,52 @@
+"""Synthetic benchmark generators.
+
+Each generator builds a hidden :class:`~repro.datasets.world.World` and
+derives two ontologies plus an exact gold standard from it (see
+DESIGN.md §1 for why this substitutes for the paper's datasets):
+
+* :func:`person_benchmark` / :func:`restaurant_benchmark` — the OAEI
+  2010 stand-ins of Table 1,
+* :func:`yago_dbpedia_pair` — the encyclopedic KB pair of Tables 2–4
+  and Figures 1–2,
+* :func:`yago_imdb_pair` — the movie-domain pair of Table 5.
+"""
+
+from .imdb import IMDB_EXCLUDED_CLASSES, IMDB_RELATION_GOLD, build_movie_world, yago_imdb_pair
+from .kb import (
+    KB_EXCLUDED_CLASSES,
+    KB_RELATION_GOLD,
+    build_encyclopedic_world,
+    yago_dbpedia_pair,
+)
+from .noise import NoiseModel
+from .oaei import person_benchmark, restaurant_benchmark
+from .world import (
+    AttributeSpec,
+    BenchmarkPair,
+    LinkSpec,
+    Projection,
+    World,
+    WorldEntity,
+    derive_pair,
+)
+
+__all__ = [
+    "World",
+    "WorldEntity",
+    "Projection",
+    "AttributeSpec",
+    "LinkSpec",
+    "BenchmarkPair",
+    "NoiseModel",
+    "derive_pair",
+    "person_benchmark",
+    "restaurant_benchmark",
+    "yago_dbpedia_pair",
+    "build_encyclopedic_world",
+    "KB_RELATION_GOLD",
+    "KB_EXCLUDED_CLASSES",
+    "yago_imdb_pair",
+    "build_movie_world",
+    "IMDB_RELATION_GOLD",
+    "IMDB_EXCLUDED_CLASSES",
+]

@@ -1,0 +1,344 @@
+"""Synthetic YAGO/IMDb-style pair (Table 5 and the Section 6.4 baseline).
+
+The paper's second large-scale experiment aligns YAGO with an RDF
+rendering of the IMDb plain-text dumps.  Its characteristic phenomena,
+all rebuilt here:
+
+* **Population mismatch** — IMDb holds the whole movie world including
+  legions of obscure actors; YAGO holds famous people of every
+  occupation, "many of whom appeared in some movie or documentary on
+  IMDb".  Famous non-movie people appear in IMDb *only* through
+  documentary appearances, which is what later corrupts the
+  IMDb ⊆ YAGO class direction ("People from Central Java ⊆ actor").
+* **Near-duplicate titles** — feature versions and shortened cuts with
+  the same cast and crew (*King of the Royal Mounted* vs *The Yukon
+  Patrol*; *Out 1* vs *Out 1: Spectre*).  IMDb contains both variants;
+  YAGO only the original; PARIS sometimes aligns the wrong one.
+* **Label noise** — word-order swaps ("Sugata Sanshirô" vs "Sanshiro
+  Sugata") and typos that defeat naive string comparison; the
+  rdfs:label baseline of Section 6.4 loses exactly this recall while
+  PARIS recovers it through ``actedIn`` structure.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Tuple
+
+from .names import CITY_NAMES, OCCUPATIONS, date_iso, movie_title, unique_person_names
+from .noise import NoiseModel, swap_word_order, typo
+from .world import AttributeSpec, BenchmarkPair, LinkSpec, Projection, World, derive_pair
+
+#: Occupations whose members are automatically movie people.
+_MOVIE_OCCUPATIONS = ("actor", "director", "writer")
+
+
+def _stable_fraction(uid: str, salt: str) -> float:
+    return (zlib.crc32(f"{uid}|{salt}".encode()) & 0xFFFFFFFF) / 2**32
+
+
+def _stable_id(uid: str, salt: int) -> str:
+    return f"e{zlib.crc32(f'{uid}|{salt}'.encode()) & 0xFFFFFF:06x}"
+
+
+def build_movie_world(
+    rng: random.Random,
+    num_persons: int = 1200,
+    num_movies: int = 600,
+    famous_rate: float = 0.45,
+    variant_rate: float = 0.04,
+    documentary_rate: float = 0.12,
+) -> World:
+    """Build the hidden movie world.
+
+    Parameters
+    ----------
+    num_persons:
+        Total population; a ``famous_rate`` fraction is famous (in
+        YAGO), the rest are obscure movie workers (IMDb only).
+    num_movies:
+        Feature films & series; documentaries are added on top.
+    variant_rate:
+        Fraction of movies that get a near-duplicate variant (same
+        cast/crew, different title) present only in IMDb.
+    documentary_rate:
+        Fraction of famous non-movie people who appear in a
+        documentary, entering IMDb's orbit.
+    """
+    world = World()
+    num_cities = len(CITY_NAMES)
+    for i, city in enumerate(CITY_NAMES):
+        world.add(f"city{i}", "city", name=city)
+
+    names = unique_person_names(rng, num_persons)
+    movie_people: List[str] = []
+    famous_non_movie: List[str] = []
+    for i in range(num_persons):
+        uid = f"person{i}"
+        famous = rng.random() < famous_rate
+        if famous:
+            # Famous people skew toward movie professions (those are
+            # the ones both KBs know), but a large minority are famous
+            # for something else entirely — they enter IMDb only via
+            # documentaries.
+            roll = rng.random()
+            if roll < 0.4:
+                occupation = "actor"
+            elif roll < 0.6:
+                occupation = rng.choice(("director", "writer"))
+            else:
+                occupation = rng.choice(
+                    [o for o in OCCUPATIONS if o not in _MOVIE_OCCUPATIONS]
+                )
+        else:
+            occupation = rng.choice(("actor", "actor", "actor", "director", "writer"))
+        tags = {occupation}
+        if famous:
+            tags.add("famous")
+        if occupation in _MOVIE_OCCUPATIONS:
+            tags.add("movie-person")
+            movie_people.append(uid)
+        elif famous:
+            famous_non_movie.append(uid)
+        birth_city = f"city{rng.randrange(num_cities)}"
+        tags.add(f"from:{birth_city}")
+        world.add(
+            uid, "person", tags=tags,
+            name=names[i], birthDate=date_iso(rng, 1900, 1985),
+        )
+        world.link(uid, "bornIn", birth_city)
+        if rng.random() < 0.25:
+            world.get(uid).attributes["deathDate"] = date_iso(rng, 1986, 2010)
+
+    actors = [u for u in movie_people if "actor" in world.get(u).tags]
+    directors = [u for u in movie_people if "director" in world.get(u).tags]
+    writers = [u for u in movie_people if "writer" in world.get(u).tags]
+    titles: List[str] = []
+    movie_index = 0
+    for i in range(num_movies):
+        uid = f"movie{movie_index}"
+        movie_index += 1
+        kind_tag = "tvSeries" if rng.random() < 0.15 else "film"
+        title = movie_title(rng)
+        titles.append(title)
+        world.add(
+            uid, "work", tags={kind_tag, "movie"},
+            name=title, released=str(rng.randint(1930, 2010)),
+        )
+        cast = rng.sample(actors, k=min(len(actors), rng.randint(2, 6)))
+        for actor in cast:
+            world.link(actor, "actedIn", uid)
+        if directors:
+            world.link(rng.choice(directors), "directed", uid)
+        if writers and rng.random() < 0.8:
+            world.link(rng.choice(writers), "wrote", uid)
+        # Near-duplicate variant: same cast and crew, different title,
+        # present only in IMDb (tag "variant").
+        if rng.random() < variant_rate:
+            variant_uid = f"movie{movie_index}"
+            movie_index += 1
+            variant_title = (
+                f"{title}: Redux" if rng.random() < 0.5 else swap_word_order(title, rng)
+            )
+            world.add(
+                variant_uid, "work", tags={kind_tag, "movie", "variant"},
+                name=variant_title,
+                released=world.get(uid).attributes["released"],
+            )
+            for actor in cast:
+                world.link(actor, "actedIn", variant_uid)
+            # copy the original's crew links onto the variant
+            for person in directors + writers:
+                for relation, target in world.get(person).links:
+                    if target == uid and relation in ("directed", "wrote"):
+                        world.link(person, relation, variant_uid)
+
+    # Documentaries pull famous non-movie people into IMDb.
+    num_documentaries = max(1, int(len(famous_non_movie) * documentary_rate / 3))
+    for i in range(num_documentaries):
+        uid = f"doc{i}"
+        world.add(
+            uid, "work", tags={"documentary", "movie"},
+            name=f"The {movie_title(rng)} Story",
+            released=str(rng.randint(1980, 2010)),
+        )
+        subjects = rng.sample(
+            famous_non_movie, k=min(len(famous_non_movie), rng.randint(2, 4))
+        )
+        for person in subjects:
+            world.link(person, "appearedIn", uid)
+            world.get(person).tags.add("documentary-subject")
+        if directors:
+            world.link(rng.choice(directors), "directed", uid)
+    return world
+
+
+#: Correct relation correspondences (yago-side name, imdb-side name).
+IMDB_RELATION_GOLD = [
+    ("rdfs:label", "imdb:label"),
+    ("y:actedIn", "imdb:actedIn"),
+    ("y:directed", "imdb:director^-1"),
+    ("y:wrote", "imdb:writer^-1"),
+    ("y:wasBornOnDate", "imdb:bornOn"),
+    ("y:diedOnDate", "imdb:diedOn"),
+    ("y:wasCreatedOnDate", "imdb:releasedIn"),
+    ("y:appearedIn", "imdb:actedIn"),
+]
+
+#: High-level classes excluded from class sampling.
+IMDB_EXCLUDED_CLASSES = frozenset({"y:person", "y:movie", "imdb:Person", "imdb:Title"})
+
+
+def _yago_classes_of(entity) -> List[str]:
+    if entity.kind == "person":
+        occupation = next((t for t in entity.tags if t in OCCUPATIONS), None)
+        birth = next((t for t in entity.tags if t.startswith("from:")), None)
+        classes = []
+        if occupation:
+            classes.append(f"y:{occupation}")
+        if birth:
+            classes.append(f"y:peopleFrom_{birth.split(':', 1)[1]}")
+        return classes or ["y:person"]
+    if entity.kind == "work":
+        if "documentary" in entity.tags:
+            return ["y:documentary"]
+        if "tvSeries" in entity.tags:
+            return ["y:tvSeries"]
+        return ["y:film"]
+    return ["y:city"]
+
+
+def _yago_subclass_edges() -> List[Tuple[str, str]]:
+    edges = [(f"y:{occ}", "y:person") for occ in OCCUPATIONS]
+    edges += [(f"y:peopleFrom_city{i}", "y:person") for i in range(len(CITY_NAMES))]
+    edges += [
+        ("y:film", "y:movie"),
+        ("y:tvSeries", "y:movie"),
+        ("y:documentary", "y:movie"),
+    ]
+    return edges
+
+
+def _imdb_classes_of(entity) -> List[str]:
+    if entity.kind == "person":
+        classes = []
+        if any(rel in ("actedIn", "appearedIn") for rel, _t in entity.links):
+            classes.append("imdb:Actor")
+        if any(rel == "directed" for rel, _t in entity.links):
+            classes.append("imdb:Director")
+        if any(rel == "wrote" for rel, _t in entity.links):
+            classes.append("imdb:Writer")
+        return classes or ["imdb:Person"]
+    if entity.kind == "work":
+        if "documentary" in entity.tags:
+            return ["imdb:Documentary"]
+        if "tvSeries" in entity.tags:
+            return ["imdb:TvSeries"]
+        return ["imdb:Film"]
+    return []
+
+
+_IMDB_SUBCLASS_EDGES = [
+    ("imdb:Actor", "imdb:Person"),
+    ("imdb:Director", "imdb:Person"),
+    ("imdb:Writer", "imdb:Person"),
+    ("imdb:Film", "imdb:Title"),
+    ("imdb:TvSeries", "imdb:Title"),
+    ("imdb:Documentary", "imdb:Title"),
+]
+
+
+def yago_imdb_pair(
+    num_persons: int = 1200,
+    num_movies: int = 600,
+    seed: int = 1937,
+    yago_movie_coverage: float = 0.55,
+    label_swap_noise: float = 0.08,
+    label_typo_noise: float = 0.02,
+    drop_fact_imdb: float = 0.06,
+    drop_fact_yago: float = 0.10,
+) -> BenchmarkPair:
+    """Build the YAGO/IMDb-like benchmark pair (Table 5).
+
+    YAGO contains famous people (of all occupations) and a fraction of
+    the movies; IMDb contains every movie person and all movies
+    (including near-duplicate variants) but knows famous non-movie
+    people only through documentaries.
+    """
+    rng = random.Random(seed)
+    world = build_movie_world(rng, num_persons=num_persons, num_movies=num_movies)
+
+    def include_yago(entity) -> bool:
+        if entity.kind == "person":
+            return "famous" in entity.tags
+        if entity.kind == "work":
+            if "variant" in entity.tags:
+                return False
+            return _stable_fraction(entity.uid, "ymov") < yago_movie_coverage
+        return True  # cities
+
+    def include_imdb(entity) -> bool:
+        if entity.kind == "person":
+            return "movie-person" in entity.tags or "documentary-subject" in entity.tags
+        if entity.kind == "work":
+            return True
+        return False  # IMDb has no city entities
+
+    yago_noise = NoiseModel(random.Random(seed + 1), drop_fact=drop_fact_yago)
+
+    def imdb_label_noise(value: str, noise: NoiseModel) -> str:
+        roll = noise.rng.random()
+        if roll < label_swap_noise:
+            return swap_word_order(value, noise.rng)
+        if roll < label_swap_noise + label_typo_noise:
+            return typo(value, noise.rng)
+        return value
+
+    imdb_noise = NoiseModel(random.Random(seed + 2), drop_fact=drop_fact_imdb)
+    projection_yago = Projection(
+        name="yago",
+        rename=lambda uid: f"y:{_stable_id(uid, 3)}",
+        attribute_specs={
+            "name": AttributeSpec("rdfs:label"),
+            "birthDate": AttributeSpec("y:wasBornOnDate"),
+            "deathDate": AttributeSpec("y:diedOnDate"),
+            "released": AttributeSpec("y:wasCreatedOnDate"),
+        },
+        link_specs={
+            "actedIn": [LinkSpec("y:actedIn")],
+            "appearedIn": [LinkSpec("y:appearedIn")],
+            "directed": [LinkSpec("y:directed")],
+            "wrote": [LinkSpec("y:wrote")],
+            "bornIn": [LinkSpec("y:wasBornIn")],
+        },
+        classes_of=_yago_classes_of,
+        subclass_edges=_yago_subclass_edges(),
+        class_tags={},
+        include=include_yago,
+        noise=yago_noise,
+    )
+    projection_imdb = Projection(
+        name="imdb",
+        rename=lambda uid: f"imdb:{_stable_id(uid, 4)}",
+        attribute_specs={
+            "name": AttributeSpec("imdb:label", noise=imdb_label_noise),
+            "birthDate": AttributeSpec("imdb:bornOn"),
+            "deathDate": AttributeSpec("imdb:diedOn"),
+            "released": AttributeSpec("imdb:releasedIn"),
+        },
+        link_specs={
+            "actedIn": [LinkSpec("imdb:actedIn")],
+            "appearedIn": [LinkSpec("imdb:actedIn")],  # documentaries are casts too
+            "directed": [LinkSpec("imdb:director", inverted=True)],
+            "wrote": [LinkSpec("imdb:writer", inverted=True)],
+        },
+        classes_of=_imdb_classes_of,
+        subclass_edges=_IMDB_SUBCLASS_EDGES,
+        class_tags={},
+        include=include_imdb,
+        noise=imdb_noise,
+    )
+    return derive_pair(
+        "yago-imdb", world, projection_yago, projection_imdb, IMDB_RELATION_GOLD
+    )

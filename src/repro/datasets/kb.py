@@ -1,0 +1,438 @@
+"""Synthetic YAGO/DBpedia-style knowledge-base pair (Tables 2–4, Figs 1–2).
+
+The paper's large-scale experiment aligns YAGO (2.8 M instances, 292 k
+fine-grained classes, 67 relations) with DBpedia (2.4 M instances, 318
+hand-built classes, 1 109 relations).  We reproduce the *structure* of
+that challenge at laptop scale (see DESIGN.md §1):
+
+* one hidden encyclopedic world (people, places, organizations,
+  creative works) projected into two KBs with **independently designed**
+  vocabularies;
+* relation heterogeneity exactly as reported in Table 4 — inverses
+  (``actedIn`` vs ``starring⁻``), relation splitting by target type
+  (``created`` vs ``author``/``writer``/``artist``), symmetric
+  relations emitted in random directions (``isMarriedTo``/``spouse``),
+  granularity mixing (DBpedia's ``birthPlace`` sometimes holds the
+  country instead of the city, which is what makes PARIS discover the
+  weak-but-real ``isCitizenOf ⊆ birthPlace`` alignment);
+* class heterogeneity: a deep occupation-by-country taxonomy on the
+  YAGO side (hundreds of small leaf classes) against a shallow
+  hand-modelled hierarchy on the DBpedia side;
+* selection bias: each KB covers an overlapping-but-different subset of
+  the world (YAGO selects pages with many categories, DBpedia pages
+  with infoboxes), so a large minority of instances have no
+  counterpart;
+* noise: label formatting drift, date layout drift, homonyms, shared
+  titles between films and songs (the paper's motivating case for
+  negative evidence), and per-fact dropping.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Tuple
+
+from .names import (
+    AWARD_NAMES,
+    CITY_NAMES,
+    COUNTRY_NAMES,
+    OCCUPATIONS,
+    date_iso,
+    movie_title,
+    unique_person_names,
+    university_name,
+)
+from .noise import NoiseModel
+from .world import AttributeSpec, BenchmarkPair, LinkSpec, Projection, World, derive_pair
+
+#: Work subkinds with their share of the creative-work population.
+_WORK_KINDS = (("book", 0.4), ("film", 0.35), ("song", 0.25))
+
+
+def _stable_fraction(uid: str, salt: str) -> float:
+    """Deterministic pseudo-uniform value in [0, 1) per (uid, salt)."""
+    return (zlib.crc32(f"{uid}|{salt}".encode()) & 0xFFFFFFFF) / 2**32
+
+
+def _stable_id(uid: str, salt: int) -> str:
+    return f"e{zlib.crc32(f'{uid}|{salt}'.encode()) & 0xFFFFFF:06x}"
+
+
+def build_encyclopedic_world(
+    rng: random.Random,
+    num_persons: int = 1500,
+    num_works: int = 800,
+    homonym_rate: float = 0.03,
+    shared_title_rate: float = 0.08,
+) -> World:
+    """Build the hidden world behind the YAGO/DBpedia-like pair.
+
+    Parameters
+    ----------
+    num_persons, num_works:
+        Population sizes (people dominate, as in the real KBs).
+    homonym_rate:
+        Fraction of persons deliberately given an existing person's
+        name (precision hazard).
+    shared_title_rate:
+        Fraction of works deliberately given an existing work's title —
+        typically a film and a song sharing a name, the paper's
+        "movies and songs that share one value (the title)".
+    """
+    world = World()
+    num_countries = len(COUNTRY_NAMES)
+    for i, country in enumerate(COUNTRY_NAMES):
+        world.add(f"country{i}", "country", tags={"place"}, name=country)
+    num_cities = len(CITY_NAMES)
+    city_country: Dict[str, str] = {}
+    for i, city in enumerate(CITY_NAMES):
+        uid = f"city{i}"
+        world.add(uid, "city", tags={"place"}, name=city)
+        country_uid = f"country{rng.randrange(num_countries)}"
+        world.link(uid, "locatedIn", country_uid)
+        city_country[uid] = country_uid
+    num_universities = 30
+    for i in range(num_universities):
+        uid = f"uni{i}"
+        world.add(uid, "university", tags={"organization"}, name=university_name(rng))
+        world.link(uid, "locatedIn", f"city{rng.randrange(num_cities)}")
+    for i, award in enumerate(AWARD_NAMES):
+        world.add(f"award{i}", "award", name=award)
+
+    names = unique_person_names(rng, num_persons)
+    person_country: Dict[str, str] = {}
+    for i in range(num_persons):
+        uid = f"person{i}"
+        name = names[i]
+        if i and rng.random() < homonym_rate:
+            name = world.get(f"person{rng.randrange(i)}").attributes["name"]
+        occupation = rng.choice(OCCUPATIONS)
+        birth_city = f"city{rng.randrange(num_cities)}"
+        # Citizenship correlates with the birthplace's country (80 %),
+        # which is what gives isCitizenOf ⊆ birthPlace its weak score.
+        if rng.random() < 0.8:
+            citizenship = city_country[birth_city]
+        else:
+            citizenship = f"country{rng.randrange(num_countries)}"
+        person_country[uid] = citizenship
+        world.add(
+            uid,
+            "person",
+            tags={occupation, f"citizen:{citizenship}"},
+            name=name,
+            birthDate=date_iso(rng, 1900, 1990),
+        )
+        world.link(uid, "bornIn", birth_city)
+        world.link(uid, "bornInCountry", city_country[birth_city])
+        world.link(uid, "citizenOf", citizenship)
+        if rng.random() < 0.3:
+            world.link(uid, "diedIn", f"city{rng.randrange(num_cities)}")
+        if rng.random() < 0.4:
+            world.link(uid, "graduatedFrom", f"uni{rng.randrange(num_universities)}")
+        if rng.random() < 0.15:
+            world.link(uid, "wonPrize", f"award{rng.randrange(len(AWARD_NAMES))}")
+        if i and rng.random() < 0.25:
+            partner = f"person{rng.randrange(i)}"
+            world.link(uid, "marriedTo", partner)
+        if i and rng.random() < 0.3:
+            child = f"person{rng.randrange(i)}"
+            if child != uid:
+                world.link(uid, "hasChild", child)
+
+    creators = [f"person{i}" for i in range(num_persons)]
+    titles: List[str] = []
+    for i in range(num_works):
+        uid = f"work{i}"
+        roll = rng.random()
+        cumulative = 0.0
+        kind = "book"
+        for work_kind, share in _WORK_KINDS:
+            cumulative += share
+            if roll < cumulative:
+                kind = work_kind
+                break
+        if titles and rng.random() < shared_title_rate:
+            title = rng.choice(titles)  # film/song title collision
+        else:
+            title = movie_title(rng)
+        titles.append(title)
+        world.add(
+            uid,
+            "work",
+            tags={kind},
+            name=title,
+            published=str(rng.randint(1930, 2010)),
+        )
+        creator = rng.choice(creators)
+        world.link(creator, "created", uid)
+        if kind == "film":
+            for _ in range(rng.randint(2, 5)):
+                actor = rng.choice(creators)
+                world.link(actor, "actedIn", uid)
+    return world
+
+
+#: Correct relation correspondences between the two projections.
+KB_RELATION_GOLD = [
+    ("rdfs:label", "dbp:name"),
+    ("y:wasBornIn", "dbp:birthPlace"),
+    ("y:diedIn", "dbp:deathPlace"),
+    ("y:isCitizenOf", "dbp:nationality"),
+    ("y:isMarriedTo", "dbp:spouse"),
+    ("y:isMarriedTo", "dbp:spouse^-1"),
+    ("y:hasChild", "dbp:parent^-1"),
+    ("y:hasChild", "dbp:child"),
+    ("y:graduatedFrom", "dbp:almaMater"),
+    ("y:hasWonPrize", "dbp:award"),
+    ("y:isLocatedIn", "dbp:locatedIn"),
+    ("y:created", "dbp:author^-1"),
+    ("y:created", "dbp:writer^-1"),
+    ("y:created", "dbp:artist^-1"),
+    ("y:actedIn", "dbp:starring^-1"),
+    ("y:wasBornOnDate", "dbp:birthDate"),
+    ("y:wasCreatedOnDate", "dbp:releaseDate"),
+]
+
+#: Weak-but-real correspondences (counted correct in the paper's manual
+#: evaluation of Table 4 even though semantically approximate).
+KB_RELATION_GOLD_APPROXIMATE = [
+    ("y:isCitizenOf", "dbp:birthPlace"),
+]
+
+
+def _yago_classes_of(entity, person_country: Dict[str, str]) -> List[str]:
+    """YAGO-style fine-grained leaf classes (occupation × country)."""
+    if entity.kind == "person":
+        occupation = next((t for t in entity.tags if t in OCCUPATIONS), None)
+        country = person_country.get(entity.uid, "")
+        country_label = country.replace("country", "c")
+        if occupation:
+            return [f"y:{occupation}From_{country_label}"]
+        return ["y:person"]
+    if entity.kind == "work":
+        for kind in ("book", "film", "song"):
+            if kind in entity.tags:
+                return [f"y:{kind}"]
+        return ["y:creativeWork"]
+    mapping = {
+        "city": "y:city",
+        "country": "y:country",
+        "university": "y:university",
+        "award": "y:award",
+    }
+    return [mapping.get(entity.kind, "y:entity")]
+
+
+def _yago_subclass_edges(person_country: Dict[str, str]) -> List[Tuple[str, str]]:
+    edges: List[Tuple[str, str]] = []
+    countries = sorted({c.replace("country", "c") for c in person_country.values()})
+    for occupation in OCCUPATIONS:
+        edges.append((f"y:{occupation}", "y:person"))
+        for country_label in countries:
+            edges.append((f"y:{occupation}From_{country_label}", f"y:{occupation}"))
+    for kind in ("book", "film", "song"):
+        edges.append((f"y:{kind}", "y:creativeWork"))
+    edges.extend(
+        [
+            ("y:person", "y:entity"),
+            ("y:creativeWork", "y:entity"),
+            ("y:city", "y:location"),
+            ("y:country", "y:location"),
+            ("y:location", "y:entity"),
+            ("y:university", "y:entity"),
+            ("y:award", "y:entity"),
+        ]
+    )
+    return edges
+
+
+#: Occupation → DBpedia-style class.
+_DBP_OCCUPATION_CLASS = {
+    "singer": "dbp:MusicalArtist",
+    "composer": "dbp:MusicalArtist",
+    "actor": "dbp:Actor",
+    "director": "dbp:Actor",
+    "writer": "dbp:Writer",
+    "journalist": "dbp:Writer",
+    "physicist": "dbp:Scientist",
+    "chemist": "dbp:Scientist",
+    "biologist": "dbp:Scientist",
+    "economist": "dbp:Scientist",
+    "footballer": "dbp:SoccerPlayer",
+    "politician": "dbp:Politician",
+    "painter": "dbp:Artist",
+    "architect": "dbp:Artist",
+    "philosopher": "dbp:Writer",
+}
+
+
+def _dbp_classes_of(entity) -> List[str]:
+    """DBpedia-style shallow hand-modelled classes."""
+    if entity.kind == "person":
+        occupation = next((t for t in entity.tags if t in OCCUPATIONS), None)
+        cls = _DBP_OCCUPATION_CLASS.get(occupation or "")
+        return [cls] if cls else ["dbp:Person"]
+    if entity.kind == "work":
+        mapping = {"book": "dbp:Book", "film": "dbp:Film", "song": "dbp:Song"}
+        for kind, cls in mapping.items():
+            if kind in entity.tags:
+                return [cls]
+        return ["dbp:Work"]
+    mapping = {
+        "city": "dbp:City",
+        "country": "dbp:Country",
+        "university": "dbp:University",
+        "award": "dbp:Award",
+    }
+    return [mapping.get(entity.kind, "dbp:Thing")]
+
+
+_DBP_SUBCLASS_EDGES = [
+    ("dbp:MusicalArtist", "dbp:Artist"),
+    ("dbp:Actor", "dbp:Artist"),
+    ("dbp:Writer", "dbp:Artist"),
+    ("dbp:Artist", "dbp:Person"),
+    ("dbp:Scientist", "dbp:Person"),
+    ("dbp:SoccerPlayer", "dbp:Athlete"),
+    ("dbp:Athlete", "dbp:Person"),
+    ("dbp:Politician", "dbp:Person"),
+    ("dbp:Person", "dbp:Thing"),
+    ("dbp:Book", "dbp:Work"),
+    ("dbp:Film", "dbp:Work"),
+    ("dbp:Song", "dbp:Work"),
+    ("dbp:Work", "dbp:Thing"),
+    ("dbp:City", "dbp:Place"),
+    ("dbp:Country", "dbp:Place"),
+    ("dbp:Place", "dbp:Thing"),
+    ("dbp:University", "dbp:Organisation"),
+    ("dbp:Organisation", "dbp:Thing"),
+    ("dbp:Award", "dbp:Thing"),
+]
+
+#: High-level classes excluded from class-precision sampling, mirroring
+#: the paper's exclusion of 19 top classes like ``yagoGeoEntity``.
+KB_EXCLUDED_CLASSES = frozenset(
+    {"y:entity", "y:person", "y:creativeWork", "y:location", "dbp:Thing",
+     "dbp:Person", "dbp:Work", "dbp:Place", "dbp:Artist"}
+)
+
+
+def yago_dbpedia_pair(
+    num_persons: int = 1500,
+    num_works: int = 800,
+    seed: int = 2011,
+    yago_coverage: float = 0.75,
+    dbpedia_coverage: float = 0.65,
+    drop_fact_yago: float = 0.12,
+    drop_fact_dbpedia: float = 0.20,
+    label_format_noise: float = 0.10,
+    label_content_noise: float = 0.04,
+) -> BenchmarkPair:
+    """Build the YAGO/DBpedia-like benchmark pair.
+
+    Coverage parameters control selection bias (which world entities
+    each KB includes); with the defaults, the two KBs share roughly
+    half of their instances, like the real pair (1.4 M shared out of
+    2.4–2.8 M each).
+    """
+    rng = random.Random(seed)
+    world = build_encyclopedic_world(rng, num_persons=num_persons, num_works=num_works)
+    person_country = {
+        e.uid: next(
+            (t.split(":", 1)[1] for t in e.tags if t.startswith("citizen:")), ""
+        )
+        for e in world.entities()
+        if e.kind == "person"
+    }
+
+    def include_yago(entity) -> bool:
+        # YAGO keeps category-rich pages: bias toward persons/works.
+        if entity.kind in ("country", "city", "university", "award"):
+            return True
+        return _stable_fraction(entity.uid, "yago") < yago_coverage
+
+    def include_dbpedia(entity) -> bool:
+        if entity.kind in ("country", "city", "university", "award"):
+            return True
+        return _stable_fraction(entity.uid, "dbp") < dbpedia_coverage
+
+    yago_noise = NoiseModel(random.Random(seed + 1), drop_fact=drop_fact_yago)
+    dbp_noise = NoiseModel(
+        random.Random(seed + 2),
+        format_noise=label_format_noise,
+        content_noise=label_content_noise,
+        drop_fact=drop_fact_dbpedia,
+    )
+    projection_yago = Projection(
+        name="yago",
+        rename=lambda uid: f"y:{_stable_id(uid, 1)}",
+        attribute_specs={
+            "name": AttributeSpec("rdfs:label"),
+            "birthDate": AttributeSpec("y:wasBornOnDate"),
+            "published": AttributeSpec("y:wasCreatedOnDate"),
+        },
+        link_specs={
+            "bornIn": [LinkSpec("y:wasBornIn")],
+            "diedIn": [LinkSpec("y:diedIn")],
+            "citizenOf": [LinkSpec("y:isCitizenOf")],
+            "graduatedFrom": [LinkSpec("y:graduatedFrom")],
+            "wonPrize": [LinkSpec("y:hasWonPrize")],
+            "marriedTo": [LinkSpec("y:isMarriedTo")],
+            "hasChild": [LinkSpec("y:hasChild")],
+            "created": [LinkSpec("y:created")],
+            "actedIn": [LinkSpec("y:actedIn")],
+            "locatedIn": [LinkSpec("y:isLocatedIn")],
+        },
+        classes_of=lambda entity: _yago_classes_of(entity, person_country),
+        subclass_edges=_yago_subclass_edges(person_country),
+        class_tags={},
+        include=include_yago,
+        noise=yago_noise,
+    )
+    projection_dbpedia = Projection(
+        name="dbpedia",
+        rename=lambda uid: f"dbp:{_stable_id(uid, 2)}",
+        attribute_specs={
+            "name": AttributeSpec("dbp:name", noise=lambda v, n: n.maybe_name(v)),
+            "birthDate": AttributeSpec("dbp:birthDate", noise=lambda v, n: n.maybe_date(v)),
+            "published": AttributeSpec("dbp:releaseDate"),
+        },
+        link_specs={
+            # Granularity mixing: birthPlace is usually the city but
+            # sometimes the country (30 %), as in real DBpedia.
+            "bornIn": [LinkSpec("dbp:birthPlace", keep_probability=0.7)],
+            "bornInCountry": [LinkSpec("dbp:birthPlace", keep_probability=0.3)],
+            "diedIn": [LinkSpec("dbp:deathPlace")],
+            "citizenOf": [LinkSpec("dbp:nationality")],
+            "graduatedFrom": [LinkSpec("dbp:almaMater")],
+            "wonPrize": [LinkSpec("dbp:award")],
+            # Symmetric relation emitted in a random direction.
+            "marriedTo": [
+                LinkSpec("dbp:spouse", keep_probability=0.5),
+                LinkSpec("dbp:spouse", inverted=True, keep_probability=0.5),
+            ],
+            # DBpedia models parenthood from the child's side (mostly).
+            "hasChild": [
+                LinkSpec("dbp:parent", inverted=True, keep_probability=0.6),
+                LinkSpec("dbp:child", keep_probability=0.3),
+            ],
+            # Relation splitting by target type, all inverted.
+            "created": [
+                LinkSpec("dbp:author", inverted=True, only_target_tag="book"),
+                LinkSpec("dbp:writer", inverted=True, only_target_tag="film"),
+                LinkSpec("dbp:artist", inverted=True, only_target_tag="song"),
+            ],
+            "actedIn": [LinkSpec("dbp:starring", inverted=True)],
+            "locatedIn": [LinkSpec("dbp:locatedIn")],
+        },
+        classes_of=_dbp_classes_of,
+        subclass_edges=_DBP_SUBCLASS_EDGES,
+        class_tags={},
+        include=include_dbpedia,
+        noise=dbp_noise,
+    )
+    gold_relations = KB_RELATION_GOLD + KB_RELATION_GOLD_APPROXIMATE
+    return derive_pair(
+        "yago-dbpedia", world, projection_yago, projection_dbpedia, gold_relations
+    )

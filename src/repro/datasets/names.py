@@ -1,0 +1,179 @@
+"""Deterministic pools of synthetic names and values.
+
+The benchmark generators need realistic-looking person names, city
+names, phone numbers, restaurant names, movie titles and dates.  The
+pools below are seeded and purely synthetic — no external data files —
+but large enough that collisions are rare at benchmark scale, and a few
+deliberate collisions (shared surnames, same-name movies) remain
+possible, which the generators exploit for hard cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Alice", "Amelia", "Anton", "Astrid", "Boris", "Bruno", "Carla", "Carmen",
+    "Cedric", "Clara", "Dmitri", "Dora", "Edgar", "Elena", "Elias", "Emma",
+    "Felix", "Fiona", "Gaspard", "Greta", "Hanna", "Hugo", "Ines", "Igor",
+    "Jasper", "Jolanda", "Kai", "Katya", "Lars", "Leona", "Magnus", "Marta",
+    "Nadia", "Nils", "Olga", "Oscar", "Paula", "Pierre", "Quentin", "Rosa",
+    "Ruben", "Selma", "Stefan", "Tamara", "Theo", "Ulrike", "Viktor", "Wanda",
+    "Xavier", "Yana", "Yusuf", "Zelda", "Milan", "Sofia", "Aldo", "Bianca",
+    "Cyrus", "Delia", "Ewan", "Freya",
+)
+
+SURNAMES: Tuple[str, ...] = (
+    "Abel", "Almeida", "Baranov", "Becker", "Calloway", "Castellan", "Dubois",
+    "Durand", "Eklund", "Eriksen", "Falk", "Ferreira", "Galvan", "Grimaldi",
+    "Hartmann", "Holloway", "Ibanez", "Ivanov", "Jansen", "Jokinen", "Kovacs",
+    "Kratochvil", "Lindgren", "Lombardi", "Marchetti", "Moreau", "Novak",
+    "Nystrom", "Okafor", "Olsen", "Pavlov", "Petrescu", "Quirolo", "Rahal",
+    "Rossi", "Ruiz", "Santos", "Schneider", "Takala", "Tanaka", "Ullman",
+    "Uyeda", "Vance", "Vasquez", "Weber", "Winther", "Xiong", "Yamada",
+    "Zamora", "Zeller", "Okonkwo", "Haugen", "Petit", "Soler", "Brandt",
+    "Costa", "Dahl", "Egger", "Fabre", "Giroux",
+)
+
+CITY_NAMES: Tuple[str, ...] = (
+    "Ardenport", "Bellmar", "Brightwater", "Calder Bay", "Cinderfall",
+    "Dunmore", "Eastgate", "Elmhollow", "Fairhaven", "Fernmoor", "Glasbury",
+    "Greywick", "Harrowdale", "Highcliff", "Ironfield", "Jadeport",
+    "Kestrel Hill", "Lakemont", "Larkspur", "Marlowe", "Mistvale",
+    "Northbridge", "Oakendale", "Ostermond", "Pinecrest", "Quillhaven",
+    "Ravensport", "Redmarsh", "Silverstrand", "Stonegate", "Summerfield",
+    "Thornbury", "Umberfen", "Valewood", "Westerling", "Winterholm",
+    "Yarrowfield", "Zephyr Point", "Ashcombe", "Briarton",
+)
+
+COUNTRY_NAMES: Tuple[str, ...] = (
+    "Arvandor", "Belmira", "Cordavia", "Drelland", "Estovia", "Ferronia",
+    "Galdria", "Hestland", "Illyra", "Jorvania", "Kestovia", "Lundmark",
+)
+
+STREET_NAMES: Tuple[str, ...] = (
+    "Alder Street", "Birch Avenue", "Cedar Lane", "Dogwood Drive",
+    "Elm Street", "Foxglove Road", "Garnet Boulevard", "Hazel Court",
+    "Iris Way", "Juniper Street", "Kingfisher Road", "Laurel Avenue",
+    "Maple Street", "Nettle Lane", "Orchard Road", "Primrose Avenue",
+    "Quarry Street", "Rosewood Drive", "Spruce Lane", "Tamarind Road",
+    "Union Street", "Violet Way", "Willow Avenue", "Yewtree Lane",
+)
+
+CUISINES: Tuple[str, ...] = (
+    "American", "Barbecue", "Cafe", "Chinese", "Delicatessen", "French",
+    "Greek", "Indian", "Italian", "Japanese", "Mediterranean", "Mexican",
+    "Seafood", "Steakhouse", "Thai", "Vegetarian",
+)
+
+RESTAURANT_WORDS: Tuple[str, ...] = (
+    "Golden", "Silver", "Blue", "Red", "Jade", "Royal", "Grand", "Little",
+    "Old", "New", "Rustic", "Corner", "Harbor", "Garden", "Lantern",
+    "Pepper", "Olive", "Saffron", "Cinnamon", "Copper", "Velvet", "Ivory",
+)
+
+RESTAURANT_NOUNS: Tuple[str, ...] = (
+    "Table", "Kitchen", "Bistro", "Grill", "House", "Terrace", "Oven",
+    "Spoon", "Fork", "Plate", "Cellar", "Pantry", "Hearth", "Skillet",
+)
+
+MOVIE_ADJECTIVES: Tuple[str, ...] = (
+    "Silent", "Crimson", "Endless", "Broken", "Hidden", "Burning", "Frozen",
+    "Midnight", "Golden", "Savage", "Gentle", "Lost", "Final", "Distant",
+    "Electric", "Hollow", "Scarlet", "Wandering", "Shattered", "Luminous",
+)
+
+MOVIE_NOUNS: Tuple[str, ...] = (
+    "Horizon", "Empire", "Garden", "Voyage", "Winter", "Summer", "River",
+    "Mountain", "Echo", "Promise", "Shadow", "Harvest", "Carnival", "Mirror",
+    "Station", "Harbor", "Orchard", "Lantern", "Cathedral", "Frontier",
+)
+
+OCCUPATIONS: Tuple[str, ...] = (
+    "singer", "actor", "writer", "physicist", "chemist", "biologist",
+    "politician", "footballer", "painter", "composer", "architect",
+    "philosopher", "economist", "journalist", "director",
+)
+
+AWARD_NAMES: Tuple[str, ...] = (
+    "Meridian Prize", "Aurora Medal", "Golden Quill", "Laurel Trophy",
+    "Crystal Orb", "Beacon Award", "Summit Honor", "Vanguard Prize",
+    "Heritage Medal", "Zenith Award",
+)
+
+UNIVERSITY_WORDS: Tuple[str, ...] = (
+    "Northern", "Southern", "Central", "Royal", "Technical", "National",
+    "Coastal", "Metropolitan", "Highland", "Riverside",
+)
+
+
+def person_name(rng: random.Random) -> str:
+    """A synthetic ``First Last`` person name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}"
+
+
+def unique_person_names(rng: random.Random, count: int) -> List[str]:
+    """``count`` distinct person names (suffixing Roman-style ordinals on
+    collision, like real KBs disambiguate homonyms)."""
+    seen = {}
+    names = []
+    while len(names) < count:
+        name = person_name(rng)
+        occurrences = seen.get(name, 0)
+        seen[name] = occurrences + 1
+        if occurrences:
+            name = f"{name} {'I' * (occurrences + 1)}"
+        names.append(name)
+    return names
+
+
+def city_name(rng: random.Random) -> str:
+    """A synthetic city name."""
+    return rng.choice(CITY_NAMES)
+
+
+def restaurant_name(rng: random.Random) -> str:
+    """A synthetic restaurant name like ``The Golden Table``."""
+    article = "The " if rng.random() < 0.5 else ""
+    return f"{article}{rng.choice(RESTAURANT_WORDS)} {rng.choice(RESTAURANT_NOUNS)}"
+
+
+def movie_title(rng: random.Random) -> str:
+    """A synthetic movie title like ``The Crimson Horizon``.
+
+    About a third of titles carry an ``of``-phrase, which widens the
+    title space enough that accidental collisions stay rare while still
+    possible (real KBs have plenty of same-title works).
+    """
+    article = "The " if rng.random() < 0.4 else ""
+    title = f"{article}{rng.choice(MOVIE_ADJECTIVES)} {rng.choice(MOVIE_NOUNS)}"
+    if rng.random() < 0.35:
+        title += f" of {rng.choice(MOVIE_NOUNS)}"
+    return title
+
+
+def university_name(rng: random.Random) -> str:
+    """A synthetic university name."""
+    return f"{rng.choice(UNIVERSITY_WORDS)} University of {rng.choice(CITY_NAMES)}"
+
+
+def phone_number(rng: random.Random) -> str:
+    """A phone number in the canonical ``AAA-BBB-CCCC`` layout."""
+    area = rng.randint(200, 989)
+    exchange = rng.randint(200, 999)
+    line = rng.randint(0, 9999)
+    return f"{area}-{exchange}-{line:04d}"
+
+
+def street_address(rng: random.Random) -> str:
+    """A street address like ``128 Maple Street``."""
+    return f"{rng.randint(1, 999)} {rng.choice(STREET_NAMES)}"
+
+
+def date_iso(rng: random.Random, first_year: int = 1900, last_year: int = 1995) -> str:
+    """A random ISO date within the year range (days capped at 28)."""
+    year = rng.randint(first_year, last_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"

@@ -1,0 +1,358 @@
+"""Hidden-world model behind every synthetic benchmark.
+
+Each benchmark is generated in two steps:
+
+1. Build a *world*: entities with canonical attributes, links between
+   them, and concept *tags* (e.g. ``{"person", "singer"}``) that define
+   the true class extents.
+2. Derive **two** ontologies from the same world through independent
+   :class:`Projection` specs — different entity identifiers, different
+   relation vocabularies (possibly inverted or coarsened), different
+   class hierarchies, different selection of which entities/facts make
+   it in, and different noise.
+
+Because both ontologies come from one world, exact gold standards fall
+out for free: instance pairs from the shared entity ids, relation
+correspondences from the projection tables, and class inclusions from
+world-level extent containment.
+
+This construction replaces the data the paper used but we cannot ship
+(OAEI 2010 dumps, YAGO/DBpedia/IMDb snapshots) while exercising the
+same code paths — see DESIGN.md §1 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..evaluation.gold import GoldStandard
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Literal, Relation, Resource
+from .noise import NoiseModel
+
+
+@dataclass
+class WorldEntity:
+    """One real-world object in the hidden world."""
+
+    #: Stable world-level identifier.
+    uid: str
+    #: Coarse kind ("person", "city", "movie", ...).
+    kind: str
+    #: Concept tags defining true class memberships (includes ``kind``).
+    tags: Set[str] = field(default_factory=set)
+    #: Canonical attribute values (attribute name → literal string).
+    attributes: Dict[str, str] = field(default_factory=dict)
+    #: Outgoing links ``(world relation name, target uid)``.
+    links: List[Tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.tags.add(self.kind)
+
+
+class World:
+    """Container of world entities with kind and tag indexes."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, WorldEntity] = {}
+        self._by_kind: Dict[str, List[WorldEntity]] = {}
+
+    def add(
+        self,
+        uid: str,
+        kind: str,
+        tags: Optional[Iterable[str]] = None,
+        **attributes: str,
+    ) -> WorldEntity:
+        """Create and register an entity; returns it for chaining."""
+        if uid in self._entities:
+            raise ValueError(f"duplicate world entity uid {uid!r}")
+        entity = WorldEntity(
+            uid=uid, kind=kind, tags=set(tags or ()), attributes=dict(attributes)
+        )
+        self._entities[uid] = entity
+        self._by_kind.setdefault(kind, []).append(entity)
+        return entity
+
+    def link(self, source_uid: str, relation: str, target_uid: str) -> None:
+        """Add the world-level fact ``relation(source, target)``."""
+        if target_uid not in self._entities:
+            raise KeyError(f"unknown target entity {target_uid!r}")
+        self._entities[source_uid].links.append((relation, target_uid))
+
+    def get(self, uid: str) -> WorldEntity:
+        """Entity by uid (KeyError if absent)."""
+        return self._entities[uid]
+
+    def entities(self) -> Iterable[WorldEntity]:
+        """All entities, in insertion order."""
+        return self._entities.values()
+
+    def by_kind(self, kind: str) -> List[WorldEntity]:
+        """All entities of one kind."""
+        return self._by_kind.get(kind, [])
+
+    def extent_of_tag(self, tag: str) -> FrozenSet[str]:
+        """Uids of all entities carrying ``tag`` (a true class extent)."""
+        return frozenset(e.uid for e in self._entities.values() if tag in e.tags)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+
+@dataclass
+class AttributeSpec:
+    """How a projection renders one world attribute.
+
+    Parameters
+    ----------
+    relation:
+        Relation name in the derived ontology.
+    noise:
+        Optional corruption applied to the value
+        (``fn(value, noise_model) -> str``).
+    keep_probability:
+        Chance the attribute is emitted at all (before the global
+        fact-dropping coin).
+    """
+
+    relation: str
+    noise: Optional[Callable[[str, NoiseModel], str]] = None
+    keep_probability: float = 1.0
+
+
+@dataclass
+class LinkSpec:
+    """How a projection renders one world link relation.
+
+    Parameters
+    ----------
+    relation:
+        Relation name in the derived ontology.
+    inverted:
+        Emit the fact in the opposite direction (world ``created(a, b)``
+        becomes ontology ``author(b, a)``) — this is how the generators
+        reproduce the paper's inverse alignments (Table 4).
+    keep_probability:
+        Chance each individual link survives.
+    only_target_tag:
+        If set, emit the fact only when the *target* entity carries
+        this tag — relation splitting by type, reproducing DBpedia's
+        finer-grained ``author``/``artist``/``writer`` against YAGO's
+        single ``created``.
+    """
+
+    relation: str
+    inverted: bool = False
+    keep_probability: float = 1.0
+    only_target_tag: Optional[str] = None
+
+
+@dataclass
+class Projection:
+    """Derivation of one ontology from a world.
+
+    Parameters
+    ----------
+    name:
+        Ontology name.
+    rename:
+        Entity uid → local resource name (vocabularies of the two
+        projections must be disjoint; the paper renames OAEI's shared
+        names too, Section 6.2).
+    attribute_specs:
+        World attribute name → :class:`AttributeSpec`.
+    link_specs:
+        World relation name → list of :class:`LinkSpec` (several specs
+        express relation splitting).
+    classes_of:
+        Entity → class names it belongs to in this ontology (direct
+        classes only; the hierarchy adds ancestors via closure).
+    subclass_edges:
+        Direct ``(sub, super)`` class-name edges of this ontology.
+    class_tags:
+        Class name → world tag whose extent defines the class (for the
+        gold standard).  Classes missing here get extents computed from
+        ``classes_of`` over all world entities.
+    include:
+        Selection predicate: whether a world entity appears in this
+        ontology at all (models the paper's partial overlap — YAGO and
+        DBpedia share only 1.4 M of their instances).
+    noise:
+        The :class:`NoiseModel` applied to attribute values and facts.
+    """
+
+    name: str
+    rename: Callable[[str], str]
+    attribute_specs: Dict[str, AttributeSpec]
+    link_specs: Dict[str, List[LinkSpec]]
+    classes_of: Callable[[WorldEntity], Iterable[str]]
+    subclass_edges: Iterable[Tuple[str, str]]
+    class_tags: Dict[str, str]
+    include: Callable[[WorldEntity], bool]
+    noise: NoiseModel
+
+    def materialize(self, world: World) -> Tuple[Ontology, Dict[str, str]]:
+        """Build the ontology; returns it plus the uid → name mapping."""
+        ontology = Ontology(self.name)
+        included: Dict[str, str] = {}
+        for entity in world.entities():
+            if self.include(entity):
+                included[entity.uid] = self.rename(entity.uid)
+        for uid, local_name in included.items():
+            entity = world.get(uid)
+            subject = Resource(local_name)
+            self._emit_attributes(ontology, subject, entity)
+            self._emit_links(ontology, subject, entity, included)
+            for class_name in self.classes_of(entity):
+                ontology.add_type(subject, Resource(class_name))
+        for sub, sup in self.subclass_edges:
+            ontology.add_subclass(Resource(sub), Resource(sup))
+        return ontology, included
+
+    def _emit_attributes(
+        self, ontology: Ontology, subject: Resource, entity: WorldEntity
+    ) -> None:
+        for attribute, value in entity.attributes.items():
+            spec = self.attribute_specs.get(attribute)
+            if spec is None:
+                continue
+            rng = self.noise.rng
+            if spec.keep_probability < 1.0 and rng.random() >= spec.keep_probability:
+                continue
+            if not self.noise.keep_fact():
+                continue
+            rendered = spec.noise(value, self.noise) if spec.noise else value
+            ontology.add(subject, Relation(spec.relation), Literal(rendered))
+
+    def _emit_links(
+        self,
+        ontology: Ontology,
+        subject: Resource,
+        entity: WorldEntity,
+        included: Dict[str, str],
+    ) -> None:
+        for world_relation, target_uid in entity.links:
+            specs = self.link_specs.get(world_relation)
+            if not specs:
+                continue
+            target_name = included.get(target_uid)
+            if target_name is None:
+                continue  # the counterpart entity is not in this ontology
+            for spec in specs:
+                if spec.only_target_tag is not None:
+                    target = self._target(target_uid)
+                    if target is None or spec.only_target_tag not in target.tags:
+                        continue
+                rng = self.noise.rng
+                if spec.keep_probability < 1.0 and rng.random() >= spec.keep_probability:
+                    continue
+                if not self.noise.keep_fact():
+                    continue
+                target_resource = Resource(target_name)
+                if spec.inverted:
+                    ontology.add(target_resource, Relation(spec.relation), subject)
+                else:
+                    ontology.add(subject, Relation(spec.relation), target_resource)
+
+    # Target lookup is injected at materialize time via a bound world;
+    # kept as an attribute so _emit_links stays testable.
+    _world: Optional[World] = None
+
+    def _target(self, uid: str) -> Optional[WorldEntity]:
+        if self._world is None:
+            return None
+        try:
+            return self._world.get(uid)
+        except KeyError:
+            return None
+
+    def class_extents(self, world: World) -> Dict[str, FrozenSet[str]]:
+        """World-level extent of every class of this projection."""
+        extents: Dict[str, Set[str]] = {}
+        # Seed from explicit tag definitions.
+        for class_name, tag in self.class_tags.items():
+            extents[class_name] = set(world.extent_of_tag(tag))
+        # Fill the rest from the classes_of assignment over all
+        # entities (selection-independent, as gold should be).
+        assigned: Dict[str, Set[str]] = {}
+        for entity in world.entities():
+            for class_name in self.classes_of(entity):
+                assigned.setdefault(class_name, set()).add(entity.uid)
+        for class_name, uids in assigned.items():
+            extents.setdefault(class_name, uids)
+        # Superclasses inherit their descendants' extents.
+        edges: Dict[str, Set[str]] = {}
+        for sub, sup in self.subclass_edges:
+            edges.setdefault(sub, set()).add(sup)
+        from ..rdf.closure import transitive_closure
+
+        closure = transitive_closure(edges)
+        closed: Dict[str, Set[str]] = {name: set(uids) for name, uids in extents.items()}
+        for sub, supers in closure.items():
+            for sup in supers:
+                closed.setdefault(sup, set()).update(extents.get(sub, set()))
+        return {name: frozenset(uids) for name, uids in closed.items()}
+
+
+@dataclass
+class BenchmarkPair:
+    """Two derived ontologies plus their exact gold standard."""
+
+    #: Short benchmark name ("person", "restaurant", "yago-dbpedia", ...).
+    name: str
+    #: The left ontology.
+    ontology1: Ontology
+    #: The right ontology.
+    ontology2: Ontology
+    #: Ground truth for instances, relations and classes.
+    gold: GoldStandard
+    #: uid → local name in the left ontology.
+    mapping1: Dict[str, str] = field(default_factory=dict)
+    #: uid → local name in the right ontology.
+    mapping2: Dict[str, str] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"BenchmarkPair({self.name!r}: {self.ontology1!r} vs {self.ontology2!r}, "
+            f"{self.gold.num_instances} gold instances)"
+        )
+
+
+def derive_pair(
+    name: str,
+    world: World,
+    projection1: Projection,
+    projection2: Projection,
+    relation_gold: Iterable[Tuple[str, str]],
+) -> BenchmarkPair:
+    """Materialize both projections and assemble the gold standard.
+
+    ``relation_gold`` lists the correct relation correspondences as
+    ``(left_name, right_name)`` strings (``^-1`` marks inversion); the
+    instance gold is the shared-entity intersection; the class gold is
+    computed from world-level extents.
+    """
+    projection1._world = world
+    projection2._world = world
+    ontology1, mapping1 = projection1.materialize(world)
+    ontology2, mapping2 = projection2.materialize(world)
+    gold = GoldStandard()
+    shared = set(mapping1) & set(mapping2)
+    gold.add_instances((mapping1[uid], mapping2[uid]) for uid in shared)
+    gold.add_relations(relation_gold)
+    extents1 = projection1.class_extents(world)
+    extents2 = projection2.class_extents(world)
+    gold.class_inclusions_12, gold.class_inclusions_21 = (
+        GoldStandard.class_inclusions_from_extents(extents1, extents2)
+    )
+    return BenchmarkPair(
+        name=name,
+        ontology1=ontology1,
+        ontology2=ontology2,
+        gold=gold,
+        mapping1=mapping1,
+        mapping2=mapping2,
+    )

@@ -1,0 +1,44 @@
+"""Evaluation substrate: gold standards, metrics, and table renderers.
+
+The generators in :mod:`repro.datasets` emit exact
+:class:`GoldStandard` objects; the metrics reproduce the paper's
+protocol (Section 6.1) and the renderers its table layouts.
+"""
+
+from .figures import ascii_chart, figure1_chart, figure2_chart
+from .gold import GoldStandard
+from .metrics import (
+    PRF,
+    ThresholdPoint,
+    class_threshold_sweep,
+    evaluate_classes,
+    evaluate_instances,
+    evaluate_relations,
+)
+from .report import (
+    Table1Row,
+    render_iteration_table,
+    render_relation_alignments,
+    render_table,
+    render_table1,
+    render_threshold_sweep,
+)
+
+__all__ = [
+    "GoldStandard",
+    "ascii_chart",
+    "figure1_chart",
+    "figure2_chart",
+    "PRF",
+    "ThresholdPoint",
+    "evaluate_instances",
+    "evaluate_relations",
+    "evaluate_classes",
+    "class_threshold_sweep",
+    "Table1Row",
+    "render_table",
+    "render_table1",
+    "render_iteration_table",
+    "render_relation_alignments",
+    "render_threshold_sweep",
+]

@@ -1,0 +1,75 @@
+"""Text rendering of the paper's figures.
+
+Figures 1 and 2 are line charts (precision / class count vs score
+threshold).  :func:`ascii_chart` renders such a series as a terminal
+chart so bench artifacts show the curve's shape at a glance::
+
+    1.000 |                    *   *   *
+    0.959 |        *   *   *
+          |    *
+    0.846 |*
+          +-----------------------------
+           0.1                       0.9
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def ascii_chart(
+    points: Sequence[Tuple[float, float]],
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render ``(x, y)`` points as a fixed-height ASCII chart.
+
+    Points are placed column by column in input order; the y-axis is
+    scaled to the data range (flat series render as a single row).
+    """
+    if not points:
+        return "(no data)"
+    ys = [y for _x, y in points]
+    y_min, y_max = min(ys), max(ys)
+    span = y_max - y_min
+    rows: List[List[str]] = [
+        [" "] * (4 * len(points)) for _ in range(height)
+    ]
+    for column, (_x, y) in enumerate(points):
+        if span == 0:
+            row = height - 1
+        else:
+            row = int(round((y_max - y) / span * (height - 1)))
+        rows[row][4 * column + 1] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for index, row in enumerate(rows):
+        if span == 0:
+            axis_value = y_max
+        else:
+            axis_value = y_max - span * index / (height - 1)
+        lines.append(f"{axis_value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * (4 * len(points)))
+    x_labels = " " * 10
+    for column, (x, _y) in enumerate(points):
+        text = f"{x:g}"
+        x_labels += text.ljust(4)[:4]
+    lines.append(x_labels)
+    return "\n".join(lines)
+
+
+def figure1_chart(points) -> str:
+    """Figure-1 style chart: precision vs threshold."""
+    return ascii_chart(
+        [(p.threshold, p.precision) for p in points],
+        label="Precision of class alignment vs probability threshold",
+    )
+
+
+def figure2_chart(points) -> str:
+    """Figure-2 style chart: matched-class count vs threshold."""
+    return ascii_chart(
+        [(p.threshold, float(p.num_classes)) for p in points],
+        label="Number of classes with an assignment above the threshold",
+    )

@@ -1,0 +1,151 @@
+"""Gold standards for alignment evaluation.
+
+The paper evaluates three kinds of output (Section 6.1):
+
+* **instance equalities** against a gold list of equivalent pairs
+  (OAEI gold standard; shared Wikipedia identifiers for YAGO/DBpedia;
+  the YAGO→IMDb mapping for the movie experiment),
+* **relation alignments** by manual inspection in both directions,
+* **class alignments** by manual inspection of sampled assignments.
+
+Our dataset generators *know* the hidden world both ontologies were
+derived from, so all three gold standards are exact rather than
+sampled: instance pairs by construction, relation pairs from the
+generator's projection tables (closed under inversion), and class
+inclusions from world-level class extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from ..rdf.terms import Relation, Resource
+
+
+def _invert_name(name: str) -> str:
+    """``r`` ↔ ``r^-1`` on relation name strings."""
+    suffix = Relation.INVERSE_SUFFIX
+    if name.endswith(suffix):
+        return name[: -len(suffix)]
+    return name + suffix
+
+
+@dataclass
+class GoldStandard:
+    """Ground truth for one benchmark pair.
+
+    All members use plain string names (resource names, relation names
+    with an optional ``^-1`` suffix) so gold files can be serialized
+    and diffed easily.
+    """
+
+    #: Equivalent instance pairs ``(left_name, right_name)``.
+    instance_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Correct relation correspondences ``(left_name, right_name)``,
+    #: read as "left relation matches right relation".  Closed under
+    #: inversion at query time: ``(r, r')`` validates ``(r⁻, r'⁻)`` too.
+    relation_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Correct class inclusions left-class ⊆ right-class.
+    class_inclusions_12: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Correct class inclusions right-class ⊆ left-class.
+    class_inclusions_21: Set[Tuple[str, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+
+    def has_instance_pair(self, left: Resource, right: Resource) -> bool:
+        """Whether ``left ≡ right`` is in the gold standard."""
+        return (left.name, right.name) in self.instance_pairs
+
+    @property
+    def num_instances(self) -> int:
+        """Size of the instance gold standard (the "Gold" column of Table 1)."""
+        return len(self.instance_pairs)
+
+    def right_of(self, left: Resource) -> Set[str]:
+        """Gold counterparts of a left instance (normally 0 or 1)."""
+        return {r for l, r in self.instance_pairs if l == left.name}
+
+    # ------------------------------------------------------------------
+    # relations
+    # ------------------------------------------------------------------
+
+    def has_relation_pair(self, left: Relation, right: Relation) -> bool:
+        """Whether the relation correspondence is correct.
+
+        The pair is validated up to consistent inversion: if the gold
+        standard lists ``(actedIn, starring^-1)`` then
+        ``(actedIn^-1, starring)`` is equally correct.
+        """
+        left_name, right_name = str(left), str(right)
+        if (left_name, right_name) in self.relation_pairs:
+            return True
+        return (_invert_name(left_name), _invert_name(right_name)) in self.relation_pairs
+
+    @property
+    def num_relations(self) -> int:
+        """Number of gold relation correspondences, counting both
+        directions of each underlying pair (Table 1 accumulates
+        "classes and relations for both directions")."""
+        closed = set(self.relation_pairs)
+        closed |= {( _invert_name(l), _invert_name(r)) for l, r in self.relation_pairs}
+        return len(closed)
+
+    # ------------------------------------------------------------------
+    # classes
+    # ------------------------------------------------------------------
+
+    def has_class_inclusion(
+        self, sub: Resource, sup: Resource, reverse: bool = False
+    ) -> bool:
+        """Whether ``sub ⊆ sup`` is correct (left ⊆ right unless reversed)."""
+        inclusions = self.class_inclusions_21 if reverse else self.class_inclusions_12
+        return (sub.name, sup.name) in inclusions
+
+    @property
+    def num_class_equivalences(self) -> int:
+        """Number of class pairs that are mutual inclusions (equivalent
+        classes, the "Gold" class column of Table 1)."""
+        reversed_21 = {(sup, sub) for sub, sup in self.class_inclusions_21}
+        return len(self.class_inclusions_12 & reversed_21)
+
+    # ------------------------------------------------------------------
+    # construction helpers for generators
+    # ------------------------------------------------------------------
+
+    def add_instances(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        """Add instance pairs."""
+        self.instance_pairs.update(pairs)
+
+    def add_relations(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        """Add relation correspondences."""
+        self.relation_pairs.update(pairs)
+
+    @staticmethod
+    def class_inclusions_from_extents(
+        left_extents: Dict[str, FrozenSet[str]],
+        right_extents: Dict[str, FrozenSet[str]],
+    ) -> Tuple[Set[Tuple[str, str]], Set[Tuple[str, str]]]:
+        """Derive gold class inclusions from world-level class extents.
+
+        ``c ⊆ c'`` is correct iff every world entity in ``c``'s extent
+        also lies in ``c'``'s extent (and ``c`` is non-empty).  Both
+        directions are returned.
+        """
+        inclusions_12: Set[Tuple[str, str]] = set()
+        inclusions_21: Set[Tuple[str, str]] = set()
+        for left_class, left_extent in left_extents.items():
+            if not left_extent:
+                continue
+            for right_class, right_extent in right_extents.items():
+                if left_extent <= right_extent:
+                    inclusions_12.add((left_class, right_class))
+        for right_class, right_extent in right_extents.items():
+            if not right_extent:
+                continue
+            for left_class, left_extent in left_extents.items():
+                if right_extent <= left_extent:
+                    inclusions_21.add((right_class, left_class))
+        return inclusions_12, inclusions_21

@@ -1,0 +1,213 @@
+"""Precision / recall / F-measure over alignments (Section 6.1).
+
+The paper's protocol:
+
+* **Instances** — "we considered only the assignment with the maximal
+  score", compared against the gold standard.  Precision is computed
+  over produced assignments whose left entity occurs in the gold
+  standard (supporting entities like addresses are aligned but not
+  evaluated); recall over all gold pairs.
+* **Relations** — manual evaluation of the maximally assigned relation,
+  in each direction separately.  Our generators give exact gold, so
+  "manual" becomes exact.
+* **Classes** — manual evaluation of sampled assignments above a score
+  threshold; Figures 1 and 2 sweep that threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.matrix import SubsumptionMatrix
+from ..core.result import Assignment
+from ..rdf.terms import Relation, Resource
+from .gold import GoldStandard
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision, recall and F-measure with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """``tp / (tp + fp)``; 1.0 when nothing was produced."""
+        produced = self.true_positives + self.false_positives
+        return self.true_positives / produced if produced else 1.0
+
+    @property
+    def recall(self) -> float:
+        """``tp / (tp + fn)``; 1.0 when the gold standard is empty."""
+        expected = self.true_positives + self.false_negatives
+        return self.true_positives / expected if expected else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        total = self.precision + self.recall
+        return 2 * self.precision * self.recall / total if total else 0.0
+
+    def as_percentages(self) -> str:
+        """Render like the paper's tables: ``95% 88% 91%``."""
+        return (
+            f"{self.precision * 100:.0f}% {self.recall * 100:.0f}% {self.f1 * 100:.0f}%"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def evaluate_instances(assignment: Assignment, gold: GoldStandard) -> PRF:
+    """Score a maximal instance assignment against the gold standard.
+
+    Only assignments whose left entity is part of the gold standard's
+    domain are judged (the OAEI protocol); every gold pair without a
+    correct produced assignment counts as a false negative.
+    """
+    gold_left = {left for left, _right in gold.instance_pairs}
+    true_positives = 0
+    false_positives = 0
+    for left, (right, _probability) in assignment.items():
+        if left.name not in gold_left:
+            continue
+        if (left.name, right.name) in gold.instance_pairs:
+            true_positives += 1
+        else:
+            false_positives += 1
+    false_negatives = gold.num_instances - true_positives
+    return PRF(true_positives, false_positives, false_negatives)
+
+
+def evaluate_relations(
+    pairs: Sequence[Tuple[Relation, Relation, float]],
+    gold: GoldStandard,
+    reverse: bool = False,
+) -> PRF:
+    """Score maximally-assigned relation pairs of one direction.
+
+    Precision: fraction of produced pairs that are correct (the paper's
+    manual evaluation, made exact by the generator gold).  Recall:
+    fraction of *relations with a gold counterpart* whose maximal
+    assignment is correct.  Recall is per-relation rather than per-pair
+    because each relation gets exactly one maximal assignment while the
+    gold may list several acceptable targets (``hasChild`` matches both
+    ``parent⁻`` and ``child``).
+
+    Parameters
+    ----------
+    pairs:
+        Output of :meth:`AlignmentResult.relation_pairs` — ``(sub,
+        super, score)`` with ``sub`` from the left ontology, or from
+        the right one when ``reverse`` is set.
+    reverse:
+        Set when scoring the right ⊆ left direction; gold pairs are
+        stored left-to-right and are swapped for the lookup.
+    """
+    from .gold import _invert_name
+
+    def is_gold(sub: Relation, sup: Relation) -> bool:
+        if reverse:
+            return gold.has_relation_pair(sup, sub)
+        return gold.has_relation_pair(sub, sup)
+
+    true_positives = 0
+    false_positives = 0
+    correct_subs = set()
+    for sub, sup, _score in pairs:
+        if is_gold(sub, sup):
+            true_positives += 1
+            correct_subs.add(str(sub))
+        else:
+            false_positives += 1
+    # Distinct relations (of the evaluated side) that gold knows about.
+    gold_side = {r for _l, r in gold.relation_pairs} if reverse else {
+        l for l, _r in gold.relation_pairs
+    }
+    gold_side |= {_invert_name(name) for name in gold_side}
+    false_negatives = len(gold_side - correct_subs)
+    return PRF(true_positives, false_positives, false_negatives)
+
+
+def evaluate_classes(
+    pairs: Sequence[Tuple[Resource, Resource, float]],
+    gold: GoldStandard,
+    reverse: bool = False,
+) -> PRF:
+    """Score class-inclusion pairs of one direction (precision-oriented).
+
+    Recall for class alignment is not well-defined in the paper
+    ("Evaluating whether a class is always assigned to its most
+    specific counterpart would require exhaustive annotation"); the
+    returned false-negative count is relative to the gold inclusions,
+    which over-counts heavily, so reports typically use only the
+    precision and the pair count.
+    """
+    inclusions = gold.class_inclusions_21 if reverse else gold.class_inclusions_12
+    true_positives = 0
+    false_positives = 0
+    for sub, sup, _score in pairs:
+        if (sub.name, sup.name) in inclusions:
+            true_positives += 1
+        else:
+            false_positives += 1
+    false_negatives = max(0, len(inclusions) - true_positives)
+    return PRF(true_positives, false_positives, false_negatives)
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """One point of the Figure-1/Figure-2 sweeps."""
+
+    threshold: float
+    #: Precision of class inclusions scoring at least ``threshold``.
+    precision: float
+    #: Number of sub-classes with at least one assignment ≥ ``threshold``
+    #: (the Figure-2 series).
+    num_classes: int
+    #: Number of inclusion pairs at or above the threshold.
+    num_pairs: int
+
+
+def class_threshold_sweep(
+    matrix: SubsumptionMatrix[Resource],
+    gold: GoldStandard,
+    reverse: bool = False,
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    exclude: Optional[Iterable[str]] = None,
+) -> List[ThresholdPoint]:
+    """Precision and matched-class counts as the threshold varies.
+
+    Reproduces Figures 1 and 2.  ``exclude`` drops high-level classes
+    by name (the paper excludes 19 classes like ``yagoGeoEntity``
+    before sampling).
+    """
+    excluded = set(exclude or ())
+    inclusions = gold.class_inclusions_21 if reverse else gold.class_inclusions_12
+    points = []
+    for threshold in thresholds:
+        true_positives = 0
+        produced = 0
+        for sub, sup, _score in matrix.pairs_above(threshold):
+            if sub.name in excluded:
+                continue
+            produced += 1
+            if (sub.name, sup.name) in inclusions:
+                true_positives += 1
+        precision = true_positives / produced if produced else 1.0
+        points.append(
+            ThresholdPoint(
+                threshold=threshold,
+                precision=precision,
+                num_classes=matrix.subs_with_match_above(threshold),
+                num_pairs=produced,
+            )
+        )
+    return points

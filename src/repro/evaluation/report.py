@@ -1,0 +1,193 @@
+"""Text rendering of the paper's tables.
+
+Each renderer takes evaluation results and prints rows in the layout of
+the corresponding table of the paper, so bench output can be compared
+side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.result import AlignmentResult
+from ..rdf.terms import Relation
+from .gold import GoldStandard
+from .metrics import (
+    PRF,
+    ThresholdPoint,
+    evaluate_classes,
+    evaluate_instances,
+    evaluate_relations,
+)
+
+
+def _pct(value: Optional[float]) -> str:
+    return f"{value * 100:.0f}%" if value is not None else "-"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(headers[i].ljust(widths[i]) for i in range(len(headers)))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table1Row:
+    """One system's results on one OAEI dataset (Table 1 layout)."""
+
+    dataset: str
+    system: str
+    gold_instances: int
+    instances: Optional[PRF]
+    gold_classes: int
+    classes: Optional[PRF]
+    gold_relations: int
+    relations: Optional[PRF]
+    #: For comparators with published-but-partial numbers.
+    reported: Optional[Tuple[Optional[float], Optional[float], Optional[float]]] = None
+
+    def cells(self) -> List[str]:
+        if self.instances is not None:
+            instance_cells = [
+                _pct(self.instances.precision),
+                _pct(self.instances.recall),
+                _pct(self.instances.f1),
+            ]
+        elif self.reported is not None:
+            instance_cells = [_pct(v) for v in self.reported]
+        else:
+            instance_cells = ["-", "-", "-"]
+        class_cells = (
+            [_pct(self.classes.precision), _pct(self.classes.recall), _pct(self.classes.f1)]
+            if self.classes is not None
+            else ["-", "-", "-"]
+        )
+        relation_cells = (
+            [
+                _pct(self.relations.precision),
+                _pct(self.relations.recall),
+                _pct(self.relations.f1),
+            ]
+            if self.relations is not None
+            else ["-", "-", "-"]
+        )
+        return (
+            [self.dataset, self.system, str(self.gold_instances)]
+            + instance_cells
+            + [str(self.gold_classes)]
+            + class_cells
+            + [str(self.gold_relations)]
+            + relation_cells
+        )
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the Table-1 layout (instances / classes / relations)."""
+    headers = [
+        "Dataset", "System",
+        "GoldI", "PrecI", "RecI", "F-I",
+        "GoldC", "PrecC", "RecC", "F-C",
+        "GoldR", "PrecR", "RecR", "F-R",
+    ]
+    return render_table(headers, [row.cells() for row in rows])
+
+
+def render_iteration_table(
+    result: AlignmentResult,
+    gold: GoldStandard,
+    class_threshold: float = 0.4,
+) -> str:
+    """Render a Table-3/Table-5 style per-iteration report.
+
+    Per iteration: change rate, instance P/R/F, and the number and
+    precision of maximally-assigned relation inclusions in both
+    directions.  Class columns appear on the last row only (classes are
+    computed after the fixpoint, as in the paper).
+    """
+    headers = [
+        "It", "Change", "PrecI", "RecI", "F-I",
+        "Rel12", "PrecR12", "Rel21", "PrecR21",
+        "Cls12", "PrecC12", "Cls21", "PrecC21",
+    ]
+    rows = []
+    last_index = result.iterations[-1].index if result.iterations else 0
+    for snapshot in result.iterations:
+        instances = evaluate_instances(snapshot.assignment12, gold)
+        pairs12 = _maximal_relation_pairs(snapshot.relations12)
+        pairs21 = _maximal_relation_pairs(snapshot.relations21)
+        relations12 = evaluate_relations(pairs12, gold)
+        relations21 = evaluate_relations(pairs21, gold, reverse=True)
+        row = [
+            snapshot.index,
+            "-" if snapshot.change_fraction is None else _pct(snapshot.change_fraction),
+            _pct(instances.precision),
+            _pct(instances.recall),
+            _pct(instances.f1),
+            len(pairs12),
+            _pct(relations12.precision),
+            len(pairs21),
+            _pct(relations21.precision),
+        ]
+        if snapshot.index == last_index:
+            classes12 = result.class_pairs(class_threshold)
+            classes21 = result.class_pairs(class_threshold, reverse=True)
+            eval12 = evaluate_classes(classes12, gold)
+            eval21 = evaluate_classes(classes21, gold, reverse=True)
+            row += [
+                len(classes12), _pct(eval12.precision),
+                len(classes21), _pct(eval21.precision),
+            ]
+        else:
+            row += ["-", "-", "-", "-"]
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def _maximal_relation_pairs(matrix) -> List[Tuple[Relation, Relation, float]]:
+    pairs = []
+    for sub in {sub for sub, _sup, _score in matrix.items()}:
+        best = matrix.best_super(sub)
+        if best is not None:
+            pairs.append((sub, best[0], best[1]))
+    pairs.sort(key=lambda entry: -entry[2])
+    return pairs
+
+
+def render_relation_alignments(
+    result: AlignmentResult,
+    threshold: float = 0.1,
+    reverse: bool = False,
+    limit: int = 25,
+    forward_only: bool = True,
+) -> str:
+    """Render a Table-4 style listing of relation inclusions."""
+    matrix = result.relations21 if reverse else result.relations12
+    rows = []
+    for sub, sup, score in sorted(matrix.items(), key=lambda t: -t[2]):
+        if score < threshold:
+            continue
+        if forward_only and sub.inverted:
+            continue
+        rows.append([str(sub), "⊆", str(sup), f"{score:.2f}"])
+        if len(rows) >= limit:
+            break
+    return render_table(["relation", "", "super-relation", "score"], rows)
+
+
+def render_threshold_sweep(points: Sequence[ThresholdPoint]) -> str:
+    """Render the Figure-1/Figure-2 series as a table."""
+    rows = [
+        [f"{p.threshold:.1f}", f"{p.precision:.3f}", p.num_classes, p.num_pairs]
+        for p in points
+    ]
+    return render_table(["threshold", "precision", "#classes", "#pairs"], rows)

@@ -1,0 +1,5 @@
+"""Persistence of alignment results and owl:sameAs link export."""
+
+from .alignment_io import OWL_SAMEAS_URI, load_result, save_result, write_sameas_links
+
+__all__ = ["save_result", "load_result", "write_sameas_links", "OWL_SAMEAS_URI"]

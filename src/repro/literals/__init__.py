@@ -1,0 +1,40 @@
+"""Literal-similarity substrate (Section 5.3 of the paper).
+
+Literal equivalence probabilities are clamped up front and plugged into
+the instance-equivalence equations.  The bundled measures:
+
+* :class:`IdentitySimilarity` — strict lexical identity (paper default),
+* :class:`NormalizedIdentitySimilarity` — lowercase + alphanumeric-only
+  identity (the Section 6.3 fix for phone-format noise),
+* :class:`EditDistanceSimilarity` — Levenshtein with exact
+  deletion-neighbourhood blocking,
+* :class:`NumericSimilarity` — proportional-difference for numbers,
+* :class:`DateSimilarity` / :class:`CompositeSimilarity` — typed
+  dispatch combinators.
+"""
+
+from .base import LiteralSimilarity
+from .composite import CompositeSimilarity, DateSimilarity, default_similarity, tolerant_similarity
+from .edit_distance import EditDistanceSimilarity, deletion_neighbourhood, levenshtein
+from .identity import IdentitySimilarity
+from .normalization import normalize_string, parse_date, parse_number, strip_datatype
+from .normalized import NormalizedIdentitySimilarity
+from .numeric import NumericSimilarity
+
+__all__ = [
+    "LiteralSimilarity",
+    "IdentitySimilarity",
+    "NormalizedIdentitySimilarity",
+    "EditDistanceSimilarity",
+    "NumericSimilarity",
+    "DateSimilarity",
+    "CompositeSimilarity",
+    "default_similarity",
+    "tolerant_similarity",
+    "levenshtein",
+    "deletion_neighbourhood",
+    "normalize_string",
+    "parse_number",
+    "parse_date",
+    "strip_datatype",
+]

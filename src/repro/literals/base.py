@@ -1,0 +1,66 @@
+"""Literal-similarity interface.
+
+Section 5.3 of the paper: "The probability that two literals are equal
+is known a priori and will not change.  Therefore, such probabilities
+can be set upfront (clamped)."  A literal similarity is a function from
+two literals to a probability in ``[0, 1]``; the aligner plugs its
+output directly into Eq. 13 wherever two literals are compared.
+
+Implementations must be:
+
+* symmetric — ``sim(a, b) == sim(b, a)``,
+* reflexive — ``sim(a, a) == 1`` for any literal ``a``,
+* bounded — outputs in ``[0, 1]``.
+
+The property-based tests in ``tests/test_literals_properties.py``
+enforce these laws for every bundled implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from ..rdf.terms import Literal
+
+
+class LiteralSimilarity(abc.ABC):
+    """Clamped probability that two literals denote the same value."""
+
+    @abc.abstractmethod
+    def similarity(self, left: Literal, right: Literal) -> float:
+        """Return ``Pr(left ≡ right)`` in ``[0, 1]``."""
+
+    def __call__(self, left: Literal, right: Literal) -> float:
+        return self.similarity(left, right)
+
+    def key(self, literal: Literal) -> str | None:
+        """Blocking key for candidate generation.
+
+        The aligner needs to find, for a literal in one ontology, the
+        literals of the other ontology with non-zero similarity.  A
+        similarity may declare a *key* such that only literals with
+        equal keys can have positive similarity; ``None`` disables
+        blocking (every pair must be checked — quadratic, only sensible
+        for tiny ontologies).
+
+        The default uses the exact lexical form, which is correct for
+        the strict identity measure.
+        """
+        return literal.value
+
+    def keys(self, literal: Literal) -> "Iterable[str]":
+        """All blocking keys of ``literal``.
+
+        Two literals can only have positive similarity if their key sets
+        intersect.  The default emits the single :meth:`key`; measures
+        with fuzzy matching (edit distance) override this with a
+        neighbourhood of keys.
+        """
+        single = self.key(literal)
+        return [] if single is None else [single]
+
+    @property
+    def name(self) -> str:
+        """Human-readable name used in reports and ablation tables."""
+        return type(self).__name__

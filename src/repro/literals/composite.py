@@ -1,0 +1,146 @@
+"""Type-dispatching composite literal similarity.
+
+Section 5.3 envisions application-specific similarity functions that
+treat numbers, dates and identifiers differently.  The composite routes
+each pair to the right sub-measure:
+
+* both values parse as numbers  → the numeric measure,
+* both values parse as dates    → date equality (with year-only forms
+  matching full dates of the same year at reduced confidence),
+* otherwise                     → the string measure.
+
+Keys from sub-measures are namespaced so that a numeric bucket can
+never collide with a string key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rdf.terms import Literal
+from .base import LiteralSimilarity
+from .edit_distance import EditDistanceSimilarity
+from .identity import IdentitySimilarity
+from .normalization import parse_date, parse_number, strip_datatype
+from .numeric import NumericSimilarity
+
+#: Similarity granted when only the years of two dates agree.
+_YEAR_ONLY_MATCH = 0.8
+
+
+class DateSimilarity(LiteralSimilarity):
+    """Equality of parsed dates; partial credit for year-only matches."""
+
+    def similarity(self, left: Literal, right: Literal) -> float:
+        left_lexical = strip_datatype(left.value)
+        right_lexical = strip_datatype(right.value)
+        if left_lexical == right_lexical:
+            # Identical lexical forms are equal regardless of parse.
+            return 1.0
+        left_date = parse_date(left_lexical)
+        right_date = parse_date(right_lexical)
+        if left_date is None or right_date is None:
+            return 0.0
+        if left_date == right_date:
+            return 1.0
+        if left_date[0] == right_date[0] and (
+            left_date[1:] == (0, 0) or right_date[1:] == (0, 0)
+        ):
+            return _YEAR_ONLY_MATCH
+        return 0.0
+
+    def key(self, literal: Literal) -> str | None:
+        date = parse_date(strip_datatype(literal.value))
+        if date is None:
+            return f"raw:{strip_datatype(literal.value)}"
+        return f"date:{date[0]}"  # block on year; exact for this measure
+
+    @property
+    def name(self) -> str:
+        return "date"
+
+
+class CompositeSimilarity(LiteralSimilarity):
+    """Route literal pairs to numeric, date or string sub-measures.
+
+    Parameters
+    ----------
+    string_measure:
+        Measure for general strings (default: strict identity, the
+        paper's choice).
+    numeric_measure:
+        Measure for numeric pairs (default 1 % proportional tolerance).
+    date_measure:
+        Measure for date pairs.
+    """
+
+    def __init__(
+        self,
+        string_measure: LiteralSimilarity | None = None,
+        numeric_measure: NumericSimilarity | None = None,
+        date_measure: DateSimilarity | None = None,
+    ) -> None:
+        self.string_measure = string_measure or IdentitySimilarity()
+        self.numeric_measure = numeric_measure or NumericSimilarity()
+        self.date_measure = date_measure or DateSimilarity()
+
+    @staticmethod
+    def _kind(literal: Literal) -> str:
+        value = strip_datatype(literal.value)
+        if parse_date(value) is not None:
+            return "date"
+        if parse_number(value) is not None:
+            return "number"
+        return "string"
+
+    def similarity(self, left: Literal, right: Literal) -> float:
+        left_kind = self._kind(left)
+        right_kind = self._kind(right)
+        if left_kind != right_kind:
+            # A year like "1935" parses as both date and number; dates
+            # take precedence in _kind, so a date/number mix still gets
+            # the numeric comparison when both parse as numbers.
+            left_value = strip_datatype(left.value)
+            right_value = strip_datatype(right.value)
+            if parse_number(left_value) is not None and parse_number(right_value) is not None:
+                return self.numeric_measure.similarity(left, right)
+            return 0.0
+        if left_kind == "number":
+            return self.numeric_measure.similarity(left, right)
+        if left_kind == "date":
+            return self.date_measure.similarity(left, right)
+        return self.string_measure.similarity(left, right)
+
+    def key(self, literal: Literal) -> str | None:
+        keys = list(self.keys(literal))
+        return keys[0] if keys else None
+
+    def keys(self, literal: Literal) -> Iterable[str]:
+        kind = self._kind(literal)
+        if kind == "number":
+            return [f"n|{k}" for k in self.numeric_measure.keys(literal)]
+        if kind == "date":
+            date_keys = [f"d|{k}" for k in self.date_measure.keys(literal)]
+            # years also block with plain numbers of the same value
+            numeric_keys = [f"n|{k}" for k in self.numeric_measure.keys(literal)]
+            return date_keys + numeric_keys
+        return [f"s|{k}" for k in self.string_measure.keys(literal)]
+
+    @property
+    def name(self) -> str:
+        return (
+            f"composite(string={self.string_measure.name}, "
+            f"numeric={self.numeric_measure.name}, date={self.date_measure.name})"
+        )
+
+
+def default_similarity() -> IdentitySimilarity:
+    """The paper's default: strict literal identity."""
+    return IdentitySimilarity()
+
+
+def tolerant_similarity(max_edit_distance: int = 1) -> CompositeSimilarity:
+    """A forgiving composite: edit-distance strings + tolerant numbers."""
+    return CompositeSimilarity(
+        string_measure=EditDistanceSimilarity(max_distance=max_edit_distance)
+    )

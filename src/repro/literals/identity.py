@@ -1,0 +1,30 @@
+"""Strict identity similarity — the paper's default (Section 5.3).
+
+"For our implementation, we chose a particularly simple equality
+function.  [...] we set the probability Pr(x ≡ y) to 1 if x and y are
+identical literals, to 0 otherwise."
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import Literal
+from .base import LiteralSimilarity
+from .normalization import strip_datatype
+
+
+class IdentitySimilarity(LiteralSimilarity):
+    """``Pr(x ≡ y) = 1`` iff the lexical forms are identical.
+
+    Datatype suffixes are stripped first (the paper normalizes numeric
+    values "by removing all data type or dimension information").
+    """
+
+    def similarity(self, left: Literal, right: Literal) -> float:
+        return 1.0 if strip_datatype(left.value) == strip_datatype(right.value) else 0.0
+
+    def key(self, literal: Literal) -> str:
+        return strip_datatype(literal.value)
+
+    @property
+    def name(self) -> str:
+        return "identity"

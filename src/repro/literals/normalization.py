@@ -1,0 +1,109 @@
+"""Value normalization helpers (Section 5.3).
+
+The paper's implementation "normalizes numeric values by removing all
+data type or dimension information".  These helpers parse lexical forms
+into comparable canonical values:
+
+* :func:`normalize_string` — lowercase, strip non-alphanumerics (the
+  "different string equality measure" of Section 6.3 that fixes the
+  ``213/467-1108`` vs ``213-467-1108`` phone-format problem),
+* :func:`parse_number` — extract a float from forms like ``"42"``,
+  ``"42.5 kg"``, ``"1,234"``,
+* :func:`parse_date` — extract ``(year, month, day)`` from common
+  date layouts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+_NON_ALNUM = re.compile(r"[^0-9a-z]+")
+_NUMBER = re.compile(r"[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?")
+_ISO_DATE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_SLASH_DATE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
+_YEAR_ONLY = re.compile(r"^(\d{4})$")
+
+#: Multiplicative factors for common dimension suffixes, used to strip
+#: "dimension information" as Section 5.3 suggests (unit conversion).
+_UNIT_FACTORS = {
+    "km": 1000.0,
+    "m": 1.0,
+    "cm": 0.01,
+    "mm": 0.001,
+    "kg": 1000.0,
+    "g": 1.0,
+    "mg": 0.001,
+    "min": 60.0,
+    "h": 3600.0,
+    "s": 1.0,
+}
+
+
+def normalize_string(text: str) -> str:
+    """Lowercase and remove every non-alphanumeric character.
+
+    >>> normalize_string("213/467-1108")
+    '2134671108'
+    >>> normalize_string("The  Godfather!")
+    'thegodfather'
+    """
+    return _NON_ALNUM.sub("", text.lower())
+
+
+def parse_number(text: str) -> Optional[float]:
+    """Extract the numeric value of a literal, or ``None``.
+
+    Thousands separators (``,``) are removed first; a recognized unit
+    suffix rescales the value so that e.g. ``"2 km"`` and ``"2000 m"``
+    normalize to the same number.
+    """
+    cleaned = text.strip().replace(",", "")
+    match = _NUMBER.search(cleaned)
+    if match is None:
+        return None
+    prefix = cleaned[: match.start()].strip()
+    suffix = cleaned[match.end() :].strip().lower()
+    if prefix:
+        return None  # leading junk: not a numeric literal
+    try:
+        value = float(match.group())
+    except ValueError:  # pragma: no cover - regex guarantees parseability
+        return None
+    if suffix:
+        factor = _UNIT_FACTORS.get(suffix)
+        if factor is None:
+            return None  # trailing junk that is not a known unit
+        value *= factor
+    return value
+
+
+def parse_date(text: str) -> Optional[Tuple[int, int, int]]:
+    """Extract ``(year, month, day)`` from a date literal, or ``None``.
+
+    Supports ISO (``1935-01-08``), US slash (``1/8/1935``, read as
+    month/day/year) and bare-year (``1935`` → ``(1935, 0, 0)``) forms.
+    """
+    stripped = text.strip()
+    match = _ISO_DATE.match(stripped)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return year, month, day
+    match = _SLASH_DATE.match(stripped)
+    if match:
+        month, day, year = (int(g) for g in match.groups())
+        return year, month, day
+    match = _YEAR_ONLY.match(stripped)
+    if match:
+        return int(match.group(1)), 0, 0
+    return None
+
+
+def strip_datatype(value: str) -> str:
+    """Remove an RDF datatype suffix (``"5"^^xsd:integer`` style) if present."""
+    if "^^" in value:
+        body = value.split("^^", 1)[0]
+        if body.startswith('"') and body.endswith('"'):
+            body = body[1:-1]
+        return body
+    return value

@@ -1,0 +1,90 @@
+"""Numeric literal similarity (Section 5.3).
+
+"The probability that two numeric values of the same dimension are
+equal can be a function of their proportional difference."  This
+measure parses both literals as numbers (stripping units, see
+:func:`repro.literals.normalization.parse_number`) and returns::
+
+    sim(a, b) = max(0, 1 - |a - b| / (tolerance * max(|a|, |b|)))
+
+so that values within ``tolerance`` (relative) get positive similarity,
+declining linearly.  Non-numeric literals always score 0 here; use
+:class:`~repro.literals.composite.CompositeSimilarity` to combine with
+a string measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..rdf.terms import Literal
+from .base import LiteralSimilarity
+from .normalization import parse_number, strip_datatype
+
+
+class NumericSimilarity(LiteralSimilarity):
+    """Proportional-difference similarity for numeric literals.
+
+    Parameters
+    ----------
+    tolerance:
+        Maximum relative difference with positive similarity.  0 makes
+        the measure strict numeric equality.
+    """
+
+    def __init__(self, tolerance: float = 0.01) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.tolerance = tolerance
+
+    def similarity(self, left: Literal, right: Literal) -> float:
+        left_lexical = strip_datatype(left.value)
+        right_lexical = strip_datatype(right.value)
+        if left_lexical == right_lexical:
+            # Identical lexical forms are equal regardless of parse —
+            # keeps the measure reflexive on out-of-domain literals.
+            return 1.0
+        left_value = parse_number(left_lexical)
+        right_value = parse_number(right_lexical)
+        if left_value is None or right_value is None:
+            return 0.0
+        if left_value == right_value:
+            return 1.0
+        if self.tolerance == 0:
+            return 0.0
+        scale = max(abs(left_value), abs(right_value))
+        if scale == 0:
+            return 0.0  # only hit when exactly one value is 0
+        relative = abs(left_value - right_value) / scale
+        return max(0.0, 1.0 - relative / self.tolerance)
+
+    def _bucket(self, value: float) -> int:
+        """Index of the log-spaced tolerance bucket containing ``value``."""
+        if value == 0:
+            return 0
+        width = math.log1p(self.tolerance) if self.tolerance > 0 else 1.0
+        return int(math.floor(math.log(abs(value)) / width)) * (1 if value > 0 else -1)
+
+    def key(self, literal: Literal) -> str | None:
+        return f"raw:{strip_datatype(literal.value)}"
+
+    def keys(self, literal: Literal) -> Iterable[str]:
+        """Emit the raw lexical key plus the containing bucket and both
+        neighbours.
+
+        Values within ``tolerance`` of each other can straddle a bucket
+        boundary; including adjacent buckets makes the blocking exact.
+        The raw key covers identical out-of-domain literals.
+        """
+        lexical = strip_datatype(literal.value)
+        keys = [f"raw:{lexical}"]
+        value = parse_number(lexical)
+        if value is not None:
+            bucket = self._bucket(value)
+            keys += [f"num:{bucket - 1}", f"num:{bucket}", f"num:{bucket + 1}"]
+        return keys
+
+    @property
+    def name(self) -> str:
+        return f"numeric(tol={self.tolerance})"

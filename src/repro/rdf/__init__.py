@@ -1,0 +1,78 @@
+"""RDFS substrate: terms, triples, the indexed ontology store, closure,
+codecs and statistics.
+
+This package plays the role of Jena + Berkeley DB in the original PARIS
+implementation (Section 5.2 of the paper): it holds the two input
+ontologies fully indexed for the access patterns of the probabilistic
+fixpoint.
+"""
+
+from .builder import OntologyBuilder, as_literal, as_node, as_relation, as_resource
+from .closure import (
+    deductive_closure,
+    depth_map,
+    is_subclass_of,
+    leaves,
+    roots,
+    superclass_closure,
+    superproperty_closure,
+    transitive_closure,
+)
+from .ntriples import NTriplesError, read_ntriples, write_ntriples
+from .transforms import copy_ontology, dereify, reify
+from .ontology import Ontology
+from .stats import OntologyStats, describe, statistics_table
+from .terms import Literal, Node, Relation, Resource, Term
+from .triples import Triple
+from .tsv import TsvError, read_tsv, write_tsv
+from .vocabulary import (
+    OWL_THING,
+    RDF_TYPE,
+    RDFS_LABEL,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_RELATIONS,
+    is_schema_relation,
+)
+
+__all__ = [
+    "Term",
+    "Resource",
+    "Literal",
+    "Relation",
+    "Node",
+    "Triple",
+    "Ontology",
+    "OntologyBuilder",
+    "OntologyStats",
+    "NTriplesError",
+    "TsvError",
+    "as_resource",
+    "as_relation",
+    "as_node",
+    "as_literal",
+    "deductive_closure",
+    "transitive_closure",
+    "superclass_closure",
+    "superproperty_closure",
+    "is_subclass_of",
+    "depth_map",
+    "roots",
+    "leaves",
+    "describe",
+    "statistics_table",
+    "read_ntriples",
+    "write_ntriples",
+    "read_tsv",
+    "write_tsv",
+    "RDF_TYPE",
+    "RDFS_LABEL",
+    "RDFS_SUBCLASSOF",
+    "RDFS_SUBPROPERTYOF",
+    "SCHEMA_RELATIONS",
+    "OWL_THING",
+    "is_schema_relation",
+    "copy_ontology",
+    "dereify",
+    "reify",
+]

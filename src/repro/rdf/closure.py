@@ -1,0 +1,157 @@
+"""Deductive closure of an ontology.
+
+The paper assumes its input ontologies "are available in their
+deductive closure, i.e., all statements implied by the subclass and
+sub-property statements have been added to the ontology" (Section 3).
+The generators in :mod:`repro.datasets` produce direct assertions only;
+this module materializes the implied ones:
+
+* ``rdfs:subClassOf`` is transitive, and membership propagates upward:
+  ``type(x, c) ∧ subClassOf(c, d) ⇒ type(x, d)``.
+* ``rdfs:subPropertyOf`` is transitive, and statements propagate upward:
+  ``r(x, y) ∧ subPropertyOf(r, s) ⇒ s(x, y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, TypeVar
+
+from .ontology import Ontology
+from .terms import Relation, Resource
+
+T = TypeVar("T")
+
+
+def transitive_closure(edges: Dict[T, Set[T]]) -> Dict[T, Set[T]]:
+    """Transitive closure of a successor map ``node -> direct successors``.
+
+    Uses an iterative depth-first walk with memoization; cycles are
+    tolerated (every node in a cycle reaches all the others).
+    """
+    closed: Dict[T, Set[T]] = {}
+
+    def reach(start: T) -> Set[T]:
+        if start in closed:
+            return closed[start]
+        result: Set[T] = set()
+        stack = [start]
+        visited = {start}
+        while stack:
+            node = stack.pop()
+            for successor in edges.get(node, ()):
+                if successor in closed:
+                    result.add(successor)
+                    result |= closed[successor]
+                elif successor not in visited:
+                    visited.add(successor)
+                    result.add(successor)
+                    stack.append(successor)
+                else:
+                    result.add(successor)
+        closed[start] = result
+        return result
+
+    for node in list(edges):
+        reach(node)
+    return closed
+
+
+def superclass_closure(ontology: Ontology) -> Dict[Resource, Set[Resource]]:
+    """Map each class to *all* (direct and transitive) superclasses."""
+    direct = {cls: set(ontology.superclasses_of(cls)) for cls in ontology.classes}
+    return transitive_closure(direct)
+
+
+def superproperty_closure(ontology: Ontology) -> Dict[Relation, Set[Relation]]:
+    """Map each relation to all (direct and transitive) super-relations."""
+    direct: Dict[Relation, Set[Relation]] = {}
+    for sub, sup in ontology.subproperty_edges():
+        direct.setdefault(sub, set()).add(sup)
+    return transitive_closure(direct)
+
+
+def deductive_closure(ontology: Ontology) -> int:
+    """Materialize all implied statements in-place.
+
+    Returns
+    -------
+    int
+        The number of statements added (type memberships plus data
+        statements copied to super-relations).
+    """
+    added = 0
+    # 1. propagate class memberships upward.
+    superclasses = superclass_closure(ontology)
+    for cls, supers in superclasses.items():
+        if not supers:
+            continue
+        for instance in list(ontology.instances_of(cls)):
+            for sup in supers:
+                if ontology.add_type(instance, sup):
+                    added += 1
+    # 2. propagate data statements to super-relations.
+    superproperties = superproperty_closure(ontology)
+    for relation, supers in superproperties.items():
+        if not supers:
+            continue
+        for subject, obj in list(ontology.pairs(relation)):
+            for sup in supers:
+                if ontology.add(subject, sup, obj):
+                    added += 1
+    return added
+
+
+def ancestors_or_self(
+    cls: Resource, superclasses: Dict[Resource, Set[Resource]]
+) -> Set[Resource]:
+    """``{cls} ∪ all superclasses of cls`` given a closure map."""
+    result = {cls}
+    result |= superclasses.get(cls, set())
+    return result
+
+
+def is_subclass_of(
+    ontology: Ontology, sub: Resource, sup: Resource, closure: Dict[Resource, Set[Resource]] | None = None
+) -> bool:
+    """Whether ``sub ⊑ sup`` holds in the (possibly closed) hierarchy."""
+    if sub == sup:
+        return True
+    if closure is None:
+        closure = superclass_closure(ontology)
+    return sup in closure.get(sub, set())
+
+
+def roots(ontology: Ontology) -> Set[Resource]:
+    """Classes with no superclass (hierarchy roots)."""
+    return {cls for cls in ontology.classes if not ontology.superclasses_of(cls)}
+
+
+def leaves(ontology: Ontology) -> Set[Resource]:
+    """Classes with no subclass (hierarchy leaves)."""
+    return {cls for cls in ontology.classes if not ontology.subclasses_of(cls)}
+
+
+def depth_map(ontology: Ontology) -> Dict[Resource, int]:
+    """Depth of each class (roots have depth 0; max over parents + 1).
+
+    Cycles are broken by treating back-edges as already-final; the
+    function always terminates.
+    """
+    depths: Dict[Resource, int] = {}
+    remaining: Iterable[Resource] = list(ontology.classes)
+    for cls in roots(ontology):
+        depths[cls] = 0
+    changed = True
+    while changed:
+        changed = False
+        for cls in remaining:
+            parents = ontology.superclasses_of(cls)
+            known = [depths[p] for p in parents if p in depths]
+            if known:
+                candidate = max(known) + 1
+                if depths.get(cls) != candidate and cls not in depths:
+                    depths[cls] = candidate
+                    changed = True
+    for cls in ontology.classes:
+        depths.setdefault(cls, 0)
+    return depths

@@ -1,0 +1,229 @@
+"""Line-based N-Triples reading and writing.
+
+The paper loads RDF dumps through Jena; our substrate ships a small
+self-contained N-Triples codec so ontologies can be persisted and
+reloaded without external dependencies.  The dialect supported is the
+practical core of the W3C format:
+
+* ``<uri> <uri> <uri> .`` — resource-valued statement,
+* ``<uri> <uri> "literal" .`` — literal-valued statement, with optional
+  ``^^<datatype>`` suffix and ``\\"``/``\\\\``/``\\n``/``\\t`` escapes,
+* comment lines starting with ``#`` and blank lines are skipped.
+
+Schema statements (``rdf:type``, ``rdfs:subClassOf``,
+``rdfs:subPropertyOf``) are recognized by their conventional URIs and
+routed to the ontology's schema indexes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Tuple, Union
+
+from .ontology import Ontology
+from .terms import Literal, Node, Relation, Resource
+from .vocabulary import RDF_TYPE, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF
+
+#: Full URIs of the schema relations, mapped to internal names.
+_URI_TO_SCHEMA = {
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type": RDF_TYPE.name,
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf": RDFS_SUBCLASSOF.name,
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf": RDFS_SUBPROPERTYOF.name,
+    "http://www.w3.org/2000/01/rdf-schema#label": "rdfs:label",
+}
+_SCHEMA_TO_URI = {v: k for k, v in _URI_TO_SCHEMA.items()}
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _unescape(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise NTriplesError("dangling backslash in literal")
+        nxt = text[i + 1]
+        mapping = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+        if nxt in mapping:
+            out.append(mapping[nxt])
+            i += 2
+        elif nxt == "u" and i + 6 <= len(text):
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        else:
+            raise NTriplesError(f"unsupported escape sequence \\{nxt}")
+    return "".join(out)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+def _parse_uri(token: str, line_number: int) -> str:
+    if not (token.startswith("<") and token.endswith(">")):
+        raise NTriplesError(f"expected <uri>, got {token!r}", line_number)
+    return token[1:-1]
+
+
+def parse_line(line: str, line_number: int = 0) -> Tuple[str, str, Node] | None:
+    """Parse one N-Triples line into ``(subject_uri, predicate_uri, object)``.
+
+    Returns ``None`` for blank and comment lines.  The object is either
+    a :class:`Resource` (carrying its URI as name) or a
+    :class:`Literal`.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if not stripped.endswith("."):
+        raise NTriplesError("statement must end with '.'", line_number)
+    body = stripped[:-1].strip()
+    # subject
+    if not body.startswith("<"):
+        raise NTriplesError("subject must be a <uri>", line_number)
+    end = body.index(">")
+    subject = body[1:end]
+    rest = body[end + 1 :].strip()
+    # predicate
+    if not rest.startswith("<"):
+        raise NTriplesError("predicate must be a <uri>", line_number)
+    end = rest.index(">")
+    predicate = rest[1:end]
+    obj_token = rest[end + 1 :].strip()
+    if not obj_token:
+        raise NTriplesError("missing object", line_number)
+    # object
+    obj: Node
+    if obj_token.startswith("<"):
+        obj = Resource(_parse_uri(obj_token, line_number))
+    elif obj_token.startswith('"'):
+        # find the closing unescaped quote
+        i = 1
+        while i < len(obj_token):
+            if obj_token[i] == "\\":
+                i += 2
+                continue
+            if obj_token[i] == '"':
+                break
+            i += 1
+        else:
+            raise NTriplesError("unterminated literal", line_number)
+        lexical = _unescape(obj_token[1:i])
+        suffix = obj_token[i + 1 :].strip()
+        datatype = None
+        if suffix.startswith("^^"):
+            datatype_uri = _parse_uri(suffix[2:].strip(), line_number)
+            datatype = datatype_uri.rsplit("#", 1)[-1].rsplit("/", 1)[-1]
+        elif suffix.startswith("@"):
+            pass  # language tags are accepted and dropped
+        elif suffix:
+            raise NTriplesError(f"unexpected trailing content {suffix!r}", line_number)
+        obj = Literal(lexical, datatype=datatype)
+    else:
+        raise NTriplesError(f"object must be a <uri> or a literal, got {obj_token!r}", line_number)
+    return subject, predicate, obj
+
+
+def read_ntriples(source: Union[str, Path, TextIO], name: str | None = None) -> Ontology:
+    """Load an ontology from an N-Triples file or stream.
+
+    Parameters
+    ----------
+    source:
+        Path to a ``.nt`` file, or an open text stream.
+    name:
+        Ontology name; defaults to the file stem or ``"ontology"``.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="utf-8") as stream:
+            return read_ntriples(stream, name=name or path.stem)
+    ontology = Ontology(name or "ontology")
+    for line_number, line in enumerate(source, start=1):
+        parsed = parse_line(line, line_number)
+        if parsed is None:
+            continue
+        subject_uri, predicate_uri, obj = parsed
+        predicate_name = _URI_TO_SCHEMA.get(predicate_uri, predicate_uri)
+        subject = Resource(subject_uri)
+        if predicate_name == RDFS_SUBPROPERTYOF.name:
+            if not isinstance(obj, Resource):
+                raise NTriplesError("rdfs:subPropertyOf needs a resource object", line_number)
+            sub_name = _URI_TO_SCHEMA.get(subject_uri, subject_uri)
+            sup_name = _URI_TO_SCHEMA.get(obj.name, obj.name)
+            ontology.add_subproperty(Relation(sub_name), Relation(sup_name))
+            continue
+        ontology.add(subject, Relation(predicate_name), obj)
+    return ontology
+
+
+def _render_term(node: Node) -> str:
+    if isinstance(node, Resource):
+        return f"<{node.name}>"
+    rendered = f'"{_escape(node.value)}"'
+    if node.datatype:
+        rendered += f"^^<http://www.w3.org/2001/XMLSchema#{node.datatype}>"
+    return rendered
+
+
+def write_ntriples(ontology: Ontology, target: Union[str, Path, TextIO]) -> int:
+    """Serialize an ontology to N-Triples.
+
+    Data statements are written once (forward direction), followed by
+    ``rdf:type``, ``rdfs:subClassOf`` and ``rdfs:subPropertyOf``
+    statements.  Returns the number of lines written.
+    """
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w", encoding="utf-8") as stream:
+            return write_ntriples(ontology, stream)
+    count = 0
+
+    def emit(subject: str, predicate: str, obj: str) -> None:
+        nonlocal count
+        target.write(f"<{subject}> <{predicate}> {obj} .\n")
+        count += 1
+
+    for triple in ontology.triples():
+        if not isinstance(triple.subject, Resource):
+            continue  # forward triples always have resource subjects
+        predicate_uri = _SCHEMA_TO_URI.get(triple.relation.name, triple.relation.name)
+        emit(triple.subject.name, predicate_uri, _render_term(triple.object))
+    for instance, cls in ontology.type_statements():
+        emit(instance.name, _SCHEMA_TO_URI[RDF_TYPE.name], f"<{cls.name}>")
+    for sub, sup in ontology.subclass_edges():
+        emit(sub.name, _SCHEMA_TO_URI[RDFS_SUBCLASSOF.name], f"<{sup.name}>")
+    for sub, sup in ontology.subproperty_edges():
+        emit(sub.name, _SCHEMA_TO_URI[RDFS_SUBPROPERTYOF.name], f"<{sup.name}>")
+    return count
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize an ontology to an N-Triples string."""
+    buffer = io.StringIO()
+    write_ntriples(ontology, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str, name: str = "ontology") -> Ontology:
+    """Parse an ontology from an N-Triples string."""
+    return read_ntriples(io.StringIO(text), name=name)

@@ -1,0 +1,63 @@
+"""Ontology statistics (Table 2 of the paper).
+
+Table 2 reports, for YAGO, DBpedia and IMDb, the number of instances,
+classes and relations.  :func:`describe` computes those together with a
+few extra structural figures that the dataset generators use to check
+they produced the intended shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .ontology import Ontology
+
+
+@dataclass(frozen=True)
+class OntologyStats:
+    """Structural summary of one ontology."""
+
+    name: str
+    num_instances: int
+    num_classes: int
+    num_relations: int
+    num_facts: int
+    num_type_statements: int
+    num_subclass_edges: int
+    num_literals: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Render as a Table-2 style row."""
+        return {
+            "Ontology": self.name,
+            "#Instances": self.num_instances,
+            "#Classes": self.num_classes,
+            "#Relations": self.num_relations,
+        }
+
+
+def describe(ontology: Ontology) -> OntologyStats:
+    """Compute the summary statistics of ``ontology``."""
+    return OntologyStats(
+        name=ontology.name,
+        num_instances=len(ontology.instances),
+        num_classes=len(ontology.classes),
+        num_relations=len(ontology.relations(include_inverses=False)),
+        num_facts=ontology.num_facts,
+        num_type_statements=ontology.num_type_statements,
+        num_subclass_edges=sum(1 for _ in ontology.subclass_edges()),
+        num_literals=len(ontology.literals),
+    )
+
+
+def statistics_table(ontologies: List[Ontology]) -> str:
+    """Render a Table-2 style text table for several ontologies."""
+    rows = [describe(o).as_row() for o in ontologies]
+    headers = ["Ontology", "#Instances", "#Classes", "#Relations"]
+    widths = {h: max(len(h), *(len(str(r[h])) for r in rows)) for h in headers}
+    lines = ["  ".join(h.ljust(widths[h]) for h in headers)]
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

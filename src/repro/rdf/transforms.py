@@ -1,0 +1,147 @@
+"""Structural transforms for heterogeneous modelling styles.
+
+The paper's conclusion names structural heterogeneity as PARIS's main
+limitation: "If one ontology models an event by a relation (such as
+wonAward), while the other one models it by an event entity (such as
+winningEvent, with relations winner, award, year), then paris will not
+be able to find matches."  These transforms normalize such modelling
+differences *before* alignment:
+
+* :func:`dereify` — collapse event entities into direct relations
+  (``winner(e, p) ∧ award(e, a)  ⇒  wonAward(p, a)``),
+* :func:`reify` — the opposite direction, materializing an event entity
+  per statement of a relation,
+* :func:`copy_ontology` — both transforms return modified copies and
+  never touch their input.
+
+With ``dereify`` applied to the event-style ontology, the pair becomes
+alignable by plain PARIS — see ``examples/structural_heterogeneity.py``
+and ``tests/test_transforms.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .ontology import Ontology
+from .terms import Relation, Resource
+
+def copy_ontology(ontology: Ontology, name: Optional[str] = None) -> Ontology:
+    """Deep-copy an ontology (data, types, hierarchy edges)."""
+    duplicate = Ontology(name or ontology.name)
+    for triple in ontology.triples():
+        duplicate.add_triple(triple)
+    for instance, cls in ontology.type_statements():
+        duplicate.add_type(instance, cls)
+    for sub, sup in ontology.subclass_edges():
+        duplicate.add_subclass(sub, sup)
+    for sub, sup in ontology.subproperty_edges():
+        duplicate.add_subproperty(sub, sup)
+    return duplicate
+
+
+def dereify(
+    ontology: Ontology,
+    event_class: Resource,
+    subject_relation: Relation,
+    object_relation: Relation,
+    new_relation: Relation,
+    drop_events: bool = True,
+    copy_relations: Iterable[Tuple[Relation, Relation]] = (),
+) -> Ontology:
+    """Collapse event entities into a direct relation.
+
+    For every instance ``e`` of ``event_class`` with
+    ``subject_relation(e, s)`` and ``object_relation(e, o)``, assert
+    ``new_relation(s, o)`` in the returned copy.
+
+    Parameters
+    ----------
+    event_class:
+        The class whose instances are reified events.
+    subject_relation, object_relation:
+        Event → participant relations providing the new statement's
+        subject and object.
+    new_relation:
+        The direct relation to assert.
+    drop_events:
+        If ``True`` (default), the event entities and all their
+        statements are omitted from the copy — the events have been
+        fully translated.  If ``False``, the direct statements are
+        added alongside.
+    copy_relations:
+        Extra ``(event_relation, subject_attribute_relation)`` pairs:
+        for each, a statement ``event_relation(e, v)`` becomes
+        ``subject_attribute_relation(s, v)`` — e.g. carrying the event's
+        ``year`` onto the winner as ``wonAwardYear``.
+
+    Returns
+    -------
+    Ontology
+        A transformed copy named ``"<name>+dereified"``.
+    """
+    events = set(ontology.instances_of(event_class))
+    result = Ontology(f"{ontology.name}+dereified")
+    # copy everything except (optionally) the event entities
+    for triple in ontology.triples():
+        if drop_events and (triple.subject in events or triple.object in events):
+            continue
+        result.add_triple(triple)
+    for instance, cls in ontology.type_statements():
+        if drop_events and (instance in events or cls == event_class):
+            continue
+        result.add_type(instance, cls)
+    for sub, sup in ontology.subclass_edges():
+        if drop_events and event_class in (sub, sup):
+            continue
+        result.add_subclass(sub, sup)
+    for sub, sup in ontology.subproperty_edges():
+        result.add_subproperty(sub, sup)
+    # translate the events
+    extra = list(copy_relations)
+    for event in events:
+        subjects = ontology.objects(subject_relation, event)
+        objects = ontology.objects(object_relation, event)
+        for subject in subjects:
+            for obj in objects:
+                result.add(subject, new_relation, obj)
+            for event_relation, attribute_relation in extra:
+                for value in ontology.objects(event_relation, event):
+                    result.add(subject, attribute_relation, value)
+    return result
+
+
+def reify(
+    ontology: Ontology,
+    relation: Relation,
+    event_class: Resource,
+    subject_relation: Relation,
+    object_relation: Relation,
+    event_prefix: str = "event",
+    drop_relation: bool = True,
+) -> Ontology:
+    """Materialize an event entity per statement of ``relation``.
+
+    The inverse of :func:`dereify`: each ``relation(s, o)`` becomes a
+    fresh instance ``e`` of ``event_class`` with
+    ``subject_relation(e, s)`` and ``object_relation(e, o)``.
+    """
+    result = Ontology(f"{ontology.name}+reified")
+    for triple in ontology.triples():
+        if drop_relation and triple.relation.base == relation.base:
+            continue
+        result.add_triple(triple)
+    for instance, cls in ontology.type_statements():
+        result.add_type(instance, cls)
+    for sub, sup in ontology.subclass_edges():
+        result.add_subclass(sub, sup)
+    for sub, sup in ontology.subproperty_edges():
+        result.add_subproperty(sub, sup)
+    for index, (subject, obj) in enumerate(sorted(
+        ontology.pairs(relation), key=lambda pair: (str(pair[0]), str(pair[1]))
+    )):
+        event = Resource(f"{event_prefix}:{relation.name}:{index}")
+        result.add_type(event, event_class)
+        result.add(event, subject_relation, subject)
+        result.add(event, object_relation, obj)
+    return result

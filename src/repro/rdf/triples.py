@@ -1,0 +1,43 @@
+"""Statement (triple) model.
+
+A statement ``r(x, y)`` asserts that relation ``r`` holds between ``x``
+and ``y`` (Section 3 of the paper).  Statements are value objects; the
+indexed storage lives in :class:`repro.rdf.ontology.Ontology`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .terms import Node, Relation
+
+
+class Triple(NamedTuple):
+    """One statement ``relation(subject, object)``.
+
+    Because PARIS materializes inverse relations, the subject may be a
+    literal when the relation is inverted (e.g. ``rdfs:label⁻("Elvis",
+    Elvis)``).
+    """
+
+    subject: Node
+    relation: Relation
+    object: Node
+
+    @property
+    def inverse(self) -> "Triple":
+        """The materialized inverse statement ``r⁻(y, x)``."""
+        return Triple(self.object, self.relation.inverse, self.subject)
+
+    @property
+    def canonical(self) -> "Triple":
+        """The statement oriented along the forward relation.
+
+        ``t.canonical == t.inverse.canonical`` for every triple ``t``,
+        which makes it the right key for de-duplicating a store that
+        keeps both directions.
+        """
+        return self if not self.relation.inverted else self.inverse
+
+    def __str__(self) -> str:
+        return f"{self.relation}({self.subject}, {self.object})"

@@ -1,0 +1,49 @@
+"""RDF/RDFS vocabulary constants used throughout the reproduction.
+
+The paper relies on three pieces of the RDFS vocabulary (Section 3):
+
+* ``rdf:type`` connects an instance to a class,
+* ``rdfs:subClassOf`` orders classes,
+* ``rdfs:subPropertyOf`` orders relations,
+* ``rdfs:label`` attaches human-readable names (used by the baseline of
+  Section 6.4).
+
+We use short prefixed names rather than full URIs; the substrate treats
+them as ordinary relation names, which matches how PARIS consumes its
+input after Jena loading.
+"""
+
+from __future__ import annotations
+
+from .terms import Relation, Resource
+
+#: Connects an instance to a class it belongs to.
+RDF_TYPE = Relation("rdf:type")
+
+#: Orders classes: ``rdfs:subClassOf(c, d)`` means every instance of
+#: ``c`` is an instance of ``d``.
+RDFS_SUBCLASSOF = Relation("rdfs:subClassOf")
+
+#: Orders relations: ``rdfs:subPropertyOf(r, s)`` means
+#: ``r(x, y) ⇒ s(x, y)``.
+RDFS_SUBPROPERTYOF = Relation("rdfs:subPropertyOf")
+
+#: Human-readable name of a resource.  PARIS itself never inspects
+#: labels (it is name-heuristic free), but the Section 6.4 baseline and
+#: the dataset generators use them.
+RDFS_LABEL = Relation("rdfs:label")
+
+#: Relations whose statements express schema rather than data.  These
+#: are excluded from functionality computation and from the equivalence
+#: equations: PARIS aligns schema through Eq. 12 / Eq. 17, not by
+#: treating ``rdf:type`` edges as evidence in Eq. 13.
+SCHEMA_RELATIONS = frozenset({RDF_TYPE, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF})
+
+
+def is_schema_relation(relation: Relation) -> bool:
+    """Whether ``relation`` (in either direction) is an RDFS schema relation."""
+    return relation.base in SCHEMA_RELATIONS
+
+
+#: A conventional top class; generators may use it as a hierarchy root.
+OWL_THING = Resource("owl:Thing")

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Benchmark pairs and alignment runs are session-scoped: they are
+deterministic (fixed seeds, stable hashing), so sharing them across
+tests costs nothing in isolation and saves most of the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OntologyBuilder, ParisConfig, align
+from repro.datasets import (
+    person_benchmark,
+    restaurant_benchmark,
+    yago_dbpedia_pair,
+    yago_imdb_pair,
+)
+
+
+@pytest.fixture()
+def tiny_pair():
+    """Two 2-person ontologies with disjoint vocabularies."""
+    left = (
+        OntologyBuilder("left")
+        .value("p1", "bornIn", "Tupelo")
+        .value("p1", "name", "Elvis Presley")
+        .value("p2", "bornIn", "Memphis")
+        .value("p2", "name", "Johnny Cash")
+        .type("p1", "L_Singer")
+        .type("p2", "L_Singer")
+        .build()
+    )
+    right = (
+        OntologyBuilder("right")
+        .value("x9", "birthPlace", "Tupelo")
+        .value("x9", "label", "Elvis Presley")
+        .value("x7", "birthPlace", "Memphis")
+        .value("x7", "label", "Johnny Cash")
+        .type("x9", "R_Musician")
+        .type("x7", "R_Musician")
+        .build()
+    )
+    return left, right
+
+
+@pytest.fixture(scope="session")
+def person_pair():
+    """A small person benchmark (session-cached)."""
+    return person_benchmark(num_persons=80, seed=42)
+
+
+@pytest.fixture(scope="session")
+def person_result(person_pair):
+    return align(person_pair.ontology1, person_pair.ontology2)
+
+
+@pytest.fixture(scope="session")
+def restaurant_pair():
+    return restaurant_benchmark(seed=7)
+
+
+@pytest.fixture(scope="session")
+def restaurant_result(restaurant_pair):
+    return align(restaurant_pair.ontology1, restaurant_pair.ontology2)
+
+
+@pytest.fixture(scope="session")
+def kb_pair():
+    """A scaled-down YAGO/DBpedia-like pair (session-cached)."""
+    return yago_dbpedia_pair(num_persons=400, num_works=200, seed=2011)
+
+
+@pytest.fixture(scope="session")
+def kb_result(kb_pair):
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    return align(kb_pair.ontology1, kb_pair.ontology2, config)
+
+
+@pytest.fixture(scope="session")
+def movie_pair():
+    return yago_imdb_pair(num_persons=400, num_movies=200, seed=1937)
+
+
+@pytest.fixture(scope="session")
+def movie_result(movie_pair):
+    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    return align(movie_pair.ontology1, movie_pair.ontology2, config)

@@ -1,0 +1,167 @@
+"""Unit tests for the analysis package (explanations, error forensics)."""
+
+import pytest
+
+from repro import OntologyBuilder, align
+from repro.analysis import (
+    FalseNegativeKind,
+    FalsePositiveKind,
+    classify_errors,
+    explain_match,
+    render_explanation,
+)
+from repro.evaluation.gold import GoldStandard
+from repro.rdf.terms import Relation, Resource
+
+
+class TestExplainMatch:
+    def test_explanation_recombines_to_reported(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        explanation = explain_match(left, right, result, Resource("p1"), Resource("x9"))
+        assert explanation.items
+        assert explanation.recombined_probability == pytest.approx(
+            explanation.reported_probability, abs=0.05
+        )
+
+    def test_items_carry_evidence_details(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        explanation = explain_match(left, right, result, Resource("p1"), Resource("x9"))
+        relations = {str(item.relation1) for item in explanation.items}
+        assert "name" in relations
+        assert "bornIn" in relations
+        for item in explanation.items:
+            assert 0.0 < item.prob_y <= 1.0
+            assert 0.0 <= item.factor <= 1.0
+            assert item.strength == pytest.approx(1.0 - item.factor)
+
+    def test_non_match_has_no_items(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        explanation = explain_match(left, right, result, Resource("p1"), Resource("x7"))
+        assert explanation.items == []
+        assert explanation.recombined_probability == 0.0
+
+    def test_top_items_sorted(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        explanation = explain_match(left, right, result, Resource("p1"), Resource("x9"))
+        strengths = [item.strength for item in explanation.top_items(10)]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_render(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        explanation = explain_match(left, right, result, Resource("p1"), Resource("x9"))
+        text = render_explanation(explanation)
+        assert "p1 ≡ x9" in text
+        assert "reported probability" in text
+        assert "Elvis Presley" in text
+
+
+class TestClassifyErrors:
+    @pytest.fixture()
+    def erroneous_pair(self):
+        """A pair engineered to produce one of each error kind."""
+        left = (
+            OntologyBuilder("l")
+            # a1: clean match
+            .value("a1", "name", "Alice Abel")
+            .value("a1", "phone", "111")
+            # a2: homonym trap — shares name with wrong right entity
+            .value("a2", "name", "Kim Novak")
+            .value("a2", "phone", "222")
+            # a3: label noise — no shared literal at all
+            .value("a3", "name", "Sugata Sanshiro")
+            .build()
+        )
+        right = (
+            OntologyBuilder("r")
+            .value("b1", "label", "Alice Abel")
+            .value("b1", "tel", "111")
+            # b2 is a2's gold partner but its values differ
+            .value("b2", "label", "Kim  Novak corrected")
+            .value("b2", "tel", "999")
+            # b2x shares a2's name: the homonym
+            .value("b2x", "label", "Kim Novak")
+            # b3 is a3's gold partner with swapped label
+            .value("b3", "label", "Sanshiro Sugata")
+            .build()
+        )
+        gold = GoldStandard()
+        gold.add_instances([("a1", "b1"), ("a2", "b2"), ("a3", "b3")])
+        return left, right, gold
+
+    def test_error_kinds_detected(self, erroneous_pair):
+        left, right, gold = erroneous_pair
+        result = align(left, right)
+        report = classify_errors(left, right, result, gold)
+        fp_kinds = {case.kind for case in report.false_positives}
+        fn_kinds = {case.kind for case in report.false_negatives}
+        assert FalsePositiveKind.HOMONYM in fp_kinds
+        assert FalseNegativeKind.NO_SHARED_LITERAL in fn_kinds
+        assert FalseNegativeKind.LOST_TO_RIVAL in fn_kinds
+
+    def test_correct_matches_not_reported(self, erroneous_pair):
+        left, right, gold = erroneous_pair
+        result = align(left, right)
+        report = classify_errors(left, right, result, gold)
+        mentioned = {case.left.name for case in report.false_positives}
+        mentioned |= {case.left.name for case in report.false_negatives}
+        assert "a1" not in mentioned
+
+    def test_summary_and_counts(self, erroneous_pair):
+        left, right, gold = erroneous_pair
+        result = align(left, right)
+        report = classify_errors(left, right, result, gold)
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.false_positives) + len(
+            report.false_negatives
+        )
+        assert "false positives" in report.summary()
+
+    def test_near_duplicate_detection(self):
+        """A wrong match sharing the gold counterpart's neighbourhood
+        is classified as a near duplicate (the Yukon Patrol case)."""
+        left = (
+            OntologyBuilder("l")
+            .value("m1", "title", "King Royal")
+            .fact("c1", "actedIn", "m1")
+            .fact("c2", "actedIn", "m1")
+            .value("c1", "name", "Allan Lane")
+            .value("c2", "name", "Robert Strange")
+            .build()
+        )
+        right = (
+            OntologyBuilder("r")
+            # the true counterpart, label dropped
+            .fact("d1", "cast", "w1")
+            .fact("d2", "cast", "w1")
+            # the near-duplicate variant with the same cast AND a label
+            .value("w2", "label", "King Royal")
+            .fact("d1", "cast", "w2")
+            .fact("d2", "cast", "w2")
+            .value("d1", "label", "Allan Lane")
+            .value("d2", "label", "Robert Strange")
+            .build()
+        )
+        gold = GoldStandard()
+        gold.add_instances([("m1", "w1")])
+        result = align(left, right)
+        produced = result.assignment12.get(Resource("m1"))
+        assert produced is not None and produced[0] == Resource("w2")
+        report = classify_errors(left, right, result, gold)
+        assert any(
+            case.kind == FalsePositiveKind.NEAR_DUPLICATE
+            for case in report.false_positives
+        )
+
+    def test_perfect_alignment_empty_report(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right)
+        gold = GoldStandard()
+        gold.add_instances([("p1", "x9"), ("p2", "x7")])
+        report = classify_errors(left, right, result, gold)
+        assert not report.false_positives
+        assert not report.false_negatives

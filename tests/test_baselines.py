@@ -1,0 +1,114 @@
+"""Unit tests for the baselines (Section 6.4 label matcher, ObjectCoref)."""
+
+import pytest
+
+from repro.baselines import (
+    OBJECTCOREF_RESULTS,
+    align_by_labels,
+    detect_label_relations,
+    self_training_matcher,
+)
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.terms import Relation, Resource
+
+
+class TestDetectLabelRelations:
+    def test_detects_conventional_names(self):
+        onto = (
+            OntologyBuilder("t")
+            .value("a", "rdfs:label", "x")
+            .value("a", "dbp:name", "y")
+            .value("a", "born", "1950")
+            .build()
+        )
+        detected = {r.name for r in detect_label_relations(onto)}
+        assert detected == {"rdfs:label", "dbp:name"}
+
+
+class TestLabelMatcher:
+    def test_matches_unambiguous_shared_label(self):
+        left = OntologyBuilder("l").value("a", "rdfs:label", "Elvis").build()
+        right = OntologyBuilder("r").value("x", "imdb:label", "Elvis").build()
+        assignment = align_by_labels(left, right)
+        assert assignment[Resource("a")] == (Resource("x"), 1.0)
+
+    def test_ambiguous_label_not_matched(self):
+        left = (
+            OntologyBuilder("l")
+            .value("a", "rdfs:label", "Kim")
+            .value("b", "rdfs:label", "Kim")
+            .build()
+        )
+        right = OntologyBuilder("r").value("x", "imdb:label", "Kim").build()
+        assert align_by_labels(left, right) == {}
+
+    def test_label_mismatch_not_matched(self):
+        left = OntologyBuilder("l").value("a", "rdfs:label", "Sugata Sanshiro").build()
+        right = OntologyBuilder("r").value("x", "imdb:label", "Sanshiro Sugata").build()
+        assert align_by_labels(left, right) == {}
+
+    def test_explicit_label_relations(self):
+        left = OntologyBuilder("l").value("a", "title", "Elvis").build()
+        right = OntologyBuilder("r").value("x", "caption", "Elvis").build()
+        assignment = align_by_labels(
+            left,
+            right,
+            label_relations1=[Relation("title")],
+            label_relations2=[Relation("caption")],
+        )
+        assert Resource("a") in assignment
+
+    def test_conflicting_candidates_dropped(self):
+        left = (
+            OntologyBuilder("l")
+            .value("a", "rdfs:label", "Alpha")
+            .value("a", "rdfs:name", "Beta")
+            .build()
+        )
+        right = (
+            OntologyBuilder("r")
+            .value("x", "imdb:label", "Alpha")
+            .value("y", "imdb:label", "Beta")
+            .build()
+        )
+        # 'a' has two disagreeing candidates -> no match
+        assert align_by_labels(left, right) == {}
+
+
+class TestObjectCoref:
+    def test_reported_constants(self):
+        person = OBJECTCOREF_RESULTS["person"]
+        assert person.f1 == 1.0
+        restaurant = OBJECTCOREF_RESULTS["restaurant"]
+        assert restaurant.f1 == 0.90
+        assert restaurant.precision is None
+
+    def test_self_training_seeds_and_expands(self):
+        left = (
+            OntologyBuilder("l")
+            .value("a", "name", "Elvis")
+            .value("a", "phone", "111")
+            .value("b", "name", "Kim")       # ambiguous name below
+            .value("b", "phone", "222")
+            .value("b", "city", "Memphis")
+            .build()
+        )
+        right = (
+            OntologyBuilder("r")
+            .value("x", "label", "Elvis")
+            .value("x", "tel", "111")
+            .value("y", "label", "Kim")
+            .value("z", "label", "Kim")
+            .value("y", "tel", "222")
+            .value("y", "town", "Memphis")
+            .build()
+        )
+        assignment = self_training_matcher(left, right)
+        assert assignment[Resource("a")][0] == Resource("x")
+        # 'b' is recovered in the expansion round through phone+city overlap
+        assert assignment[Resource("b")][0] == Resource("y")
+
+    def test_self_training_no_overlap(self):
+        left = OntologyBuilder("l").value("a", "name", "Alpha").build()
+        right = OntologyBuilder("r").value("x", "label", "Omega").build()
+        assert self_training_matcher(left, right) == {}

@@ -1,0 +1,110 @@
+"""Unit tests for OntologyBuilder, Triple, and ontology statistics."""
+
+import pytest
+
+from repro.rdf import OntologyBuilder, Triple, describe, statistics_table
+from repro.rdf.builder import as_literal, as_node, as_relation, as_resource
+from repro.rdf.terms import Literal, Relation, Resource
+
+
+class TestCoercions:
+    def test_as_resource(self):
+        assert as_resource("x") == Resource("x")
+        assert as_resource(Resource("x")) == Resource("x")
+
+    def test_as_relation_parses_inverse(self):
+        assert as_relation("r^-1") == Relation("r", inverted=True)
+        assert as_relation(Relation("r")) == Relation("r")
+
+    def test_as_node_numbers_become_literals(self):
+        assert as_node(42) == Literal("42")
+        assert as_node("x") == Resource("x")
+        assert as_node(Literal("x")) == Literal("x")
+
+    def test_as_literal(self):
+        assert as_literal("x") == Literal("x")
+        assert as_literal(5) == Literal("5")
+
+
+class TestBuilder:
+    def test_fact_and_value(self):
+        onto = (
+            OntologyBuilder("t")
+            .fact("a", "r", "b")
+            .value("a", "s", "text")
+            .build()
+        )
+        assert onto.has(Resource("a"), Relation("r"), Resource("b"))
+        assert onto.has(Resource("a"), Relation("s"), Literal("text"))
+
+    def test_closed_builds_deductive_closure(self):
+        onto = (
+            OntologyBuilder("t")
+            .type("e", "c")
+            .subclass("c", "d")
+            .closed()
+            .build()
+        )
+        assert Resource("e") in onto.instances_of(Resource("d"))
+
+    def test_unclosed_does_not(self):
+        onto = OntologyBuilder("t").type("e", "c").subclass("c", "d").build()
+        assert Resource("e") not in onto.instances_of(Resource("d"))
+
+    def test_chaining_returns_builder(self):
+        builder = OntologyBuilder("t")
+        assert builder.fact("a", "r", "b") is builder
+
+
+class TestTriple:
+    def test_inverse(self):
+        triple = Triple(Resource("a"), Relation("r"), Resource("b"))
+        assert triple.inverse == Triple(Resource("b"), Relation("r").inverse, Resource("a"))
+
+    def test_canonical_of_forward_is_self(self):
+        triple = Triple(Resource("a"), Relation("r"), Resource("b"))
+        assert triple.canonical == triple
+
+    def test_canonical_of_inverse_flips(self):
+        triple = Triple(Resource("b"), Relation("r", inverted=True), Resource("a"))
+        assert triple.canonical == Triple(Resource("a"), Relation("r"), Resource("b"))
+        assert triple.canonical == triple.inverse
+
+    def test_str(self):
+        triple = Triple(Resource("a"), Relation("r"), Resource("b"))
+        assert str(triple) == "r(a, b)"
+
+
+class TestStats:
+    @pytest.fixture()
+    def onto(self):
+        return (
+            OntologyBuilder("demo")
+            .fact("a", "r", "b")
+            .value("a", "s", "lit")
+            .type("a", "C")
+            .subclass("C", "D")
+            .build()
+        )
+
+    def test_describe(self, onto):
+        stats = describe(onto)
+        assert stats.name == "demo"
+        assert stats.num_instances == 2
+        assert stats.num_classes == 2
+        assert stats.num_relations == 2
+        assert stats.num_facts == 2
+        assert stats.num_type_statements == 1
+        assert stats.num_subclass_edges == 1
+        assert stats.num_literals == 1
+
+    def test_as_row(self, onto):
+        row = describe(onto).as_row()
+        assert row["Ontology"] == "demo"
+        assert row["#Instances"] == 2
+
+    def test_statistics_table(self, onto):
+        table = statistics_table([onto])
+        assert "demo" in table
+        assert "#Instances" in table
+        assert len(table.splitlines()) == 3

@@ -1,0 +1,128 @@
+"""Unit tests for deductive closure (repro.rdf.closure)."""
+
+import pytest
+
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.closure import (
+    deductive_closure,
+    depth_map,
+    is_subclass_of,
+    leaves,
+    roots,
+    superclass_closure,
+    superproperty_closure,
+    transitive_closure,
+)
+from repro.rdf.terms import Relation, Resource
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        edges = {"a": {"b"}, "b": {"c"}, "c": {"d"}}
+        closed = transitive_closure(edges)
+        assert closed["a"] == {"b", "c", "d"}
+        assert closed["c"] == {"d"}
+
+    def test_diamond(self):
+        edges = {"a": {"b", "c"}, "b": {"d"}, "c": {"d"}}
+        assert transitive_closure(edges)["a"] == {"b", "c", "d"}
+
+    def test_cycle_terminates(self):
+        edges = {"a": {"b"}, "b": {"a"}}
+        closed = transitive_closure(edges)
+        assert "a" in closed["b"]
+        assert "b" in closed["a"]
+
+    def test_self_loop(self):
+        closed = transitive_closure({"a": {"a"}})
+        assert closed["a"] == {"a"}
+
+    def test_empty(self):
+        assert transitive_closure({}) == {}
+
+
+class TestDeductiveClosure:
+    def test_membership_propagates_up(self):
+        onto = (
+            OntologyBuilder("t")
+            .type("Elvis", "singer")
+            .subclass("singer", "artist")
+            .subclass("artist", "person")
+            .build()
+        )
+        added = deductive_closure(onto)
+        assert added == 2
+        assert Resource("Elvis") in onto.instances_of(Resource("artist"))
+        assert Resource("Elvis") in onto.instances_of(Resource("person"))
+
+    def test_statements_propagate_to_superproperties(self):
+        onto = (
+            OntologyBuilder("t")
+            .fact("Paris", "capitalOf", "France")
+            .subproperty("capitalOf", "locatedIn")
+            .build()
+        )
+        deductive_closure(onto)
+        assert onto.has(Resource("Paris"), Relation("locatedIn"), Resource("France"))
+
+    def test_idempotent(self):
+        onto = (
+            OntologyBuilder("t")
+            .type("Elvis", "singer")
+            .subclass("singer", "person")
+            .build()
+        )
+        assert deductive_closure(onto) == 1
+        assert deductive_closure(onto) == 0
+
+    def test_transitive_subproperty_chain(self):
+        onto = (
+            OntologyBuilder("t")
+            .fact("a", "r1", "b")
+            .subproperty("r1", "r2")
+            .subproperty("r2", "r3")
+            .build()
+        )
+        deductive_closure(onto)
+        assert onto.has(Resource("a"), Relation("r3"), Resource("b"))
+
+
+class TestHierarchyQueries:
+    @pytest.fixture()
+    def onto(self):
+        return (
+            OntologyBuilder("t")
+            .subclass("singer", "artist")
+            .subclass("artist", "person")
+            .subclass("painter", "artist")
+            .build()
+        )
+
+    def test_superclass_closure(self, onto):
+        closure = superclass_closure(onto)
+        assert closure[Resource("singer")] == {Resource("artist"), Resource("person")}
+
+    def test_is_subclass_of(self, onto):
+        assert is_subclass_of(onto, Resource("singer"), Resource("person"))
+        assert is_subclass_of(onto, Resource("singer"), Resource("singer"))
+        assert not is_subclass_of(onto, Resource("person"), Resource("singer"))
+
+    def test_roots_and_leaves(self, onto):
+        assert roots(onto) == {Resource("person")}
+        assert leaves(onto) == {Resource("singer"), Resource("painter")}
+
+    def test_depth_map(self, onto):
+        depths = depth_map(onto)
+        assert depths[Resource("person")] == 0
+        assert depths[Resource("artist")] == 1
+        assert depths[Resource("singer")] == 2
+
+    def test_superproperty_closure(self):
+        onto = (
+            OntologyBuilder("t")
+            .subproperty("r1", "r2")
+            .subproperty("r2", "r3")
+            .build()
+        )
+        closure = superproperty_closure(onto)
+        assert closure[Relation("r1")] == {Relation("r2"), Relation("r3")}

@@ -1,0 +1,153 @@
+"""Unit tests for the N-Triples and TSV codecs."""
+
+import io
+
+import pytest
+
+from repro.rdf import ntriples, tsv
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.ntriples import NTriplesError, parse_line
+from repro.rdf.terms import Literal, Relation, Resource
+from repro.rdf.tsv import TsvError
+
+
+@pytest.fixture()
+def onto():
+    return (
+        OntologyBuilder("demo")
+        .fact("Elvis", "bornIn", "Tupelo")
+        .value("Elvis", "rdfs:label", 'Elvis "The King" Presley')
+        .value("Elvis", "born", Literal("1935-01-08", datatype="date"))
+        .type("Elvis", "singer")
+        .subclass("singer", "person")
+        .subproperty("bornIn", "locatedAt")
+        .build()
+    )
+
+
+class TestNTriplesParsing:
+    def test_resource_object(self):
+        parsed = parse_line("<a> <r> <b> .")
+        assert parsed == ("a", "r", Resource("b"))
+
+    def test_literal_object(self):
+        parsed = parse_line('<a> <r> "hello" .')
+        assert parsed[2] == Literal("hello")
+
+    def test_literal_with_datatype(self):
+        parsed = parse_line(
+            '<a> <r> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert parsed[2] == Literal("5")
+        assert parsed[2].datatype == "integer"
+
+    def test_literal_with_language_tag(self):
+        parsed = parse_line('<a> <r> "bonjour"@fr .')
+        assert parsed[2] == Literal("bonjour")
+
+    def test_escapes(self):
+        parsed = parse_line('<a> <r> "line\\nbreak \\"quoted\\" tab\\t" .')
+        assert parsed[2].value == 'line\nbreak "quoted" tab\t'
+
+    def test_unicode_escape(self):
+        parsed = parse_line('<a> <r> "\\u00e9" .')
+        assert parsed[2].value == "é"
+
+    def test_comment_and_blank_lines(self):
+        assert parse_line("# comment") is None
+        assert parse_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a> <r> <b>",          # missing dot
+            "a <r> <b> .",          # bare subject
+            "<a> r <b> .",          # bare predicate
+            "<a> <r> .",            # missing object
+            '<a> <r> "unterminated .',
+            '<a> <r> "x" junk .',
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_line(bad, line_number=3)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as exc:
+            ntriples.loads("<a> <r> <b>\n")
+        assert "line 1" in str(exc.value)
+
+
+class TestNTriplesRoundTrip:
+    def test_round_trip_preserves_statements(self, onto):
+        text = ntriples.dumps(onto)
+        loaded = ntriples.loads(text, name="demo")
+        assert loaded.has(Resource("Elvis"), Relation("bornIn"), Resource("Tupelo"))
+        assert Literal('Elvis "The King" Presley') in loaded.literals
+        assert Resource("Elvis") in loaded.instances_of(Resource("singer"))
+        assert Resource("person") in loaded.superclasses_of(Resource("singer"))
+        assert Relation("locatedAt") in loaded.superproperties_of(Relation("bornIn"))
+
+    def test_round_trip_counts(self, onto):
+        loaded = ntriples.loads(ntriples.dumps(onto))
+        assert loaded.num_facts == onto.num_facts
+        assert loaded.num_type_statements == onto.num_type_statements
+
+    def test_schema_uris_used_on_output(self, onto):
+        text = ntriples.dumps(onto)
+        assert "rdf-syntax-ns#type" in text
+        assert "rdf-schema#subClassOf" in text
+        assert "rdf-schema#label" in text
+
+    def test_file_round_trip(self, onto, tmp_path):
+        path = tmp_path / "demo.nt"
+        ntriples.write_ntriples(onto, path)
+        loaded = ntriples.read_ntriples(path)
+        assert loaded.name == "demo"
+        assert loaded.num_facts == onto.num_facts
+
+
+class TestTsv:
+    def test_round_trip(self, onto):
+        loaded = tsv.loads(tsv.dumps(onto), name="demo")
+        assert loaded.has(Resource("Elvis"), Relation("bornIn"), Resource("Tupelo"))
+        assert Literal('Elvis "The King" Presley') in loaded.literals
+        assert Resource("Elvis") in loaded.instances_of(Resource("singer"))
+        assert Resource("person") in loaded.superclasses_of(Resource("singer"))
+        assert Relation("locatedAt") in loaded.superproperties_of(Relation("bornIn"))
+
+    def test_literals_are_quoted(self, onto):
+        text = tsv.dumps(onto)
+        assert '"Elvis \\"The King\\" Presley"' in text
+
+    def test_tab_in_literal_escaped(self):
+        onto = OntologyBuilder("t").value("a", "r", "x\ty").build()
+        loaded = tsv.loads(tsv.dumps(onto))
+        assert Literal("x\ty") in loaded.literals
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(TsvError):
+            tsv.loads("a\tb\n")
+
+    def test_comments_skipped(self):
+        loaded = tsv.loads("# header\na\tr\tb\n")
+        assert loaded.num_facts == 1
+
+    def test_file_round_trip(self, onto, tmp_path):
+        path = tmp_path / "demo.tsv"
+        tsv.write_tsv(onto, path)
+        loaded = tsv.read_tsv(path)
+        assert loaded.num_facts == onto.num_facts
+
+    def test_inverse_relation_names_round_trip(self):
+        onto = OntologyBuilder("t").fact("a", "r^-1", "b").build()
+        loaded = tsv.loads(tsv.dumps(onto))
+        # r^-1(a, b) is stored as r(b, a); serialization is canonical.
+        assert loaded.has(Resource("b"), Relation("r"), Resource("a"))
+
+
+def test_cross_codec_equivalence(onto):
+    """Both codecs must preserve identical content."""
+    via_nt = ntriples.loads(ntriples.dumps(onto))
+    via_tsv = tsv.loads(tsv.dumps(onto))
+    assert set(via_nt.triples()) == set(via_tsv.triples())

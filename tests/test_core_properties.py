@@ -1,0 +1,115 @@
+"""Property-based tests on the probabilistic model's invariants.
+
+Random small ontology pairs are generated and aligned; regardless of
+the inputs:
+
+* every stored probability lies in ``(0, 1]``,
+* the equivalence store stays symmetric between its two indexes,
+* maximal assignments are injective per side (one counterpart each),
+* alignment is deterministic,
+* aligning an ontology against a *renamed copy* of itself recovers the
+  identity mapping whenever values are unique.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OntologyBuilder, ParisConfig, align
+from repro.rdf.terms import Resource
+
+# Small world: a handful of subjects, relations, values.
+subjects = st.integers(min_value=0, max_value=5)
+relations = st.sampled_from(["r1", "r2", "r3"])
+values = st.sampled_from(["u", "v", "w", "x", "y", "z"])
+fact = st.tuples(subjects, relations, values)
+fact_lists = st.lists(fact, min_size=1, max_size=15)
+
+
+def build_pair(facts1, facts2):
+    builder1 = OntologyBuilder("left")
+    for subject, relation, value in facts1:
+        builder1.value(f"a{subject}", f"L{relation}", value)
+    builder2 = OntologyBuilder("right")
+    for subject, relation, value in facts2:
+        builder2.value(f"b{subject}", f"R{relation}", value)
+    return builder1.build(), builder2.build()
+
+
+@given(facts1=fact_lists, facts2=fact_lists)
+@settings(max_examples=40, deadline=None)
+def test_probabilities_bounded(facts1, facts2):
+    left, right = build_pair(facts1, facts2)
+    result = align(left, right, ParisConfig(max_iterations=3))
+    for _l, _r, probability in result.instances.items():
+        assert 0.0 < probability <= 1.0
+    for matrix in (result.relations12, result.relations21,
+                   result.classes12, result.classes21):
+        for _a, _b, probability in matrix.items():
+            assert 0.0 < probability <= 1.0
+
+
+@given(facts1=fact_lists, facts2=fact_lists)
+@settings(max_examples=40, deadline=None)
+def test_store_is_symmetric(facts1, facts2):
+    left, right = build_pair(facts1, facts2)
+    result = align(left, right, ParisConfig(max_iterations=3))
+    for l, r, probability in result.instances.items():
+        assert result.instances.equals_of_right(r)[l] == probability
+
+
+@given(facts1=fact_lists, facts2=fact_lists)
+@settings(max_examples=40, deadline=None)
+def test_maximal_assignment_is_single_valued(facts1, facts2):
+    left, right = build_pair(facts1, facts2)
+    result = align(left, right, ParisConfig(max_iterations=3))
+    # each left instance appears exactly once in assignment12 (dict) and
+    # every assigned counterpart is an instance of the right ontology.
+    for l, (r, _p) in result.assignment12.items():
+        assert l in left.instances
+        assert r in right.instances
+
+
+@given(facts=fact_lists)
+@settings(max_examples=40, deadline=None)
+def test_deterministic(facts):
+    left, right = build_pair(facts, facts)
+    first = align(left, right, ParisConfig(max_iterations=3))
+    second = align(left, right, ParisConfig(max_iterations=3))
+    assert {
+        (l.name, r.name, round(p, 12)) for l, r, p in first.instances.items()
+    } == {(l.name, r.name, round(p, 12)) for l, r, p in second.instances.items()}
+
+
+@given(
+    unique_values=st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]),
+        min_size=2,
+        max_size=6,
+        unique=True,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_renamed_copy_recovers_identity(unique_values):
+    """Each instance has a unique value: the renamed copy must align to
+    the identity mapping with probability approaching 1."""
+    builder1 = OntologyBuilder("left")
+    builder2 = OntologyBuilder("right")
+    for i, value in enumerate(unique_values):
+        builder1.value(f"a{i}", "Lname", value)
+        builder2.value(f"b{i}", "Rname", value)
+    result = align(builder1.build(), builder2.build())
+    for i in range(len(unique_values)):
+        counterpart, probability = result.assignment12[Resource(f"a{i}")]
+        assert counterpart == Resource(f"b{i}")
+        assert probability > 0.5
+
+
+@given(facts1=fact_lists, facts2=fact_lists, theta=st.sampled_from([0.05, 0.1, 0.2]))
+@settings(max_examples=25, deadline=None)
+def test_truncation_respects_theta(facts1, facts2, theta):
+    left, right = build_pair(facts1, facts2)
+    result = align(left, right, ParisConfig(theta=theta, max_iterations=3))
+    for _l, _r, probability in result.instances.items():
+        assert probability >= theta

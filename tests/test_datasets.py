@@ -1,0 +1,200 @@
+"""Structural tests for the benchmark generators.
+
+These check the *datasets* (sizes, vocabulary disjointness, gold
+consistency, determinism) — alignment quality on them is covered by the
+integration tests.
+"""
+
+import pytest
+
+from repro.datasets import (
+    person_benchmark,
+    restaurant_benchmark,
+    yago_dbpedia_pair,
+    yago_imdb_pair,
+)
+from repro.rdf.terms import Resource
+
+
+def assert_disjoint_vocabulary(pair):
+    left = {r.name for r in pair.ontology1.relations()}
+    right = {r.name for r in pair.ontology2.relations()}
+    assert not left & right
+    left_instances = {i.name for i in pair.ontology1.instances}
+    right_instances = {i.name for i in pair.ontology2.instances}
+    assert not left_instances & right_instances
+    left_classes = {c.name for c in pair.ontology1.classes}
+    right_classes = {c.name for c in pair.ontology2.classes}
+    assert not left_classes & right_classes
+
+
+def assert_gold_instances_exist(pair):
+    left_names = {i.name for i in pair.ontology1.instances}
+    right_names = {i.name for i in pair.ontology2.instances}
+    for left, right in pair.gold.instance_pairs:
+        assert left in left_names
+        assert right in right_names
+
+
+class TestPersonBenchmark:
+    def test_gold_size_matches_parameter(self, person_pair):
+        assert person_pair.gold.num_instances == 80
+
+    def test_paper_scale_default(self):
+        pair = person_benchmark(num_persons=120, seed=1)
+        assert pair.gold.num_instances == 120
+
+    def test_four_classes_each_side(self, person_pair):
+        assert len(person_pair.ontology1.classes) == 4
+        assert len(person_pair.ontology2.classes) == 4
+
+    def test_twenty_gold_relations(self, person_pair):
+        assert person_pair.gold.num_relations == 20
+
+    def test_disjoint_vocabulary(self, person_pair):
+        assert_disjoint_vocabulary(person_pair)
+
+    def test_gold_instances_exist(self, person_pair):
+        assert_gold_instances_exist(person_pair)
+
+    def test_deterministic(self):
+        first = person_benchmark(num_persons=30, seed=5)
+        second = person_benchmark(num_persons=30, seed=5)
+        assert set(first.ontology1.triples()) == set(second.ontology1.triples())
+        assert first.gold.instance_pairs == second.gold.instance_pairs
+
+    def test_different_seeds_differ(self):
+        first = person_benchmark(num_persons=30, seed=5)
+        second = person_benchmark(num_persons=30, seed=6)
+        assert set(first.ontology1.triples()) != set(second.ontology1.triples())
+
+
+class TestRestaurantBenchmark:
+    def test_gold_size(self, restaurant_pair):
+        assert restaurant_pair.gold.num_instances == 112
+
+    def test_second_ontology_larger(self, restaurant_pair):
+        rest1 = [i for i in restaurant_pair.ontology1.instances]
+        rest2 = [i for i in restaurant_pair.ontology2.instances]
+        assert len(rest2) > len(rest1)
+
+    def test_twelve_gold_relations(self, restaurant_pair):
+        assert restaurant_pair.gold.num_relations == 12
+
+    def test_four_classes(self, restaurant_pair):
+        assert len(restaurant_pair.ontology1.classes) == 4
+
+    def test_disjoint_vocabulary(self, restaurant_pair):
+        assert_disjoint_vocabulary(restaurant_pair)
+
+    def test_gold_instances_exist(self, restaurant_pair):
+        assert_gold_instances_exist(restaurant_pair)
+
+    def test_noise_dials(self):
+        clean = restaurant_benchmark(seed=3, format_noise=0.0, content_noise=0.0,
+                                     drop_fact=0.0)
+        noisy = restaurant_benchmark(seed=3, format_noise=0.9, content_noise=0.0,
+                                     drop_fact=0.0)
+        clean_literals = {l.value for l in clean.ontology2.literals}
+        noisy_literals = {l.value for l in noisy.ontology2.literals}
+        assert clean_literals != noisy_literals
+
+
+class TestKbPair:
+    def test_structure(self, kb_pair):
+        stats1 = kb_pair.ontology1
+        stats2 = kb_pair.ontology2
+        # YAGO side: many fine-grained classes; DBpedia side: few.
+        assert len(stats1.classes) > 5 * len(stats2.classes)
+        assert len(stats1.instances) > 100
+        assert len(stats2.instances) > 100
+
+    def test_partial_overlap(self, kb_pair):
+        shared = kb_pair.gold.num_instances
+        assert shared < len(kb_pair.ontology1.instances)
+        assert shared < len(kb_pair.ontology2.instances)
+        assert shared > 0
+
+    def test_disjoint_vocabulary(self, kb_pair):
+        assert_disjoint_vocabulary(kb_pair)
+
+    def test_gold_instances_exist(self, kb_pair):
+        assert_gold_instances_exist(kb_pair)
+
+    def test_class_gold_includes_occupation_mappings(self, kb_pair):
+        # y:physicist ⊆ dbp:Scientist by construction
+        assert ("y:physicist", "dbp:Scientist") in kb_pair.gold.class_inclusions_12
+
+    def test_granularity_mixing_present(self, kb_pair):
+        """dbp:birthPlace points at cities AND countries."""
+        from repro.rdf.terms import Relation
+        targets = {obj for _s, obj in kb_pair.ontology2.pairs(Relation("dbp:birthPlace"))}
+        country_classes = kb_pair.ontology2.instances_of(Resource("dbp:Country"))
+        city_classes = kb_pair.ontology2.instances_of(Resource("dbp:City"))
+        assert targets & country_classes
+        assert targets & city_classes
+
+    def test_deterministic(self):
+        first = yago_dbpedia_pair(num_persons=50, num_works=20, seed=9)
+        second = yago_dbpedia_pair(num_persons=50, num_works=20, seed=9)
+        assert set(first.ontology2.triples()) == set(second.ontology2.triples())
+
+
+class TestMoviePair:
+    def test_structure(self, movie_pair):
+        # IMDb side is bigger (obscure actors) with fewer classes.
+        assert len(movie_pair.ontology2.instances) > len(movie_pair.ontology1.instances)
+        assert len(movie_pair.ontology1.classes) > len(movie_pair.ontology2.classes)
+
+    def test_disjoint_vocabulary(self, movie_pair):
+        assert_disjoint_vocabulary(movie_pair)
+
+    def test_gold_instances_exist(self, movie_pair):
+        assert_gold_instances_exist(movie_pair)
+
+    def test_variants_only_in_imdb(self):
+        pair = yago_imdb_pair(num_persons=300, num_movies=300, seed=11)
+        # variants exist in the world and are IMDb-exclusive
+        variant_uids = [
+            uid for uid in pair.mapping2 if uid not in pair.mapping1
+            and uid.startswith("movie")
+        ]
+        assert variant_uids, "expected IMDb-only movies (incl. variants)"
+
+    def test_documentary_subjects_bridge_populations(self, movie_pair):
+        """Some famous non-movie people must be present in both KBs."""
+        shared_uids = set(movie_pair.mapping1) & set(movie_pair.mapping2)
+        person_uids = {uid for uid in shared_uids if uid.startswith("person")}
+        assert person_uids
+
+    def test_deterministic(self):
+        first = yago_imdb_pair(num_persons=100, num_movies=60, seed=3)
+        second = yago_imdb_pair(num_persons=100, num_movies=60, seed=3)
+        assert first.gold.instance_pairs == second.gold.instance_pairs
+
+
+class TestPersonCorruption:
+    """The optional person2-style corruption knobs."""
+
+    def test_default_is_clean(self):
+        pair = person_benchmark(num_persons=30, seed=5)
+        values1 = {l.value for l in pair.ontology1.literals}
+        values2 = {l.value for l in pair.ontology2.literals}
+        assert values1 == values2
+
+    def test_noise_changes_values(self):
+        clean = person_benchmark(num_persons=30, seed=5)
+        noisy = person_benchmark(num_persons=30, seed=5,
+                                 format_noise=0.5, content_noise=0.1)
+        assert {l.value for l in clean.ontology2.literals} != {
+            l.value for l in noisy.ontology2.literals
+        }
+
+    def test_corrupted_copy_still_aligns_reasonably(self):
+        from repro import align
+        from repro.evaluation.metrics import evaluate_instances
+        pair = person_benchmark(num_persons=60, seed=5,
+                                format_noise=0.2, content_noise=0.05)
+        result = align(pair.ontology1, pair.ontology2)
+        prf = evaluate_instances(result.assignment12, pair.gold)
+        assert prf.f1 >= 0.8  # degraded but robust, like OAEI person2

@@ -1,0 +1,174 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Unicode stress, reflexive and self-loop statements, pathological
+ontologies (cyclic hierarchies, duplicated values everywhere), and
+partially corrupt input files: the library must either work or fail
+with a clear error — never crash obscurely or return out-of-range
+probabilities.
+"""
+
+import pytest
+
+from repro import (
+    NormalizedIdentitySimilarity,
+    OntologyBuilder,
+    ParisConfig,
+    align,
+)
+from repro.rdf import ntriples
+from repro.rdf.closure import deductive_closure
+from repro.rdf.ntriples import NTriplesError
+from repro.rdf.terms import Literal, Relation, Resource
+
+
+class TestUnicode:
+    def test_unicode_literals_roundtrip(self):
+        onto = (
+            OntologyBuilder("t")
+            .value("a", "label", "Sugata Sanshirô 姿三四郎")
+            .value("b", "label", "Fürstenfeldbruck — čeština")
+            .build()
+        )
+        loaded = ntriples.loads(ntriples.dumps(onto))
+        assert Literal("Sugata Sanshirô 姿三四郎") in loaded.literals
+
+    def test_unicode_alignment(self):
+        left = OntologyBuilder("l").value("a", "n", "Č愛☂").build()
+        right = OntologyBuilder("r").value("x", "m", "Č愛☂").build()
+        result = align(left, right)
+        assert result.assignment12[Resource("a")][0] == Resource("x")
+
+    def test_unicode_resource_names(self):
+        left = OntologyBuilder("l").value("résumé:éntity", "n", "v").build()
+        right = OntologyBuilder("r").value("другой", "m", "v").build()
+        result = align(left, right)
+        assert len(result.assignment12) == 1
+
+
+class TestPathologicalStructures:
+    def test_self_loop_statement(self):
+        onto = OntologyBuilder("t").fact("a", "knows", "a").build()
+        assert onto.has(Resource("a"), Relation("knows"), Resource("a"))
+        assert onto.num_statements(Relation("knows")) == 1
+        # the inverse self-loop is the same statement seen backwards
+        assert onto.has(Resource("a"), Relation("knows").inverse, Resource("a"))
+
+    def test_cyclic_class_hierarchy_closure_terminates(self):
+        onto = (
+            OntologyBuilder("t")
+            .subclass("A", "B")
+            .subclass("B", "C")
+            .subclass("C", "A")
+            .type("x", "A")
+            .build()
+        )
+        deductive_closure(onto)
+        # x ends up in every class of the cycle
+        for cls in ("A", "B", "C"):
+            assert Resource("x") in onto.instances_of(Resource(cls))
+
+    def test_alignment_with_cyclic_hierarchies(self):
+        left = (
+            OntologyBuilder("l")
+            .subclass("LA", "LB")
+            .subclass("LB", "LA")
+            .type("a", "LA")
+            .value("a", "n", "v")
+            .build()
+        )
+        right = (
+            OntologyBuilder("r")
+            .type("x", "RA")
+            .value("x", "m", "v")
+            .build()
+        )
+        result = align(left, right)  # must not hang or crash
+        assert result.assignment12[Resource("a")][0] == Resource("x")
+
+    def test_everything_shares_one_value(self):
+        """A value shared by all instances (like a country of birth)
+        must not produce confident matches on its own."""
+        builder1 = OntologyBuilder("l")
+        builder2 = OntologyBuilder("r")
+        for i in range(12):
+            builder1.value(f"a{i}", "n", "common")
+            builder2.value(f"b{i}", "m", "common")
+        result = align(builder1.build(), builder2.build())
+        for _l, _r, probability in result.instances.items():
+            assert probability < 0.5
+
+    def test_instance_with_huge_fanout(self):
+        """One subject with many objects: functionality collapses and
+        the relation stops being strong evidence."""
+        builder1 = OntologyBuilder("l")
+        builder2 = OntologyBuilder("r")
+        builder1.value("hub", "n", "hub-label")
+        builder2.value("bub", "m", "hub-label")
+        for i in range(50):
+            builder1.fact("hub", "linksTo", f"a{i}")
+            builder2.fact("bub", "linksTo2", f"b{i}")
+            builder1.value(f"a{i}", "n", f"v{i}")
+            builder2.value(f"b{i}", "m", f"v{i}")
+        result = align(builder1.build(), builder2.build(),
+                       ParisConfig(max_iterations=3))
+        # all leaves still match through their unique labels
+        assert result.assignment12[Resource("a7")][0] == Resource("b7")
+
+    def test_empty_string_valued_literal_rejected_by_terms(self):
+        # empty literal values are allowed (they occur in dirty data)
+        literal = Literal("")
+        assert literal.value == ""
+        # but an all-empty pair must not explode the normalized measure
+        sim = NormalizedIdentitySimilarity()
+        assert sim(literal, Literal("")) == 1.0
+
+
+class TestCorruptInputs:
+    def test_partially_corrupt_ntriples_reports_line(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text(
+            "<a> <r> <b> .\n"
+            "garbage line here\n"
+            "<c> <r> <d> .\n"
+        )
+        with pytest.raises(NTriplesError) as exc:
+            ntriples.read_ntriples(path)
+        assert "line 2" in str(exc.value)
+
+    def test_truncated_literal(self):
+        with pytest.raises(NTriplesError):
+            ntriples.loads('<a> <r> "never closed .\n')
+
+    def test_crlf_line_endings_accepted(self):
+        loaded = ntriples.loads('<a> <r> <b> .\r\n<c> <r> "x" .\r\n')
+        assert loaded.num_facts == 2
+
+    def test_whitespace_variations(self):
+        loaded = ntriples.loads('  <a>   <r>\t<b>   .  \n')
+        assert loaded.has(Resource("a"), Relation("r"), Resource("b"))
+
+
+class TestDegenerateAlignerInputs:
+    def test_single_instance_each(self):
+        left = OntologyBuilder("l").value("a", "n", "v").build()
+        right = OntologyBuilder("r").value("x", "m", "v").build()
+        result = align(left, right)
+        assert result.assignment12[Resource("a")][0] == Resource("x")
+
+    def test_literal_only_overlap_no_structure(self):
+        left = OntologyBuilder("l").value("a", "n", "v1").value("a", "n", "v2").build()
+        right = OntologyBuilder("r").value("x", "m", "v1").value("x", "m", "v2").build()
+        result = align(left, right)
+        assert result.instances.get(Resource("a"), Resource("x")) > 0.1
+
+    def test_max_iterations_one(self, tiny_pair):
+        left, right = tiny_pair
+        result = align(left, right, ParisConfig(max_iterations=1))
+        assert result.num_iterations == 1
+        assert len(result.assignment12) == 2  # literal evidence suffices
+
+    def test_theta_extremes(self, tiny_pair):
+        left, right = tiny_pair
+        low = align(left, right, ParisConfig(theta=0.001))
+        high = align(left, right, ParisConfig(theta=0.9))
+        assert {l.name for l in low.assignment12} >= {l.name for l in high.assignment12}

@@ -1,0 +1,285 @@
+"""Hand-verified tests for the instance-equivalence pass (Eq. 13 / 14)."""
+
+import pytest
+
+from repro.core.equivalence import (
+    instance_equivalence_pass,
+    negative_evidence_factor,
+    score_instance,
+)
+from repro.core.functionality import FunctionalityOracle
+from repro.core.literal_index import LiteralIndex
+from repro.core.matrix import SubsumptionMatrix
+from repro.core.store import EquivalenceStore
+from repro.core.view import EquivalenceView
+from repro.literals import IdentitySimilarity
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.terms import Literal, Relation, Resource
+
+
+def make_view(onto1, onto2, store=None):
+    similarity = IdentitySimilarity()
+    return EquivalenceView(
+        store or EquivalenceStore(),
+        LiteralIndex(onto2, similarity),
+        LiteralIndex(onto1, similarity),
+    )
+
+
+@pytest.fixture()
+def single_fact_pair():
+    onto1 = OntologyBuilder("o1").value("e1", "name", "Elvis").build()
+    onto2 = OntologyBuilder("o2").value("f1", "label", "Elvis").build()
+    return onto1, onto2
+
+
+class TestScoreInstanceEq13:
+    def test_bootstrap_score_hand_computed(self, single_fact_pair):
+        """With θ=0.1 priors and one shared unique literal:
+        Pr = 1 - (1 - 0.1·1·1)² = 0.19."""
+        onto1, onto2 = single_fact_pair
+        scores = score_instance(
+            Resource("e1"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        assert scores == {Resource("f1"): pytest.approx(1 - 0.81)}
+
+    def test_known_relation_alignment_gives_certainty(self, single_fact_pair):
+        """With Pr(r'⊆r) = 1 and a unique shared value, Pr(x≡x') → 1."""
+        onto1, onto2 = single_fact_pair
+        rel12 = SubsumptionMatrix()
+        rel21 = SubsumptionMatrix()
+        rel12.set(Relation("name"), Relation("label"), 1.0)
+        rel21.set(Relation("label"), Relation("name"), 1.0)
+        scores = score_instance(
+            Resource("e1"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            rel12,
+            rel21,
+        )
+        assert scores[Resource("f1")] == pytest.approx(1.0)
+
+    def test_low_inverse_functionality_weakens_evidence(self):
+        """A shared city (low fun⁻) gives much weaker evidence than a
+        shared unique name (fun⁻ = 1) — the Appendix C argument."""
+        builder1 = OntologyBuilder("o1")
+        builder2 = OntologyBuilder("o2")
+        for i in range(10):
+            builder1.value(f"a{i}", "livesIn", "London")
+            builder2.value(f"b{i}", "cityOf", "London")
+        builder1.value("a0", "name", "Alice")
+        builder2.value("b0", "label", "Alice")
+        onto1, onto2 = builder1.build(), builder2.build()
+        scores = score_instance(
+            Resource("a0"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        # b0 has the name AND the city; b1 only the city.
+        assert scores[Resource("b0")] > scores[Resource("b1")]
+        # city-only evidence: fun^-1 = 1/10 each side
+        assert scores[Resource("b1")] == pytest.approx(
+            1 - (1 - 0.1 * 0.1) ** 2, abs=1e-9
+        )
+
+    def test_no_shared_evidence_no_candidates(self):
+        onto1 = OntologyBuilder("o1").value("e1", "name", "Elvis").build()
+        onto2 = OntologyBuilder("o2").value("f1", "label", "Cash").build()
+        scores = score_instance(
+            Resource("e1"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        assert scores == {}
+
+    def test_recursive_evidence_through_resources(self):
+        """Matched neighbours propagate equivalence (the recursion of
+        Eq. 13): if Tupelo ≡ T-Town is known, Elvis gains evidence."""
+        onto1 = OntologyBuilder("o1").fact("elvis", "bornIn", "tupelo").build()
+        onto2 = OntologyBuilder("o2").fact("elvis2", "birthPlace", "ttown").build()
+        store = EquivalenceStore()
+        store.set(Resource("tupelo"), Resource("ttown"), 1.0)
+        scores = score_instance(
+            Resource("elvis"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2, store),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        assert Resource("elvis2") in scores
+
+    def test_symmetry_of_scores(self, single_fact_pair):
+        """Eq. 13 is symmetric: scoring from either side gives the same
+        probability for the pair."""
+        onto1, onto2 = single_fact_pair
+        args = (
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        forward = score_instance(Resource("e1"), onto1, onto2, *args)
+        similarity = IdentitySimilarity()
+        view_back = EquivalenceView(
+            EquivalenceStore(),
+            LiteralIndex(onto1, similarity),
+            LiteralIndex(onto2, similarity),
+        )
+        backward = score_instance(
+            Resource("f1"),
+            onto2,
+            onto1,
+            view_back,
+            FunctionalityOracle(onto2),
+            FunctionalityOracle(onto1),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+        )
+        assert forward[Resource("f1")] == pytest.approx(backward[Resource("e1")])
+
+
+class TestNegativeEvidenceEq14:
+    @pytest.fixture()
+    def disagreeing_pair(self):
+        """x and x' share a name but disagree on a functional value."""
+        onto1 = (
+            OntologyBuilder("o1")
+            .value("x", "name", "Kim")
+            .value("x", "born", "1950-01-01")
+            .build()
+        )
+        onto2 = (
+            OntologyBuilder("o2")
+            .value("x2", "label", "Kim")
+            .value("x2", "birthDate", "1970-05-05")
+            .build()
+        )
+        rel12 = SubsumptionMatrix()
+        rel21 = SubsumptionMatrix()
+        rel12.set(Relation("born"), Relation("birthDate"), 1.0)
+        rel21.set(Relation("birthDate"), Relation("born"), 1.0)
+        return onto1, onto2, rel12, rel21
+
+    def test_functional_disagreement_kills_match(self, disagreeing_pair):
+        onto1, onto2, rel12, rel21 = disagreeing_pair
+        penalty = negative_evidence_factor(
+            Resource("x"),
+            Resource("x2"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            rel12,
+            rel21,
+        )
+        # fun(born) = 1, Pr aligned = 1, no matching birth date:
+        # penalty factor (1 - 1·1·1) = 0.
+        assert penalty == 0.0
+
+    def test_agreement_gives_no_penalty(self):
+        onto1 = OntologyBuilder("o1").value("x", "born", "1950-01-01").build()
+        onto2 = OntologyBuilder("o2").value("x2", "birthDate", "1950-01-01").build()
+        rel12 = SubsumptionMatrix()
+        rel21 = SubsumptionMatrix()
+        rel12.set(Relation("born"), Relation("birthDate"), 1.0)
+        rel21.set(Relation("birthDate"), Relation("born"), 1.0)
+        penalty = negative_evidence_factor(
+            Resource("x"),
+            Resource("x2"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            rel12,
+            rel21,
+        )
+        assert penalty == pytest.approx(1.0)
+
+    def test_missing_relation_penalizes(self):
+        """x has a born date, x' has no birthDate statement at all: the
+        paper sets the inner product to 1, penalizing the match."""
+        onto1 = (
+            OntologyBuilder("o1")
+            .value("x", "name", "Kim")
+            .value("x", "born", "1950-01-01")
+            .build()
+        )
+        onto2 = (
+            OntologyBuilder("o2")
+            .value("x2", "label", "Kim")
+            .value("someone-else", "birthDate", "1960-01-01")
+            .build()
+        )
+        rel12 = SubsumptionMatrix()
+        rel21 = SubsumptionMatrix()
+        rel12.set(Relation("born"), Relation("birthDate"), 1.0)
+        rel21.set(Relation("birthDate"), Relation("born"), 1.0)
+        penalty = negative_evidence_factor(
+            Resource("x"),
+            Resource("x2"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            rel12,
+            rel21,
+        )
+        assert penalty < 1.0
+
+
+class TestInstancePass:
+    def test_pass_fills_store_both_directions(self, single_fact_pair):
+        onto1, onto2 = single_fact_pair
+        store = instance_equivalence_pass(
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+            truncation_threshold=0.1,
+        )
+        assert store.get(Resource("e1"), Resource("f1")) > 0
+        assert dict(store.equals_of_right(Resource("f1")))
+
+    def test_truncation_drops_weak_scores(self, single_fact_pair):
+        onto1, onto2 = single_fact_pair
+        store = instance_equivalence_pass(
+            onto1,
+            onto2,
+            make_view(onto1, onto2),
+            FunctionalityOracle(onto1),
+            FunctionalityOracle(onto2),
+            SubsumptionMatrix.bootstrap(0.1),
+            SubsumptionMatrix.bootstrap(0.1),
+            truncation_threshold=0.5,  # above the 0.19 bootstrap score
+        )
+        assert len(store) == 0

@@ -1,0 +1,258 @@
+"""Unit tests for gold standards, metrics and report rendering."""
+
+import pytest
+
+from repro.core.matrix import SubsumptionMatrix
+from repro.evaluation.gold import GoldStandard
+from repro.evaluation.metrics import (
+    PRF,
+    class_threshold_sweep,
+    evaluate_classes,
+    evaluate_instances,
+    evaluate_relations,
+)
+from repro.evaluation.report import (
+    Table1Row,
+    render_relation_alignments,
+    render_table,
+    render_table1,
+    render_threshold_sweep,
+)
+from repro.rdf.terms import Relation, Resource
+
+
+class TestPRF:
+    def test_basic_math(self):
+        prf = PRF(true_positives=8, false_positives=2, false_negatives=8)
+        assert prf.precision == 0.8
+        assert prf.recall == 0.5
+        assert prf.f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+
+    def test_empty_edge_cases(self):
+        assert PRF(0, 0, 0).precision == 1.0
+        assert PRF(0, 0, 0).recall == 1.0
+        assert PRF(0, 0, 5).recall == 0.0
+        assert PRF(0, 5, 0).precision == 0.0
+
+    def test_renderings(self):
+        prf = PRF(95, 5, 12)
+        assert "%" in prf.as_percentages()
+        assert "tp=95" in str(prf)
+
+
+class TestGoldStandard:
+    @pytest.fixture()
+    def gold(self):
+        gold = GoldStandard()
+        gold.add_instances([("a1", "b1"), ("a2", "b2")])
+        gold.add_relations([("r", "s"), ("acted", "starring^-1")])
+        gold.class_inclusions_12 = {("C", "D")}
+        gold.class_inclusions_21 = {("D", "C")}
+        return gold
+
+    def test_instance_lookup(self, gold):
+        assert gold.has_instance_pair(Resource("a1"), Resource("b1"))
+        assert not gold.has_instance_pair(Resource("a1"), Resource("b2"))
+        assert gold.num_instances == 2
+        assert gold.right_of(Resource("a1")) == {"b1"}
+
+    def test_relation_lookup_direct(self, gold):
+        assert gold.has_relation_pair(Relation("r"), Relation("s"))
+
+    def test_relation_lookup_inverse_closure(self, gold):
+        assert gold.has_relation_pair(Relation("r").inverse, Relation("s").inverse)
+        assert gold.has_relation_pair(
+            Relation("acted").inverse, Relation("starring")
+        )
+
+    def test_relation_wrong_pairing(self, gold):
+        assert not gold.has_relation_pair(Relation("r").inverse, Relation("s"))
+
+    def test_num_relations_counts_directions(self, gold):
+        assert gold.num_relations == 4
+
+    def test_class_lookup(self, gold):
+        assert gold.has_class_inclusion(Resource("C"), Resource("D"))
+        assert gold.has_class_inclusion(Resource("D"), Resource("C"), reverse=True)
+        assert not gold.has_class_inclusion(Resource("D"), Resource("C"))
+
+    def test_num_class_equivalences(self, gold):
+        assert gold.num_class_equivalences == 1
+
+    def test_extent_derivation(self):
+        left = {"C1": frozenset({"e1", "e2"}), "C2": frozenset({"e1"})}
+        right = {"D1": frozenset({"e1", "e2", "e3"}), "D2": frozenset({"e2"})}
+        inc12, inc21 = GoldStandard.class_inclusions_from_extents(left, right)
+        assert ("C1", "D1") in inc12
+        assert ("C2", "D1") in inc12
+        assert ("C1", "D2") not in inc12
+        assert ("D2", "C1") in inc21
+
+
+class TestEvaluateInstances:
+    def test_mixed_outcome(self):
+        gold = GoldStandard()
+        gold.add_instances([("a1", "b1"), ("a2", "b2"), ("a3", "b3")])
+        assignment = {
+            Resource("a1"): (Resource("b1"), 0.9),   # correct
+            Resource("a2"): (Resource("b9"), 0.8),   # wrong
+            Resource("zz"): (Resource("b3"), 0.8),   # not in gold: ignored
+        }
+        prf = evaluate_instances(assignment, gold)
+        assert prf.true_positives == 1
+        assert prf.false_positives == 1
+        assert prf.false_negatives == 2
+
+    def test_perfect(self):
+        gold = GoldStandard()
+        gold.add_instances([("a1", "b1")])
+        prf = evaluate_instances({Resource("a1"): (Resource("b1"), 1.0)}, gold)
+        assert prf.precision == prf.recall == 1.0
+
+
+class TestEvaluateRelations:
+    def test_forward_direction(self):
+        gold = GoldStandard()
+        gold.add_relations([("r", "s")])
+        pairs = [
+            (Relation("r"), Relation("s"), 0.9),
+            (Relation("r").inverse, Relation("s").inverse, 0.9),
+            (Relation("q"), Relation("s"), 0.3),
+        ]
+        prf = evaluate_relations(pairs, gold)
+        assert prf.true_positives == 2
+        assert prf.false_positives == 1
+        assert prf.false_negatives == 0  # both gold directions found
+
+    def test_reverse_direction_swaps_lookup(self):
+        gold = GoldStandard()
+        gold.add_relations([("r", "s")])
+        pairs = [(Relation("s"), Relation("r"), 0.9)]
+        prf = evaluate_relations(pairs, gold, reverse=True)
+        assert prf.true_positives == 1
+
+    def test_recall_counts_relations_not_pairs(self):
+        """A relation with two acceptable gold targets is not counted
+        as missing when only one of them is produced."""
+        gold = GoldStandard()
+        gold.add_relations([("hasChild", "parent^-1"), ("hasChild", "child")])
+        pairs = [(Relation("hasChild"), Relation("child"), 0.9)]
+        prf = evaluate_relations(pairs, gold)
+        assert prf.true_positives == 1
+        # hasChild found; hasChild^-1 never produced -> 1 missing
+        assert prf.false_negatives == 1
+
+
+class TestEvaluateClasses:
+    def test_precision(self):
+        gold = GoldStandard()
+        gold.class_inclusions_12 = {("C", "D")}
+        pairs = [
+            (Resource("C"), Resource("D"), 0.9),
+            (Resource("C"), Resource("E"), 0.6),
+        ]
+        prf = evaluate_classes(pairs, gold)
+        assert prf.precision == 0.5
+
+    def test_threshold_sweep_monotone_pairs(self):
+        gold = GoldStandard()
+        gold.class_inclusions_12 = {("C", "D")}
+        matrix = SubsumptionMatrix()
+        matrix.set(Resource("C"), Resource("D"), 0.9)
+        matrix.set(Resource("X"), Resource("D"), 0.3)  # wrong, low score
+        points = class_threshold_sweep(matrix, gold, thresholds=(0.2, 0.5, 0.95))
+        assert [p.num_pairs for p in points] == [2, 1, 0]
+        assert points[0].precision == 0.5
+        assert points[1].precision == 1.0
+        assert points[2].precision == 1.0  # vacuous
+        assert [p.num_classes for p in points] == [2, 1, 0]
+
+    def test_sweep_exclusion(self):
+        gold = GoldStandard()
+        matrix = SubsumptionMatrix()
+        matrix.set(Resource("TopLevel"), Resource("D"), 0.9)
+        points = class_threshold_sweep(
+            matrix, gold, thresholds=(0.5,), exclude={"TopLevel"}
+        )
+        assert points[0].num_pairs == 0
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table1_row_with_results(self):
+        row = Table1Row(
+            dataset="Person",
+            system="paris",
+            gold_instances=500,
+            instances=PRF(500, 0, 0),
+            gold_classes=4,
+            classes=PRF(4, 0, 0),
+            gold_relations=20,
+            relations=PRF(20, 0, 0),
+        )
+        rendered = render_table1([row])
+        assert "Person" in rendered
+        assert "100%" in rendered
+
+    def test_table1_row_reported_only(self):
+        row = Table1Row(
+            dataset="Rest.",
+            system="ObjCoref",
+            gold_instances=112,
+            instances=None,
+            gold_classes=4,
+            classes=None,
+            gold_relations=12,
+            relations=None,
+            reported=(None, None, 0.90),
+        )
+        rendered = render_table1([row])
+        assert "90%" in rendered
+        assert "-" in rendered
+
+    def test_render_relation_alignments(self, tiny_pair):
+        from repro import align
+        left, right = tiny_pair
+        result = align(left, right)
+        rendered = render_relation_alignments(result, threshold=0.1)
+        assert "bornIn" in rendered
+        assert "⊆" in rendered
+
+    def test_render_threshold_sweep(self):
+        from repro.evaluation.metrics import ThresholdPoint
+        rendered = render_threshold_sweep(
+            [ThresholdPoint(0.5, 0.9, 10, 20)]
+        )
+        assert "0.5" in rendered
+        assert "0.900" in rendered
+
+
+class TestAsciiChart:
+    def test_renders_points(self):
+        from repro.evaluation import ascii_chart
+        chart = ascii_chart([(0.1, 0.5), (0.5, 0.8), (0.9, 1.0)], height=5)
+        assert chart.count("*") == 3
+        assert "1.000" in chart
+        assert "0.500" in chart
+
+    def test_flat_series(self):
+        from repro.evaluation import ascii_chart
+        chart = ascii_chart([(0.1, 0.7), (0.9, 0.7)], height=4)
+        assert chart.count("*") == 2
+
+    def test_empty(self):
+        from repro.evaluation import ascii_chart
+        assert ascii_chart([]) == "(no data)"
+
+    def test_figure_helpers(self):
+        from repro.evaluation import figure1_chart, figure2_chart
+        from repro.evaluation.metrics import ThresholdPoint
+        points = [ThresholdPoint(0.1, 0.8, 100, 200),
+                  ThresholdPoint(0.9, 1.0, 40, 60)]
+        assert "Precision" in figure1_chart(points)
+        assert "Number of classes" in figure2_chart(points)

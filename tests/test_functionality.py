@@ -1,0 +1,146 @@
+"""Unit tests for functionality (Eq. 1–2 and Appendix A)."""
+
+import pytest
+
+from repro.core.functionality import (
+    FunctionalityDefinition,
+    FunctionalityOracle,
+    global_functionality,
+    global_inverse_functionality,
+    local_functionality,
+    local_inverse_functionality,
+)
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.terms import Relation, Resource
+
+
+@pytest.fixture()
+def onto():
+    """wasBornIn is a function; livesIn is a quasi-function."""
+    return (
+        OntologyBuilder("t")
+        .fact("elvis", "wasBornIn", "tupelo")
+        .fact("cash", "wasBornIn", "kingsland")
+        .fact("dylan", "wasBornIn", "duluth")
+        .fact("elvis", "livesIn", "memphis")
+        .fact("cash", "livesIn", "nashville")
+        .fact("cash", "livesIn", "hendersonville")
+        .build()
+    )
+
+
+class TestLocalFunctionality:
+    def test_function_is_one(self, onto):
+        assert local_functionality(onto, Relation("wasBornIn"), Resource("elvis")) == 1.0
+
+    def test_two_targets_is_half(self, onto):
+        assert local_functionality(onto, Relation("livesIn"), Resource("cash")) == 0.5
+
+    def test_no_edge_is_zero(self, onto):
+        assert local_functionality(onto, Relation("livesIn"), Resource("dylan")) == 0.0
+
+    def test_local_inverse(self, onto):
+        assert (
+            local_inverse_functionality(onto, Relation("wasBornIn"), Resource("tupelo"))
+            == 1.0
+        )
+
+
+class TestHarmonicGlobal:
+    def test_perfect_function(self, onto):
+        # 3 subjects, 3 statements -> 1.0 (Eq. 2)
+        assert global_functionality(onto, Relation("wasBornIn")) == 1.0
+
+    def test_quasi_function(self, onto):
+        # livesIn: 2 subjects, 3 statements -> 2/3
+        assert global_functionality(onto, Relation("livesIn")) == pytest.approx(2 / 3)
+
+    def test_inverse_functionality(self, onto):
+        # each city lived-in once: fun^-1(livesIn) = 3 objects/3 stmts = 1
+        assert global_inverse_functionality(onto, Relation("livesIn")) == 1.0
+
+    def test_empty_relation_is_zero(self, onto):
+        assert global_functionality(onto, Relation("unknown")) == 0.0
+
+
+class TestAppendixAAlternatives:
+    @pytest.fixture()
+    def likes_dish(self):
+        """Appendix A's likesDish pathology: everyone likes every dish."""
+        builder = OntologyBuilder("t")
+        for person in ("p1", "p2", "p3"):
+            for dish in ("d1", "d2", "d3"):
+                builder.fact(person, "likesDish", dish)
+        return builder.build()
+
+    def test_argument_ratio_is_fooled(self, likes_dish):
+        # Appendix A: the #subjects/#objects definition wrongly assigns
+        # functionality 1 to a complete bipartite relation.
+        value = global_functionality(
+            likes_dish, Relation("likesDish"), FunctionalityDefinition.ARGUMENT_RATIO
+        )
+        assert value == 1.0
+
+    def test_harmonic_is_not_fooled(self, likes_dish):
+        value = global_functionality(
+            likes_dish, Relation("likesDish"), FunctionalityDefinition.HARMONIC
+        )
+        assert value == pytest.approx(1 / 3)
+
+    def test_pair_ratio(self, likes_dish):
+        # 9 statements / (3 subjects * 9 ordered same-source pairs) = 9/27
+        value = global_functionality(
+            likes_dish, Relation("likesDish"), FunctionalityDefinition.PAIR_RATIO
+        )
+        assert value == pytest.approx(9 / 27)
+
+    def test_arithmetic_mean(self, onto):
+        # livesIn: locals are 1 (elvis) and 1/2 (cash) -> mean 3/4
+        value = global_functionality(
+            onto, Relation("livesIn"), FunctionalityDefinition.ARITHMETIC_MEAN
+        )
+        assert value == pytest.approx(0.75)
+
+    def test_arithmetic_above_harmonic(self, onto):
+        # AM >= HM always.
+        arithmetic = global_functionality(
+            onto, Relation("livesIn"), FunctionalityDefinition.ARITHMETIC_MEAN
+        )
+        harmonic = global_functionality(
+            onto, Relation("livesIn"), FunctionalityDefinition.HARMONIC
+        )
+        assert arithmetic >= harmonic
+
+    def test_all_definitions_bounded(self, onto, likes_dish):
+        for ontology in (onto, likes_dish):
+            for relation in ontology.relations():
+                for definition in FunctionalityDefinition:
+                    value = global_functionality(ontology, relation, definition)
+                    assert 0.0 <= value <= 1.0
+
+    def test_all_definitions_agree_on_perfect_function(self, onto):
+        for definition in FunctionalityDefinition:
+            assert (
+                global_functionality(onto, Relation("wasBornIn"), definition) == 1.0
+            )
+
+
+class TestOracle:
+    def test_precomputes_all_relations(self, onto):
+        oracle = FunctionalityOracle(onto)
+        assert oracle.fun(Relation("wasBornIn")) == 1.0
+        assert oracle.fun(Relation("livesIn")) == pytest.approx(2 / 3)
+
+    def test_inverse_fun(self, onto):
+        oracle = FunctionalityOracle(onto)
+        assert oracle.inverse_fun(Relation("livesIn")) == 1.0
+        assert oracle.inverse_fun(Relation("livesIn")) == oracle.fun(
+            Relation("livesIn").inverse
+        )
+
+    def test_unknown_relation_computed_lazily(self, onto):
+        oracle = FunctionalityOracle(onto)
+        assert oracle.fun(Relation("never-seen")) == 0.0
+
+    def test_repr(self, onto):
+        assert "t" in repr(FunctionalityOracle(onto))

@@ -1,0 +1,190 @@
+"""Integration tests: full PARIS runs on the synthetic benchmarks.
+
+These pin the *shapes* of the paper's results (who wins, orderings,
+directions of asymmetry) rather than exact figures — the assertions use
+generous bands so that dataset-seed changes don't cause flakiness while
+genuine regressions still fail.
+"""
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.baselines import align_by_labels
+from repro.datasets.kb import KB_EXCLUDED_CLASSES
+from repro.evaluation.metrics import (
+    class_threshold_sweep,
+    evaluate_classes,
+    evaluate_instances,
+    evaluate_relations,
+)
+from repro.rdf import ntriples
+
+
+class TestPersonIntegration:
+    """Table 1, person block: near-perfect everything."""
+
+    def test_instances_perfect(self, person_pair, person_result):
+        prf = evaluate_instances(person_result.assignment12, person_pair.gold)
+        assert prf.precision >= 0.99
+        assert prf.recall >= 0.99
+
+    def test_relations_perfect(self, person_pair, person_result):
+        prf = evaluate_relations(person_result.relation_pairs(), person_pair.gold)
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0
+
+    def test_classes_perfect(self, person_pair, person_result):
+        prf = evaluate_classes(
+            person_result.class_pairs(threshold=0.4), person_pair.gold
+        )
+        assert prf.precision == 1.0
+        assert prf.true_positives >= 4
+
+    def test_converges_quickly(self, person_result):
+        assert person_result.converged
+        assert person_result.num_iterations <= 4
+
+
+class TestRestaurantIntegration:
+    """Table 1, restaurant block: strong but imperfect instances."""
+
+    def test_instance_band(self, restaurant_pair, restaurant_result):
+        prf = evaluate_instances(restaurant_result.assignment12, restaurant_pair.gold)
+        assert 0.85 <= prf.precision <= 1.0
+        assert 0.80 <= prf.recall <= 0.97
+        assert prf.f1 >= 0.85
+
+    def test_worse_than_person(self, person_pair, person_result,
+                               restaurant_pair, restaurant_result):
+        person_prf = evaluate_instances(person_result.assignment12, person_pair.gold)
+        restaurant_prf = evaluate_instances(
+            restaurant_result.assignment12, restaurant_pair.gold
+        )
+        assert restaurant_prf.f1 < person_prf.f1
+
+    def test_relations_and_classes_clean(self, restaurant_pair, restaurant_result):
+        relations = evaluate_relations(
+            restaurant_result.relation_pairs(), restaurant_pair.gold
+        )
+        assert relations.precision == 1.0
+        classes = evaluate_classes(
+            restaurant_result.class_pairs(threshold=0.4), restaurant_pair.gold
+        )
+        assert classes.precision == 1.0
+
+    def test_theta_invariance(self, restaurant_pair):
+        """Section 6.3: final assignments do not depend on θ."""
+        baselines = None
+        for theta in (0.05, 0.1, 0.2):
+            result = align(
+                restaurant_pair.ontology1,
+                restaurant_pair.ontology2,
+                ParisConfig(theta=theta),
+            )
+            pairs = {(l.name, r.name) for l, (r, _p) in result.assignment12.items()}
+            if baselines is None:
+                baselines = pairs
+            else:
+                overlap = len(baselines & pairs) / max(1, len(baselines | pairs))
+                assert overlap > 0.95
+
+
+class TestKbIntegration:
+    """Tables 3–4 and Figures 1–2 shapes on the KB pair."""
+
+    def test_instance_band(self, kb_pair, kb_result):
+        prf = evaluate_instances(kb_result.assignment12, kb_pair.gold)
+        assert prf.precision >= 0.80
+        assert prf.recall >= 0.60
+
+    def test_recall_improves_over_iterations(self, kb_pair, kb_result):
+        recalls = [
+            evaluate_instances(snapshot.assignment12, kb_pair.gold).recall
+            for snapshot in kb_result.iterations
+        ]
+        assert recalls[-1] > recalls[0]
+
+    def test_relation_precision_high(self, kb_pair, kb_result):
+        for reverse in (False, True):
+            prf = evaluate_relations(
+                kb_result.relation_pairs(reverse=reverse), kb_pair.gold, reverse=reverse
+            )
+            assert prf.precision >= 0.85
+
+    def test_table4_style_alignments_found(self, kb_result):
+        """The qualitative Table-4 alignments: inverse + split relations."""
+        from repro.rdf.terms import Relation
+        rel12 = kb_result.relations12
+        assert rel12.get(Relation("y:actedIn"), Relation("dbp:starring").inverse) > 0.1
+        assert rel12.get(Relation("y:hasChild"), Relation("dbp:parent").inverse) > 0.1
+        assert rel12.get(Relation("y:created"), Relation("dbp:author").inverse) > 0.05
+        # the weak-but-real correlation alignment
+        nationality = rel12.get(Relation("y:isCitizenOf"), Relation("dbp:nationality"))
+        birthplace = rel12.get(Relation("y:isCitizenOf"), Relation("dbp:birthPlace"))
+        assert nationality > birthplace > 0.0
+
+    def test_figure1_precision_rises_with_threshold(self, kb_pair, kb_result):
+        points = class_threshold_sweep(
+            kb_result.classes12, kb_pair.gold, exclude=KB_EXCLUDED_CLASSES
+        )
+        assert points[-1].precision >= points[0].precision
+        assert points[-1].precision >= 0.9
+
+    def test_figure2_counts_fall_with_threshold(self, kb_pair, kb_result):
+        points = class_threshold_sweep(
+            kb_result.classes12, kb_pair.gold, exclude=KB_EXCLUDED_CLASSES
+        )
+        counts = [p.num_classes for p in points]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+
+class TestMovieIntegration:
+    """Table 5 shapes on the movie pair."""
+
+    def test_instance_band(self, movie_pair, movie_result):
+        prf = evaluate_instances(movie_result.assignment12, movie_pair.gold)
+        assert prf.precision >= 0.85
+        assert prf.recall >= 0.80
+
+    def test_f1_improves_over_iterations(self, movie_pair, movie_result):
+        f1s = [
+            evaluate_instances(snapshot.assignment12, movie_pair.gold).f1
+            for snapshot in movie_result.iterations
+        ]
+        assert f1s[-1] > f1s[0]
+
+    def test_paris_beats_label_baseline(self, movie_pair, movie_result):
+        """Section 6.4: PARIS is a considerable improvement over the
+        rdfs:label matcher, whose recall is its weakness."""
+        baseline = align_by_labels(movie_pair.ontology1, movie_pair.ontology2)
+        baseline_prf = evaluate_instances(baseline, movie_pair.gold)
+        paris_prf = evaluate_instances(movie_result.assignment12, movie_pair.gold)
+        assert paris_prf.f1 > baseline_prf.f1
+        assert paris_prf.recall > baseline_prf.recall
+        assert baseline_prf.precision >= 0.9  # baseline is precise but shallow
+
+    def test_class_direction_asymmetry(self, movie_pair, movie_result):
+        """One direction has few precise mappings, the other many weak
+        ones (the famous-people bias of Section 6.4)."""
+        weak = movie_result.class_pairs(0.0)
+        strong = movie_result.class_pairs(0.0, reverse=True)
+        weak_prf = evaluate_classes(weak, movie_pair.gold)
+        strong_prf = evaluate_classes(strong, movie_pair.gold, reverse=True)
+        assert len(weak) > len(strong)
+        assert strong_prf.precision > weak_prf.precision
+
+
+class TestRoundTripIntegration:
+    def test_serialized_benchmark_realigns(self, person_pair, tmp_path):
+        """Ontologies survive an N-Triples round trip and still align."""
+        path1 = tmp_path / "o1.nt"
+        path2 = tmp_path / "o2.nt"
+        ntriples.write_ntriples(person_pair.ontology1, path1)
+        ntriples.write_ntriples(person_pair.ontology2, path2)
+        onto1 = ntriples.read_ntriples(path1, name="p1")
+        onto2 = ntriples.read_ntriples(path2, name="p2")
+        result = align(onto1, onto2)
+        prf = evaluate_instances(result.assignment12, person_pair.gold)
+        assert prf.precision >= 0.99
+        assert prf.recall >= 0.99

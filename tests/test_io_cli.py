@@ -1,0 +1,172 @@
+"""Unit tests for alignment persistence and the CLI."""
+
+import pytest
+
+from repro import align, load_result, save_result, write_sameas_links
+from repro.cli import main
+from repro.rdf import ntriples
+from repro.rdf.terms import Relation, Resource
+
+
+@pytest.fixture()
+def result(tiny_pair):
+    left, right = tiny_pair
+    return align(left, right)
+
+
+class TestSaveLoad:
+    def test_round_trip_instances(self, result, tmp_path):
+        save_result(result, tmp_path / "out")
+        loaded = load_result(tmp_path / "out")
+        assert {
+            (l.name, r.name, round(p, 6)) for l, r, p in loaded.instances.items()
+        } == {(l.name, r.name, round(p, 6)) for l, r, p in result.instances.items()}
+
+    def test_round_trip_relations_and_classes(self, result, tmp_path):
+        save_result(result, tmp_path / "out")
+        loaded = load_result(tmp_path / "out")
+        assert loaded.relations12.get(
+            Relation("bornIn"), Relation("birthPlace")
+        ) == pytest.approx(
+            result.relations12.get(Relation("bornIn"), Relation("birthPlace")),
+            abs=1e-6,
+        )
+        assert len(loaded.classes12) == len(result.classes12)
+
+    def test_round_trip_metadata(self, result, tmp_path):
+        save_result(result, tmp_path / "out")
+        loaded = load_result(tmp_path / "out")
+        assert loaded.left_name == result.left_name
+        assert loaded.right_name == result.right_name
+        assert loaded.converged == result.converged
+
+    def test_assignment_recomputed(self, result, tmp_path):
+        save_result(result, tmp_path / "out")
+        loaded = load_result(tmp_path / "out")
+        assert {
+            (l.name, r.name) for l, (r, _p) in loaded.assignment12.items()
+        } == {(l.name, r.name) for l, (r, _p) in result.assignment12.items()}
+
+    def test_expected_files_written(self, result, tmp_path):
+        directory = save_result(result, tmp_path / "out")
+        names = {p.name for p in directory.iterdir()}
+        assert {
+            "instances.tsv", "assignment.tsv", "relations12.tsv",
+            "relations21.tsv", "classes12.tsv", "classes21.tsv", "meta.tsv",
+        } <= names
+
+
+class TestSameAsExport:
+    def test_links_written(self, result, tmp_path):
+        path = tmp_path / "links.nt"
+        count = write_sameas_links(result.assignment12, path)
+        assert count == len(result.assignment12)
+        content = path.read_text()
+        assert "owl#sameAs" in content
+        assert content.count("\n") == count
+
+    def test_threshold_filters(self, result, tmp_path):
+        path = tmp_path / "links.nt"
+        count = write_sameas_links(result.assignment12, path, threshold=1.1)
+        assert count == 0
+        assert path.read_text() == ""
+
+
+class TestCli:
+    @pytest.fixture()
+    def nt_files(self, tiny_pair, tmp_path):
+        left, right = tiny_pair
+        left_path = tmp_path / "left.nt"
+        right_path = tmp_path / "right.nt"
+        ntriples.write_ntriples(left, left_path)
+        ntriples.write_ntriples(right, right_path)
+        return str(left_path), str(right_path)
+
+    def test_align_command(self, nt_files, tmp_path, capsys):
+        left, right = nt_files
+        out = tmp_path / "alignment"
+        code = main(["align", left, right, "--out", str(out), "--print-pairs"])
+        assert code == 0
+        assert (out / "sameas.nt").exists()
+        captured = capsys.readouterr()
+        assert "p1" in captured.out  # printed pairs
+
+    def test_align_with_options(self, nt_files, tmp_path):
+        left, right = nt_files
+        out = tmp_path / "alignment2"
+        code = main([
+            "align", left, right, "--out", str(out),
+            "--similarity", "normalized", "--theta", "0.05",
+            "--name-prior", "--max-iterations", "5",
+        ])
+        assert code == 0
+        assert (out / "instances.tsv").read_text()
+
+    def test_stats_command(self, nt_files, capsys):
+        left, right = nt_files
+        assert main(["stats", left, right]) == 0
+        captured = capsys.readouterr()
+        assert "#Instances" in captured.out
+
+    def test_convert_command(self, nt_files, tmp_path, capsys):
+        left, _right = nt_files
+        target = tmp_path / "converted.tsv"
+        assert main(["convert", left, str(target)]) == 0
+        assert target.exists()
+        # and back
+        back = tmp_path / "back.nt"
+        assert main(["convert", str(target), str(back)]) == 0
+        assert back.read_text()
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["align", "/nonexistent.nt", "/nonexistent2.nt",
+                  "--out", str(tmp_path / "x")])
+
+    def test_unsupported_extension_errors(self, tmp_path):
+        bad = tmp_path / "file.xyz"
+        bad.write_text("")
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCliMultiAndExplain:
+    @pytest.fixture()
+    def nt_files(self, tiny_pair, tmp_path):
+        left, right = tiny_pair
+        left_path = tmp_path / "left.nt"
+        right_path = tmp_path / "right.nt"
+        ntriples.write_ntriples(left, left_path)
+        ntriples.write_ntriples(right, right_path)
+        return str(left_path), str(right_path)
+
+    def test_multi_command(self, nt_files, tmp_path, capsys):
+        left, right = nt_files
+        out = tmp_path / "clusters.tsv"
+        assert main(["multi", left, right, "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("confidence")
+        assert len(lines) >= 3  # header + two clusters
+
+    def test_multi_requires_two_files(self, nt_files, tmp_path):
+        left, _right = nt_files
+        with pytest.raises(SystemExit):
+            main(["multi", left, "--out", str(tmp_path / "c.tsv")])
+
+    def test_explain_command(self, nt_files, capsys):
+        left, right = nt_files
+        assert main(["explain", left, right, "p1", "x9"]) == 0
+        captured = capsys.readouterr()
+        assert "p1 ≡ x9" in captured.out
+        assert "reported probability" in captured.out
+
+    def test_explain_unmatched_pair(self, nt_files, capsys):
+        left, right = nt_files
+        assert main(["explain", left, right, "p1", "x7"]) == 0
+        captured = capsys.readouterr()
+        assert "evidence items: 0" in captured.out

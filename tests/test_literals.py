@@ -1,0 +1,268 @@
+"""Unit tests for the literal-similarity substrate (repro.literals)."""
+
+import pytest
+
+from repro.literals import (
+    CompositeSimilarity,
+    DateSimilarity,
+    EditDistanceSimilarity,
+    IdentitySimilarity,
+    NormalizedIdentitySimilarity,
+    NumericSimilarity,
+    default_similarity,
+    deletion_neighbourhood,
+    levenshtein,
+    normalize_string,
+    parse_date,
+    parse_number,
+    strip_datatype,
+    tolerant_similarity,
+)
+from repro.rdf.terms import Literal
+
+
+class TestNormalization:
+    def test_normalize_string_phone(self):
+        assert normalize_string("213/467-1108") == normalize_string("213-467-1108")
+
+    def test_normalize_string_case_and_punct(self):
+        assert normalize_string("The  Godfather!") == "thegodfather"
+
+    def test_parse_number_plain(self):
+        assert parse_number("42") == 42.0
+        assert parse_number("-3.5") == -3.5
+        assert parse_number("1e3") == 1000.0
+
+    def test_parse_number_thousands(self):
+        assert parse_number("1,234") == 1234.0
+
+    def test_parse_number_units_convert(self):
+        assert parse_number("2 km") == parse_number("2000 m")
+        assert parse_number("1 kg") == parse_number("1000 g")
+
+    def test_parse_number_rejects_text(self):
+        assert parse_number("hello") is None
+        assert parse_number("Route 66 highway") is None
+
+    def test_parse_date_iso(self):
+        assert parse_date("1935-01-08") == (1935, 1, 8)
+
+    def test_parse_date_slash_is_month_day_year(self):
+        assert parse_date("1/8/1935") == (1935, 1, 8)
+
+    def test_parse_date_year_only(self):
+        assert parse_date("1935") == (1935, 0, 0)
+
+    def test_parse_date_rejects_garbage(self):
+        assert parse_date("not a date") is None
+
+    def test_strip_datatype(self):
+        assert strip_datatype('"5"^^xsd:integer') == "5"
+        assert strip_datatype("plain") == "plain"
+
+
+class TestIdentity:
+    def test_identical(self):
+        sim = IdentitySimilarity()
+        assert sim(Literal("a"), Literal("a")) == 1.0
+
+    def test_different(self):
+        sim = IdentitySimilarity()
+        assert sim(Literal("a"), Literal("b")) == 0.0
+
+    def test_phone_format_mismatch_fails(self):
+        # The Section 6.3 motivation: strict identity misses these.
+        sim = IdentitySimilarity()
+        assert sim(Literal("213/467-1108"), Literal("213-467-1108")) == 0.0
+
+    def test_datatype_stripped(self):
+        sim = IdentitySimilarity()
+        assert sim(Literal('"5"^^xsd:integer'), Literal("5")) == 1.0
+
+    def test_keys_single(self):
+        sim = IdentitySimilarity()
+        assert list(sim.keys(Literal("abc"))) == ["abc"]
+
+
+class TestNormalizedIdentity:
+    def test_phone_format_mismatch_matches(self):
+        sim = NormalizedIdentitySimilarity()
+        assert sim(Literal("213/467-1108"), Literal("213-467-1108")) == 1.0
+
+    def test_case_insensitive(self):
+        sim = NormalizedIdentitySimilarity()
+        assert sim(Literal("The Golden Table"), Literal("the golden table")) == 1.0
+
+    def test_content_difference_fails(self):
+        sim = NormalizedIdentitySimilarity()
+        assert sim(Literal("213-467-1108"), Literal("213-467-1109")) == 0.0
+
+    def test_all_punctuation_strings(self):
+        sim = NormalizedIdentitySimilarity()
+        assert sim(Literal("!!!"), Literal("!!!")) == 1.0
+        assert sim(Literal("!!!"), Literal("???")) == 0.0
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("kitten", "sitting", 3),
+            ("abc", "abc", 0),
+            ("abc", "acb", 2),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert levenshtein(left, right) == expected
+
+    def test_cutoff_short_circuits(self):
+        assert levenshtein("aaaa", "bbbb", cutoff=1) == 2  # sentinel cutoff+1
+
+    def test_cutoff_exact_when_within(self):
+        assert levenshtein("kitten", "sitten", cutoff=2) == 1
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+
+class TestDeletionNeighbourhood:
+    def test_depth_zero(self):
+        assert deletion_neighbourhood("abc", 0) == {"abc"}
+
+    def test_depth_one(self):
+        assert deletion_neighbourhood("abc", 1) == {"abc", "bc", "ac", "ab"}
+
+    def test_blocking_completeness_depth_one(self):
+        # Any two strings within distance 1 share a deletion variant.
+        pairs = [("abc", "ab"), ("abc", "abd"), ("abc", "xabc"), ("abc", "abc")]
+        for left, right in pairs:
+            assert deletion_neighbourhood(left, 1) & deletion_neighbourhood(right, 1)
+
+
+class TestEditDistanceSimilarity:
+    def test_identical_is_one(self):
+        sim = EditDistanceSimilarity()
+        assert sim(Literal("kitten"), Literal("kitten")) == 1.0
+
+    def test_one_typo_scores_high(self):
+        sim = EditDistanceSimilarity(max_distance=1)
+        value = sim(Literal("kitten"), Literal("sitten"))
+        assert value == pytest.approx(1 - 1 / 6)
+
+    def test_beyond_max_distance_is_zero(self):
+        sim = EditDistanceSimilarity(max_distance=1)
+        assert sim(Literal("kitten"), Literal("sitting")) == 0.0
+
+    def test_normalization_absorbs_formatting(self):
+        sim = EditDistanceSimilarity(max_distance=1)
+        assert sim(Literal("213/467-1108"), Literal("213-467-1108")) == 1.0
+
+    def test_keys_find_all_close_pairs(self):
+        sim = EditDistanceSimilarity(max_distance=1)
+        left_keys = set(sim.keys(Literal("kitten")))
+        right_keys = set(sim.keys(Literal("sitten")))
+        assert left_keys & right_keys
+
+    def test_rejects_extreme_distance(self):
+        with pytest.raises(ValueError):
+            EditDistanceSimilarity(max_distance=9)
+        with pytest.raises(ValueError):
+            EditDistanceSimilarity(max_distance=-1)
+
+    def test_empty_string_never_matches_nonempty(self):
+        sim = EditDistanceSimilarity(max_distance=2)
+        assert sim(Literal("!"), Literal("a")) == 0.0  # "!" normalizes to ""
+
+
+class TestNumericSimilarity:
+    def test_equal_values(self):
+        sim = NumericSimilarity(tolerance=0.01)
+        assert sim(Literal("42"), Literal("42.0")) == 1.0
+
+    def test_within_tolerance(self):
+        sim = NumericSimilarity(tolerance=0.10)
+        value = sim(Literal("100"), Literal("105"))
+        assert 0.0 < value < 1.0
+
+    def test_outside_tolerance(self):
+        sim = NumericSimilarity(tolerance=0.01)
+        assert sim(Literal("100"), Literal("150")) == 0.0
+
+    def test_non_numeric_is_zero(self):
+        sim = NumericSimilarity()
+        assert sim(Literal("hello"), Literal("42")) == 0.0
+
+    def test_strict_mode(self):
+        sim = NumericSimilarity(tolerance=0.0)
+        assert sim(Literal("100"), Literal("100")) == 1.0
+        assert sim(Literal("100"), Literal("100.001")) == 0.0
+
+    def test_unit_conversion(self):
+        sim = NumericSimilarity()
+        assert sim(Literal("2 km"), Literal("2000 m")) == 1.0
+
+    def test_blocking_keys_cover_tolerance(self):
+        sim = NumericSimilarity(tolerance=0.10)
+        # Values within tolerance must share at least one bucket key.
+        keys_a = set(sim.keys(Literal("100")))
+        keys_b = set(sim.keys(Literal("104")))
+        assert keys_a & keys_b
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            NumericSimilarity(tolerance=-1)
+
+
+class TestDateSimilarity:
+    def test_equal_dates_different_layout(self):
+        sim = DateSimilarity()
+        assert sim(Literal("1935-01-08"), Literal("1/8/1935")) == 1.0
+
+    def test_year_only_partial_match(self):
+        sim = DateSimilarity()
+        assert 0.0 < sim(Literal("1935"), Literal("1935-01-08")) < 1.0
+
+    def test_different_dates(self):
+        sim = DateSimilarity()
+        assert sim(Literal("1935-01-08"), Literal("1936-01-08")) == 0.0
+
+    def test_non_dates(self):
+        sim = DateSimilarity()
+        assert sim(Literal("hello"), Literal("1935-01-08")) == 0.0
+
+
+class TestComposite:
+    def test_routes_numbers(self):
+        sim = CompositeSimilarity()
+        assert sim(Literal("42"), Literal("42")) == 1.0
+
+    def test_routes_dates(self):
+        sim = CompositeSimilarity()
+        assert sim(Literal("1935-01-08"), Literal("1/8/1935")) == 1.0
+
+    def test_routes_strings(self):
+        sim = CompositeSimilarity()
+        assert sim(Literal("Elvis"), Literal("Elvis")) == 1.0
+        assert sim(Literal("Elvis"), Literal("Cash")) == 0.0
+
+    def test_mixed_kinds_zero(self):
+        sim = CompositeSimilarity()
+        assert sim(Literal("Elvis"), Literal("42")) == 0.0
+
+    def test_keys_are_namespaced(self):
+        sim = CompositeSimilarity()
+        string_keys = set(sim.keys(Literal("abc")))
+        number_keys = set(sim.keys(Literal("42")))
+        assert not string_keys & number_keys
+
+    def test_factories(self):
+        assert isinstance(default_similarity(), IdentitySimilarity)
+        assert isinstance(tolerant_similarity(), CompositeSimilarity)
+
+    def test_names_are_informative(self):
+        assert "identity" in IdentitySimilarity().name
+        assert "edit" in EditDistanceSimilarity().name
+        assert "composite" in CompositeSimilarity().name

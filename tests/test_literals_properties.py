@@ -1,0 +1,126 @@
+"""Property-based tests for the literal-similarity laws.
+
+Every similarity measure must be symmetric, reflexive and bounded
+(see :class:`repro.literals.base.LiteralSimilarity`), and its blocking
+keys must be *complete*: any pair with positive similarity must share
+at least one key, otherwise the aligner's candidate generation would
+silently miss matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.literals import (
+    CompositeSimilarity,
+    DateSimilarity,
+    EditDistanceSimilarity,
+    IdentitySimilarity,
+    NormalizedIdentitySimilarity,
+    NumericSimilarity,
+    deletion_neighbourhood,
+    levenshtein,
+)
+from repro.rdf.terms import Literal
+
+MEASURES = [
+    IdentitySimilarity(),
+    NormalizedIdentitySimilarity(),
+    EditDistanceSimilarity(max_distance=1),
+    EditDistanceSimilarity(max_distance=2),
+    NumericSimilarity(tolerance=0.05),
+    DateSimilarity(),
+    CompositeSimilarity(),
+]
+
+# Text with realistic benchmark content: words, digits, punctuation.
+texts = st.text(
+    alphabet=st.sampled_from("abcXYZ0123456789 -/.,"), min_size=1, max_size=12
+)
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(value=texts)
+@settings(max_examples=60, deadline=None)
+def test_reflexive(measure, value):
+    assert measure(Literal(value), Literal(value)) == 1.0
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(left=texts, right=texts)
+@settings(max_examples=60, deadline=None)
+def test_symmetric(measure, left, right):
+    assert measure(Literal(left), Literal(right)) == pytest.approx(
+        measure(Literal(right), Literal(left))
+    )
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(left=texts, right=texts)
+@settings(max_examples=60, deadline=None)
+def test_bounded(measure, left, right):
+    value = measure(Literal(left), Literal(right))
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(left=texts, right=texts)
+@settings(max_examples=60, deadline=None)
+def test_blocking_keys_complete(measure, left, right):
+    """sim > 0 implies a shared blocking key (candidate completeness)."""
+    left_literal, right_literal = Literal(left), Literal(right)
+    if measure(left_literal, right_literal) > 0.0:
+        left_keys = set(measure.keys(left_literal))
+        right_keys = set(measure.keys(right_literal))
+        assert left_keys & right_keys
+
+
+short_texts = st.text(alphabet=st.sampled_from("abcd"), max_size=7)
+
+
+@given(left=short_texts, right=short_texts)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_matches_reference(left, right):
+    """Optimized Levenshtein agrees with a simple reference DP."""
+
+    def reference(a: str, b: str) -> int:
+        rows = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+        for i in range(len(a) + 1):
+            rows[i][0] = i
+        for j in range(len(b) + 1):
+            rows[0][j] = j
+        for i in range(1, len(a) + 1):
+            for j in range(1, len(b) + 1):
+                rows[i][j] = min(
+                    rows[i - 1][j] + 1,
+                    rows[i][j - 1] + 1,
+                    rows[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+                )
+        return rows[len(a)][len(b)]
+
+    assert levenshtein(left, right) == reference(left, right)
+
+
+@given(left=short_texts, right=short_texts)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_triangle_inequality(left, right):
+    """d(a,b) <= d(a,c) + d(c,b) for the empty-string midpoint."""
+    assert levenshtein(left, right) <= len(left) + len(right)
+
+
+@given(value=short_texts, depth=st.integers(min_value=0, max_value=2))
+@settings(max_examples=100, deadline=None)
+def test_deletion_neighbourhood_contains_original(value, depth):
+    neighbourhood = deletion_neighbourhood(value, depth)
+    assert value in neighbourhood
+    assert all(len(variant) >= len(value) - depth for variant in neighbourhood)
+
+
+@given(left=short_texts, right=short_texts)
+@settings(max_examples=100, deadline=None)
+def test_deletion_blocking_is_exact_for_distance_one(left, right):
+    """Strings within Levenshtein distance 1 share a deletion variant."""
+    if levenshtein(left, right) <= 1:
+        assert deletion_neighbourhood(left, 1) & deletion_neighbourhood(right, 1)

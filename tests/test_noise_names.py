@@ -1,0 +1,131 @@
+"""Unit tests for the noise models and name pools."""
+
+import random
+
+import pytest
+
+from repro.datasets import names
+from repro.datasets.noise import (
+    NoiseModel,
+    corrupt_digit,
+    recase_and_punctuate,
+    reformat_date,
+    reformat_phone,
+    swap_word_order,
+    typo,
+)
+from repro.literals import normalize_string
+
+
+class TestNoisePrimitives:
+    def test_reformat_phone_preserves_digits(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            original = names.phone_number(rng)
+            reformatted = reformat_phone(original, rng)
+            assert normalize_string(reformatted) == normalize_string(original)
+
+    def test_corrupt_digit_changes_content(self):
+        rng = random.Random(0)
+        original = "213-467-1108"
+        corrupted = corrupt_digit(original, rng)
+        assert corrupted != original
+        assert normalize_string(corrupted) != normalize_string(original)
+
+    def test_corrupt_digit_no_digits_noop(self):
+        assert corrupt_digit("abc", random.Random(0)) == "abc"
+
+    def test_typo_changes_string(self):
+        rng = random.Random(1)
+        assert typo("restaurant", rng) != "restaurant"
+
+    def test_typo_short_string_noop(self):
+        assert typo("ab", random.Random(0)) == "ab"
+
+    def test_recase_preserves_normalization(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            original = "The Golden Table"
+            noised = recase_and_punctuate(original, rng)
+            assert normalize_string(noised) == normalize_string(original)
+
+    def test_swap_word_order(self):
+        rng = random.Random(0)
+        assert swap_word_order("Sugata Sanshiro", rng) == "Sanshiro Sugata"
+        assert swap_word_order("Single", rng) == "Single"
+
+    def test_reformat_date_layouts(self):
+        rng = random.Random(0)
+        seen = {reformat_date("1935-01-08", rng) for _ in range(30)}
+        assert seen <= {"1/8/1935", "1935"}
+        assert len(seen) == 2
+
+
+class TestNoiseModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(random.Random(0), format_noise=1.5)
+
+    def test_zero_noise_is_identity(self):
+        noise = NoiseModel(random.Random(0))
+        assert noise.maybe_phone("213-467-1108") == "213-467-1108"
+        assert noise.maybe_name("The Golden Table") == "The Golden Table"
+        assert noise.maybe_date("1935-01-08") == "1935-01-08"
+        assert noise.keep_fact()
+
+    def test_format_noise_is_normalization_recoverable(self):
+        noise = NoiseModel(random.Random(0), format_noise=1.0)
+        for _ in range(20):
+            phone = noise.maybe_phone("213-467-1108")
+            assert normalize_string(phone) == normalize_string("213-467-1108")
+
+    def test_content_noise_changes_normalized_form(self):
+        noise = NoiseModel(random.Random(0), content_noise=1.0)
+        changed = 0
+        for _ in range(20):
+            phone = noise.maybe_phone("213-467-1108")
+            if normalize_string(phone) != normalize_string("213-467-1108"):
+                changed += 1
+        assert changed == 20
+
+    def test_drop_fact_rate(self):
+        noise = NoiseModel(random.Random(0), drop_fact=0.5)
+        kept = sum(noise.keep_fact() for _ in range(1000))
+        assert 400 < kept < 600
+
+
+class TestNamePools:
+    def test_unique_person_names(self):
+        rng = random.Random(0)
+        generated = names.unique_person_names(rng, 500)
+        assert len(generated) == 500
+        assert len(set(generated)) == 500
+
+    def test_deterministic_for_seed(self):
+        first = names.unique_person_names(random.Random(7), 50)
+        second = names.unique_person_names(random.Random(7), 50)
+        assert first == second
+
+    def test_phone_format(self):
+        rng = random.Random(0)
+        phone = names.phone_number(rng)
+        area, exchange, line = phone.split("-")
+        assert len(area) == 3 and len(exchange) == 3 and len(line) == 4
+
+    def test_date_iso_in_range(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            date = names.date_iso(rng, 1950, 1960)
+            year, month, day = (int(x) for x in date.split("-"))
+            assert 1950 <= year <= 1960
+            assert 1 <= month <= 12
+            assert 1 <= day <= 28
+
+    def test_generators_produce_nonempty(self):
+        rng = random.Random(0)
+        assert names.person_name(rng)
+        assert names.city_name(rng)
+        assert names.restaurant_name(rng)
+        assert names.movie_title(rng)
+        assert names.university_name(rng)
+        assert names.street_address(rng)

@@ -1,0 +1,163 @@
+"""Unit tests for relation-name priors and multi-ontology alignment."""
+
+import pytest
+
+from repro import OntologyBuilder, ParisConfig, align, align_many
+from repro.core.multi import MultiAligner
+from repro.core.priors import name_prior_matrix, name_similarity, name_tokens
+from repro.rdf.terms import Relation, Resource
+
+
+class TestNameTokens:
+    def test_camel_case_split(self):
+        assert name_tokens(Relation("wasBornIn")) == {"born"}
+
+    def test_snake_case_split(self):
+        assert name_tokens(Relation("birth_place")) == {"birth", "place"}
+
+    def test_namespace_stripped(self):
+        assert name_tokens(Relation("dbp:birthPlace")) == {"birth", "place"}
+
+    def test_inverse_marker_ignored(self):
+        assert name_tokens(Relation("actedIn", inverted=True)) == {"acted"}
+
+    def test_stop_words_dropped(self):
+        assert name_tokens(Relation("hasChild")) == {"child"}
+
+
+class TestNameSimilarity:
+    def test_identical_names(self):
+        assert name_similarity(Relation("y:birthPlace"), Relation("dbp:birth_place")) == 1.0
+
+    def test_partial_overlap(self):
+        value = name_similarity(Relation("birthPlace"), Relation("birthDate"))
+        assert 0.0 < value < 1.0
+
+    def test_disjoint_names(self):
+        assert name_similarity(Relation("wasBornIn"), Relation("spouse")) == 0.0
+
+    def test_symmetric(self):
+        left, right = Relation("birthPlace"), Relation("placeOfBirth")
+        assert name_similarity(left, right) == name_similarity(right, left)
+
+
+class TestNamePriorMatrix:
+    @pytest.fixture()
+    def pair(self):
+        left = OntologyBuilder("l").value("a", "hasName", "x").fact("a", "bornIn", "c").build()
+        right = OntologyBuilder("r").value("b", "name", "x").fact("b", "birthPlace", "d").build()
+        return left, right
+
+    def test_floor_is_theta(self, pair):
+        left, right = pair
+        matrix = name_prior_matrix(left, right, theta=0.1)
+        # lexically unrelated pair keeps the floor
+        assert matrix.get(Relation("bornIn"), Relation("name")) == 0.1
+
+    def test_similar_names_boosted(self, pair):
+        left, right = pair
+        matrix = name_prior_matrix(left, right, theta=0.1, theta_max=0.5)
+        assert matrix.get(Relation("hasName"), Relation("name")) > 0.1
+
+    def test_cross_direction_not_boosted(self, pair):
+        left, right = pair
+        matrix = name_prior_matrix(left, right, theta=0.1)
+        assert matrix.get(Relation("hasName"), Relation("name").inverse) == 0.1
+
+    def test_validation(self, pair):
+        left, right = pair
+        with pytest.raises(ValueError):
+            name_prior_matrix(left, right, theta=0.4, theta_max=0.2)
+
+    def test_aligner_integration_same_result(self, tiny_pair):
+        """With and without the prior, the tiny pair aligns identically
+        (the prior accelerates, never excludes)."""
+        left, right = tiny_pair
+        plain = align(left, right)
+        primed = align(left, right, ParisConfig(use_name_prior=True))
+        assert {
+            (l.name, r.name) for l, (r, _p) in plain.assignment12.items()
+        } == {(l.name, r.name) for l, (r, _p) in primed.assignment12.items()}
+
+
+class TestMultiAligner:
+    @pytest.fixture()
+    def three_ontologies(self):
+        """Three KBs describing the same two people."""
+        specs = [
+            ("kb1", "a", "nameA", "bornA"),
+            ("kb2", "b", "nameB", "bornB"),
+            ("kb3", "c", "nameC", "bornC"),
+        ]
+        ontologies = []
+        for name, prefix, name_rel, born_rel in specs:
+            builder = OntologyBuilder(name)
+            builder.value(f"{prefix}1", name_rel, "Elvis Presley")
+            builder.value(f"{prefix}1", born_rel, "1935-01-08")
+            builder.value(f"{prefix}2", name_rel, "Johnny Cash")
+            builder.value(f"{prefix}2", born_rel, "1932-02-26")
+            ontologies.append(builder.build())
+        return ontologies
+
+    def test_pairwise_results_present(self, three_ontologies):
+        result = align_many(three_ontologies)
+        assert set(result.pairwise) == {
+            ("kb1", "kb2"), ("kb1", "kb3"), ("kb2", "kb3"),
+        }
+
+    def test_clusters_span_all_three(self, three_ontologies):
+        result = align_many(three_ontologies)
+        spanning = result.clusters_spanning(3)
+        assert len(spanning) == 2
+        for cluster in spanning:
+            assert set(cluster.members) == {"kb1", "kb2", "kb3"}
+            assert cluster.confidence > 0.5
+
+    def test_cluster_membership_lookup(self, three_ontologies):
+        result = align_many(three_ontologies)
+        elvis_cluster = next(
+            c for c in result.clusters if Resource("a1") in c
+        )
+        assert elvis_cluster.members["kb2"] == Resource("b1")
+        assert elvis_cluster.members["kb3"] == Resource("c1")
+
+    def test_one_instance_per_ontology_per_cluster(self, three_ontologies):
+        result = align_many(three_ontologies)
+        for cluster in result.clusters:
+            assert len(cluster.members) == len(set(cluster.members))
+
+    def test_requires_two_ontologies(self, three_ontologies):
+        with pytest.raises(ValueError):
+            MultiAligner(three_ontologies[:1])
+
+    def test_requires_distinct_names(self, three_ontologies):
+        with pytest.raises(ValueError):
+            MultiAligner([three_ontologies[0], three_ontologies[0]])
+
+    def test_conflicting_evidence_keeps_strongest(self):
+        """Two kb1 instances cannot land in one cluster even when a
+        third ontology links them both."""
+        kb1 = (
+            OntologyBuilder("kb1")
+            .value("a1", "n1", "Kim")
+            .value("a1", "p1", "111")
+            .value("a2", "n1", "Kim")
+            .value("a2", "p1", "222")
+            .build()
+        )
+        kb2 = (
+            OntologyBuilder("kb2")
+            .value("b1", "n2", "Kim")
+            .value("b1", "p2", "111")
+            .build()
+        )
+        kb3 = (
+            OntologyBuilder("kb3")
+            .value("c1", "n3", "Kim")
+            .value("c1", "p3", "222")
+            .build()
+        )
+        result = align_many([kb1, kb2, kb3])
+        for cluster in result.clusters:
+            members = list(cluster.members.values())
+            assert not (Resource("a1") in members and Resource("a2") in members)

@@ -1,0 +1,232 @@
+"""Hand-verified tests for Eq. 12 (sub-relations) and Eq. 17 (sub-classes)."""
+
+import pytest
+
+from repro.core.literal_index import LiteralIndex
+from repro.core.store import EquivalenceStore
+from repro.core.subclasses import closed_classes_of, score_class, subclass_pass
+from repro.core.subrelations import score_relation, subrelation_pass
+from repro.core.view import EquivalenceView
+from repro.literals import IdentitySimilarity
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.terms import Relation, Resource
+
+
+def make_view(onto1, onto2, store):
+    similarity = IdentitySimilarity()
+    return EquivalenceView(
+        store,
+        LiteralIndex(onto2, similarity),
+        LiteralIndex(onto1, similarity),
+    )
+
+
+class TestScoreRelationEq12:
+    def test_hand_computed_single_pair(self):
+        """r(a,b), r'(a',b'), Pr(a≡a')=0.8, Pr(b≡b')=0.5:
+        numerator = denominator = 1-(1-0.4) = 0.4 → Pr(r⊆r') = 1."""
+        onto1 = OntologyBuilder("o1").fact("a", "r", "b").build()
+        onto2 = OntologyBuilder("o2").fact("a2", "r2", "b2").build()
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("a2"), 0.8)
+        store.set(Resource("b"), Resource("b2"), 0.5)
+        scores = score_relation(
+            Relation("r"), onto1, onto2, make_view(onto1, onto2, store), max_pairs=100
+        )
+        assert scores[Relation("r2")] == pytest.approx(1.0)
+
+    def test_partial_inclusion(self):
+        """Two statements of r; only one has an r'-connected counterpart
+        pair → Pr(r⊆r') = 0.5 (with certain equivalences)."""
+        onto1 = OntologyBuilder("o1").fact("a", "r", "b").fact("c", "r", "d").build()
+        onto2 = (
+            OntologyBuilder("o2")
+            .fact("a2", "r2", "b2")
+            .fact("c2", "other", "d2")
+            .build()
+        )
+        store = EquivalenceStore()
+        for left, right in (("a", "a2"), ("b", "b2"), ("c", "c2"), ("d", "d2")):
+            store.set(Resource(left), Resource(right), 1.0)
+        scores = score_relation(
+            Relation("r"), onto1, onto2, make_view(onto1, onto2, store), max_pairs=100
+        )
+        assert scores[Relation("r2")] == pytest.approx(0.5)
+        assert scores[Relation("other")] == pytest.approx(0.5)
+
+    def test_discovers_inverse_alignment(self):
+        """r(a,b) vs r2(b2,a2): Pr(r ⊆ r2⁻) should be found."""
+        onto1 = OntologyBuilder("o1").fact("a", "acted", "b").build()
+        onto2 = OntologyBuilder("o2").fact("b2", "starring", "a2").build()
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("a2"), 1.0)
+        store.set(Resource("b"), Resource("b2"), 1.0)
+        scores = score_relation(
+            Relation("acted"), onto1, onto2, make_view(onto1, onto2, store), max_pairs=100
+        )
+        assert scores[Relation("starring").inverse] == pytest.approx(1.0)
+
+    def test_no_evidence_returns_none(self):
+        onto1 = OntologyBuilder("o1").fact("a", "r", "b").build()
+        onto2 = OntologyBuilder("o2").fact("a2", "r2", "b2").build()
+        scores = score_relation(
+            Relation("r"),
+            onto1,
+            onto2,
+            make_view(onto1, onto2, EquivalenceStore()),
+            max_pairs=100,
+        )
+        assert scores is None
+
+    def test_pair_cap_limits_work(self):
+        builder1 = OntologyBuilder("o1")
+        builder2 = OntologyBuilder("o2")
+        store = EquivalenceStore()
+        for i in range(20):
+            builder1.fact(f"a{i}", "r", f"b{i}")
+            builder2.fact(f"a{i}2", "r2", f"b{i}2")
+            store.set(Resource(f"a{i}"), Resource(f"a{i}2"), 1.0)
+            store.set(Resource(f"b{i}"), Resource(f"b{i}2"), 1.0)
+        onto1, onto2 = builder1.build(), builder2.build()
+        scores = score_relation(
+            Relation("r"), onto1, onto2, make_view(onto1, onto2, store), max_pairs=5
+        )
+        # still a valid ratio computed over the examined sample
+        assert scores[Relation("r2")] == pytest.approx(1.0)
+
+    def test_literal_valued_relations_align(self):
+        """Relations to literals align through the literal similarity."""
+        onto1 = OntologyBuilder("o1").value("a", "name", "Elvis").build()
+        onto2 = OntologyBuilder("o2").value("a2", "label", "Elvis").build()
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("a2"), 1.0)
+        scores = score_relation(
+            Relation("name"), onto1, onto2, make_view(onto1, onto2, store), max_pairs=100
+        )
+        assert scores[Relation("label")] == pytest.approx(1.0)
+
+    def test_pass_respects_threshold_and_prior(self):
+        onto1 = OntologyBuilder("o1").fact("a", "r", "b").value("z", "s", "v").build()
+        onto2 = OntologyBuilder("o2").fact("a2", "r2", "b2").build()
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("a2"), 1.0)
+        store.set(Resource("b"), Resource("b2"), 1.0)
+        matrix = subrelation_pass(
+            onto1,
+            onto2,
+            make_view(onto1, onto2, store),
+            truncation_threshold=0.1,
+            max_pairs=100,
+            bootstrap_theta=0.1,
+        )
+        assert matrix.get(Relation("r"), Relation("r2")) == pytest.approx(1.0)
+        # relation s has no evidence: keeps the bootstrap prior
+        assert matrix.get(Relation("s"), Relation("r2")) == 0.1
+
+
+class TestScoreClassEq17:
+    @pytest.fixture()
+    def class_pair(self):
+        onto1 = (
+            OntologyBuilder("o1")
+            .type("a", "C")
+            .type("b", "C")
+            .fact("a", "r", "pad1")   # make a/b instances with data too
+            .fact("b", "r", "pad2")
+            .build()
+        )
+        onto2 = (
+            OntologyBuilder("o2")
+            .type("x", "D")
+            .subclass("D", "E")
+            .fact("x", "r2", "pad3")
+            .build()
+        )
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("x"), 0.9)
+        return onto1, onto2, store
+
+    def test_hand_computed_ratio(self, class_pair):
+        """C={a,b}, D={x}, Pr(a≡x)=0.9 → Pr(C⊆D) = 0.9/2 = 0.45."""
+        onto1, onto2, store = class_pair
+        scores = score_class(
+            Resource("C"),
+            onto1,
+            make_view(onto1, onto2, store),
+            closed_classes_of(onto2),
+            max_instances=100,
+        )
+        assert scores[Resource("D")] == pytest.approx(0.45)
+
+    def test_superclass_inherits_extension(self, class_pair):
+        """x is also an instance of E (D ⊆ E), so Pr(C⊆E) = 0.45 too."""
+        onto1, onto2, store = class_pair
+        scores = score_class(
+            Resource("C"),
+            onto1,
+            make_view(onto1, onto2, store),
+            closed_classes_of(onto2),
+            max_instances=100,
+        )
+        assert scores[Resource("E")] == pytest.approx(0.45)
+
+    def test_full_extension_match_scores_one(self):
+        onto1 = OntologyBuilder("o1").type("a", "C").build()
+        onto2 = OntologyBuilder("o2").type("x", "D").build()
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("x"), 1.0)
+        scores = score_class(
+            Resource("C"),
+            onto1,
+            make_view(onto1, onto2, store),
+            closed_classes_of(onto2),
+            max_instances=100,
+        )
+        assert scores[Resource("D")] == pytest.approx(1.0)
+
+    def test_empty_class_scores_nothing(self, class_pair):
+        onto1, onto2, store = class_pair
+        scores = score_class(
+            Resource("EmptyClass"),
+            onto1,
+            make_view(onto1, onto2, store),
+            closed_classes_of(onto2),
+            max_instances=100,
+        )
+        assert scores == {}
+
+    def test_subclass_pass_both_thresholded(self, class_pair):
+        onto1, onto2, store = class_pair
+        matrix = subclass_pass(
+            onto1,
+            onto2,
+            make_view(onto1, onto2, store),
+            truncation_threshold=0.5,
+            max_instances=100,
+        )
+        # 0.45 < 0.5: truncated away
+        assert matrix.get(Resource("C"), Resource("D")) == 0.0
+
+    def test_closed_classes_of(self, class_pair):
+        _onto1, onto2, _store = class_pair
+        closed = closed_classes_of(onto2)
+        assert closed[Resource("x")] == {Resource("D"), Resource("E")}
+
+    def test_instance_cap(self):
+        builder1 = OntologyBuilder("o1")
+        builder2 = OntologyBuilder("o2")
+        store = EquivalenceStore()
+        for i in range(10):
+            builder1.type(f"a{i}", "C")
+            builder2.type(f"x{i}", "D")
+            store.set(Resource(f"a{i}"), Resource(f"x{i}"), 1.0)
+        onto1, onto2 = builder1.build(), builder2.build()
+        scores = score_class(
+            Resource("C"),
+            onto1,
+            make_view(onto1, onto2, store),
+            closed_classes_of(onto2),
+            max_instances=4,
+        )
+        # ratio over the examined sample stays unbiased
+        assert scores[Resource("D")] == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the term model (repro.rdf.terms)."""
+
+import pytest
+
+from repro.rdf.terms import Literal, Relation, Resource
+
+
+class TestResource:
+    def test_equality_by_name(self):
+        assert Resource("London") == Resource("London")
+        assert Resource("London") != Resource("Londres")
+
+    def test_hash_consistency(self):
+        assert hash(Resource("London")) == hash(Resource("London"))
+        assert {Resource("a"), Resource("a")} == {Resource("a")}
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert Resource("London") != Literal("London")
+        assert hash(Resource("London")) != hash(Literal("London"))
+
+    def test_immutable(self):
+        resource = Resource("x")
+        with pytest.raises(AttributeError):
+            resource.name = "y"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Resource("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Resource(42)
+
+    def test_str_and_repr(self):
+        assert str(Resource("Elvis")) == "Elvis"
+        assert "Elvis" in repr(Resource("Elvis"))
+
+    def test_is_resource_flags(self):
+        assert Resource("x").is_resource
+        assert not Resource("x").is_literal
+
+
+class TestLiteral:
+    def test_equality_by_value(self):
+        assert Literal("1935") == Literal("1935")
+        assert Literal("1935") != Literal("1936")
+
+    def test_datatype_is_hint_only(self):
+        assert Literal("42", datatype="integer") == Literal("42")
+        assert hash(Literal("42", datatype="integer")) == hash(Literal("42"))
+
+    def test_numeric_coercion(self):
+        assert Literal(42).value == "42"
+        assert Literal(42).datatype == "integer"
+        assert Literal(2.5).value == "2.5"
+        assert Literal(2.5).datatype == "decimal"
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Literal(True)
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            Literal(None)
+
+    def test_immutable(self):
+        literal = Literal("a")
+        with pytest.raises(AttributeError):
+            literal.value = "b"
+
+    def test_is_literal_flags(self):
+        assert Literal("x").is_literal
+        assert not Literal("x").is_resource
+
+    def test_repr_includes_datatype(self):
+        assert "date" in repr(Literal("1935-01-08", datatype="date"))
+
+
+class TestRelation:
+    def test_forward_by_default(self):
+        relation = Relation("wasBornIn")
+        assert not relation.inverted
+        assert str(relation) == "wasBornIn"
+
+    def test_inverse_swaps_direction(self):
+        relation = Relation("wasBornIn")
+        assert relation.inverse.inverted
+        assert str(relation.inverse) == "wasBornIn^-1"
+
+    def test_double_inverse_is_identity(self):
+        relation = Relation("r")
+        assert relation.inverse.inverse == relation
+
+    def test_base_strips_inversion(self):
+        assert Relation("r", inverted=True).base == Relation("r")
+        assert Relation("r").base == Relation("r")
+
+    def test_parse_round_trips(self):
+        for text in ("actedIn", "actedIn^-1"):
+            assert str(Relation.parse(text)) == text
+
+    def test_parse_inverse(self):
+        parsed = Relation.parse("actedIn^-1")
+        assert parsed == Relation("actedIn", inverted=True)
+
+    def test_forward_and_inverse_differ(self):
+        assert Relation("r") != Relation("r", inverted=True)
+        assert hash(Relation("r")) != hash(Relation("r", inverted=True))
+
+    def test_rejects_suffix_in_name(self):
+        with pytest.raises(ValueError):
+            Relation("r^-1")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Relation("")
+
+    def test_immutable(self):
+        relation = Relation("r")
+        with pytest.raises(AttributeError):
+            relation.inverted = True
+
+    def test_distinct_from_resource(self):
+        assert Relation("x") != Resource("x")

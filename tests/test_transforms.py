@@ -1,0 +1,173 @@
+"""Unit tests for the structural transforms (reify/dereify).
+
+These address the paper's named limitation: event-entity modelling vs
+direct-relation modelling (Section 7).  The key end-to-end check: a
+pair that plain PARIS cannot align becomes alignable after dereifying
+the event-style side.
+"""
+
+import pytest
+
+from repro import OntologyBuilder, align
+from repro.rdf.terms import Literal, Relation, Resource
+from repro.rdf.transforms import copy_ontology, dereify, reify
+
+
+@pytest.fixture()
+def direct_onto():
+    """Relation-style modelling: wonAward(person, award)."""
+    return (
+        OntologyBuilder("direct")
+        .value("p1", "name", "Marie")
+        .fact("p1", "wonAward", "nobel")
+        .value("nobel", "awardName", "Nobel Prize")
+        .value("p2", "name", "Pierre")
+        .fact("p2", "wonAward", "nobel")
+        .build()
+    )
+
+
+@pytest.fixture()
+def event_onto():
+    """Event-style modelling: winningEvent with winner/award/year."""
+    return (
+        OntologyBuilder("events")
+        .value("x1", "label", "Marie")
+        .value("x2", "label", "Pierre")
+        .value("a1", "title", "Nobel Prize")
+        .type("e1", "WinningEvent")
+        .fact("e1", "winner", "x1")
+        .fact("e1", "award", "a1")
+        .value("e1", "year", "1903")
+        .type("e2", "WinningEvent")
+        .fact("e2", "winner", "x2")
+        .fact("e2", "award", "a1")
+        .value("e2", "year", "1903")
+        .build()
+    )
+
+
+class TestCopy:
+    def test_copy_is_deep_and_equal(self, direct_onto):
+        duplicate = copy_ontology(direct_onto)
+        assert set(duplicate.triples()) == set(direct_onto.triples())
+        duplicate.add(Resource("new"), Relation("r"), Resource("thing"))
+        assert duplicate.num_facts == direct_onto.num_facts + 1
+
+    def test_copy_preserves_schema(self):
+        onto = (
+            OntologyBuilder("t")
+            .type("a", "C")
+            .subclass("C", "D")
+            .subproperty("r", "s")
+            .build()
+        )
+        duplicate = copy_ontology(onto, name="t2")
+        assert duplicate.name == "t2"
+        assert Resource("a") in duplicate.instances_of(Resource("C"))
+        assert Resource("D") in duplicate.superclasses_of(Resource("C"))
+        assert Relation("s") in duplicate.superproperties_of(Relation("r"))
+
+
+class TestDereify:
+    def test_creates_direct_statements(self, event_onto):
+        flat = dereify(
+            event_onto,
+            event_class=Resource("WinningEvent"),
+            subject_relation=Relation("winner"),
+            object_relation=Relation("award"),
+            new_relation=Relation("won"),
+        )
+        assert flat.has(Resource("x1"), Relation("won"), Resource("a1"))
+        assert flat.has(Resource("x2"), Relation("won"), Resource("a1"))
+
+    def test_drops_event_entities_by_default(self, event_onto):
+        flat = dereify(
+            event_onto,
+            Resource("WinningEvent"),
+            Relation("winner"),
+            Relation("award"),
+            Relation("won"),
+        )
+        assert Resource("e1") not in flat.instances
+        assert flat.num_statements(Relation("winner")) == 0
+
+    def test_keep_events_mode(self, event_onto):
+        flat = dereify(
+            event_onto,
+            Resource("WinningEvent"),
+            Relation("winner"),
+            Relation("award"),
+            Relation("won"),
+            drop_events=False,
+        )
+        assert Resource("e1") in flat.instances
+        assert flat.has(Resource("x1"), Relation("won"), Resource("a1"))
+
+    def test_copies_event_attributes(self, event_onto):
+        flat = dereify(
+            event_onto,
+            Resource("WinningEvent"),
+            Relation("winner"),
+            Relation("award"),
+            Relation("won"),
+            copy_relations=[(Relation("year"), Relation("wonInYear"))],
+        )
+        assert flat.has(Resource("x1"), Relation("wonInYear"), Literal("1903"))
+
+    def test_untouched_statements_survive(self, event_onto):
+        flat = dereify(
+            event_onto,
+            Resource("WinningEvent"),
+            Relation("winner"),
+            Relation("award"),
+            Relation("won"),
+        )
+        assert flat.has(Resource("x1"), Relation("label"), Literal("Marie"))
+
+
+class TestReify:
+    def test_round_trip(self, direct_onto):
+        reified = reify(
+            direct_onto,
+            relation=Relation("wonAward"),
+            event_class=Resource("WinEvent"),
+            subject_relation=Relation("who"),
+            object_relation=Relation("what"),
+        )
+        assert reified.num_statements(Relation("wonAward")) == 0
+        assert len(reified.instances_of(Resource("WinEvent"))) == 2
+        back = dereify(
+            reified,
+            Resource("WinEvent"),
+            Relation("who"),
+            Relation("what"),
+            Relation("wonAward"),
+        )
+        assert back.has(Resource("p1"), Relation("wonAward"), Resource("nobel"))
+        assert back.has(Resource("p2"), Relation("wonAward"), Resource("nobel"))
+
+    def test_reify_deterministic_event_ids(self, direct_onto):
+        first = reify(direct_onto, Relation("wonAward"), Resource("E"),
+                      Relation("who"), Relation("what"))
+        second = reify(direct_onto, Relation("wonAward"), Resource("E"),
+                       Relation("who"), Relation("what"))
+        assert set(first.triples()) == set(second.triples())
+
+
+class TestStructuralHeterogeneityEndToEnd:
+    def test_dereification_enables_alignment(self, direct_onto, event_onto):
+        """The paper's limitation, repaired by the transform: the award
+        link is invisible to PARIS before dereification and aligned
+        after."""
+        flat = dereify(
+            event_onto,
+            Resource("WinningEvent"),
+            Relation("winner"),
+            Relation("award"),
+            Relation("won"),
+        )
+        result = align(direct_onto, flat)
+        assert result.assignment12[Resource("p1")][0] == Resource("x1")
+        assert result.assignment12[Resource("nobel")][0] == Resource("a1")
+        assert result.relations12.get(Relation("wonAward"), Relation("won")) > 0.5

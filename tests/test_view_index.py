@@ -1,0 +1,117 @@
+"""Unit tests for LiteralIndex and EquivalenceView."""
+
+import pytest
+
+from repro.core.literal_index import LiteralIndex
+from repro.core.store import EquivalenceStore
+from repro.core.view import EquivalenceView
+from repro.literals import EditDistanceSimilarity, IdentitySimilarity
+from repro.rdf.builder import OntologyBuilder
+from repro.rdf.terms import Literal, Resource
+
+
+@pytest.fixture()
+def onto():
+    return (
+        OntologyBuilder("t")
+        .value("a", "name", "Elvis")
+        .value("b", "name", "Cash")
+        .value("c", "name", "Elvis")  # duplicate value on purpose
+        .build()
+    )
+
+
+class TestLiteralIndex:
+    def test_exact_candidates(self, onto):
+        index = LiteralIndex(onto, IdentitySimilarity())
+        candidates = dict(index.candidates(Literal("Elvis")))
+        assert candidates == {Literal("Elvis"): 1.0}
+
+    def test_no_candidates(self, onto):
+        index = LiteralIndex(onto, IdentitySimilarity())
+        assert index.candidates(Literal("Presley")) == ()
+
+    def test_fuzzy_candidates(self, onto):
+        index = LiteralIndex(onto, EditDistanceSimilarity(max_distance=1))
+        candidates = dict(index.candidates(Literal("Elvsi")))  # transposition = 2 ops
+        # "Elvsi" -> "elvsi"; "Elvis" -> "elvis": distance 2, beyond max 1
+        assert Literal("Elvis") not in candidates
+        candidates = dict(index.candidates(Literal("Elvi")))
+        assert Literal("Elvis") in candidates
+
+    def test_memoization_returns_same_object(self, onto):
+        index = LiteralIndex(onto, IdentitySimilarity())
+        first = index.candidates(Literal("Elvis"))
+        second = index.candidates(Literal("Elvis"))
+        assert first is second
+
+    def test_len_counts_bucket_entries(self, onto):
+        index = LiteralIndex(onto, IdentitySimilarity())
+        assert len(index) == 2  # "Elvis" and "Cash" buckets
+
+
+class TestEquivalenceView:
+    @pytest.fixture()
+    def pair(self):
+        onto1 = OntologyBuilder("o1").value("a", "name", "Elvis").build()
+        onto2 = OntologyBuilder("o2").value("x", "label", "Elvis").build()
+        return onto1, onto2
+
+    def make_view(self, onto1, onto2, store=None):
+        similarity = IdentitySimilarity()
+        return EquivalenceView(
+            store or EquivalenceStore(),
+            LiteralIndex(onto2, similarity),
+            LiteralIndex(onto1, similarity),
+        )
+
+    def test_literal_lookup_forward(self, pair):
+        onto1, onto2 = pair
+        view = self.make_view(onto1, onto2)
+        assert dict(view.equivalents(Literal("Elvis"))) == {Literal("Elvis"): 1.0}
+
+    def test_literal_lookup_reverse(self, pair):
+        onto1, onto2 = pair
+        view = self.make_view(onto1, onto2)
+        assert dict(view.equivalents(Literal("Elvis"), reverse=True)) == {
+            Literal("Elvis"): 1.0
+        }
+
+    def test_resource_lookup_uses_store(self, pair):
+        onto1, onto2 = pair
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("x"), 0.7)
+        view = self.make_view(onto1, onto2, store)
+        assert dict(view.equivalents(Resource("a"))) == {Resource("x"): 0.7}
+        assert dict(view.equivalents(Resource("x"), reverse=True)) == {
+            Resource("a"): 0.7
+        }
+
+    def test_prob_literal_pair(self, pair):
+        onto1, onto2 = pair
+        view = self.make_view(onto1, onto2)
+        assert view.prob(Literal("Elvis"), Literal("Elvis")) == 1.0
+        assert view.prob(Literal("Elvis"), Literal("Cash")) == 0.0
+
+    def test_prob_mixed_kinds_is_zero(self, pair):
+        onto1, onto2 = pair
+        view = self.make_view(onto1, onto2)
+        assert view.prob(Resource("a"), Literal("Elvis")) == 0.0
+        assert view.prob(Literal("Elvis"), Resource("x")) == 0.0
+
+    def test_prob_resource_pair(self, pair):
+        onto1, onto2 = pair
+        store = EquivalenceStore()
+        store.set(Resource("a"), Resource("x"), 0.7)
+        view = self.make_view(onto1, onto2, store)
+        assert view.prob(Resource("a"), Resource("x")) == 0.7
+        assert view.prob(Resource("a"), Resource("other")) == 0.0
+
+    def test_mismatched_similarities_rejected(self, pair):
+        onto1, onto2 = pair
+        with pytest.raises(ValueError):
+            EquivalenceView(
+                EquivalenceStore(),
+                LiteralIndex(onto2, IdentitySimilarity()),
+                LiteralIndex(onto1, IdentitySimilarity()),
+            )

@@ -1,0 +1,189 @@
+"""Unit tests for the hidden-world model and projections."""
+
+import random
+
+import pytest
+
+from repro.datasets.noise import NoiseModel
+from repro.datasets.world import (
+    AttributeSpec,
+    LinkSpec,
+    Projection,
+    World,
+    derive_pair,
+)
+from repro.rdf.terms import Literal, Relation, Resource
+
+
+@pytest.fixture()
+def world():
+    world = World()
+    world.add("p1", "person", tags={"singer"}, name="Elvis", born="1935-01-08")
+    world.add("p2", "person", tags={"actor"}, name="Cash")
+    world.add("c1", "city", name="Tupelo")
+    world.add("b1", "work", tags={"book"}, name="Memoirs")
+    world.link("p1", "bornIn", "c1")
+    world.link("p1", "created", "b1")
+    return world
+
+
+def simple_projection(name, prefix, include=lambda e: True, link_specs=None):
+    return Projection(
+        name=name,
+        rename=lambda uid: f"{prefix}{uid}",
+        attribute_specs={"name": AttributeSpec(f"{prefix}name")},
+        link_specs=link_specs or {"bornIn": [LinkSpec(f"{prefix}bornIn")]},
+        classes_of=lambda entity: [f"{prefix}{entity.kind}"],
+        subclass_edges=[],
+        class_tags={},
+        include=include,
+        noise=NoiseModel(random.Random(0)),
+    )
+
+
+class TestWorld:
+    def test_add_and_get(self, world):
+        assert world.get("p1").attributes["name"] == "Elvis"
+        assert len(world) == 4
+
+    def test_duplicate_uid_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.add("p1", "person")
+
+    def test_link_to_unknown_rejected(self, world):
+        with pytest.raises(KeyError):
+            world.link("p1", "knows", "nobody")
+
+    def test_kind_index(self, world):
+        assert [e.uid for e in world.by_kind("person")] == ["p1", "p2"]
+        assert world.by_kind("unknown") == []
+
+    def test_tags_include_kind(self, world):
+        assert "person" in world.get("p1").tags
+        assert "singer" in world.get("p1").tags
+
+    def test_extent_of_tag(self, world):
+        assert world.extent_of_tag("person") == frozenset({"p1", "p2"})
+        assert world.extent_of_tag("singer") == frozenset({"p1"})
+
+
+class TestProjection:
+    def test_materialize_attributes(self, world):
+        projection = simple_projection("o1", "L_")
+        projection._world = world
+        onto, mapping = projection.materialize(world)
+        assert onto.has(Resource("L_p1"), Relation("L_name"), Literal("Elvis"))
+        assert mapping["p1"] == "L_p1"
+
+    def test_materialize_links(self, world):
+        projection = simple_projection("o1", "L_")
+        projection._world = world
+        onto, _ = projection.materialize(world)
+        assert onto.has(Resource("L_p1"), Relation("L_bornIn"), Resource("L_c1"))
+
+    def test_inverted_link(self, world):
+        projection = simple_projection(
+            "o1", "L_",
+            link_specs={"created": [LinkSpec("L_author", inverted=True)]},
+        )
+        projection._world = world
+        onto, _ = projection.materialize(world)
+        assert onto.has(Resource("L_b1"), Relation("L_author"), Resource("L_p1"))
+
+    def test_target_tag_filter(self, world):
+        projection = simple_projection(
+            "o1", "L_",
+            link_specs={
+                "created": [
+                    LinkSpec("L_wroteBook", only_target_tag="book"),
+                    LinkSpec("L_composed", only_target_tag="song"),
+                ]
+            },
+        )
+        projection._world = world
+        onto, _ = projection.materialize(world)
+        assert onto.has(Resource("L_p1"), Relation("L_wroteBook"), Resource("L_b1"))
+        assert onto.num_statements(Relation("L_composed")) == 0
+
+    def test_selection_excludes_entities_and_their_links(self, world):
+        projection = simple_projection(
+            "o1", "L_", include=lambda entity: entity.uid != "c1"
+        )
+        projection._world = world
+        onto, mapping = projection.materialize(world)
+        assert "c1" not in mapping
+        assert onto.num_statements(Relation("L_bornIn")) == 0
+
+    def test_classes_assigned(self, world):
+        projection = simple_projection("o1", "L_")
+        projection._world = world
+        onto, _ = projection.materialize(world)
+        assert Resource("L_p1") in onto.instances_of(Resource("L_person"))
+
+    def test_class_extents_independent_of_selection(self, world):
+        projection = simple_projection("o1", "L_", include=lambda e: e.uid == "p1")
+        extents = projection.class_extents(world)
+        # extent covers all world entities regardless of inclusion
+        assert extents["L_person"] == frozenset({"p1", "p2"})
+
+    def test_class_extents_propagate_to_superclasses(self, world):
+        projection = simple_projection("o1", "L_")
+        projection.subclass_edges = [("L_person", "L_agent")]
+        extents = projection.class_extents(world)
+        assert extents["L_agent"] >= extents["L_person"]
+
+
+class TestDerivePair:
+    def test_gold_is_shared_instances(self, world):
+        pair = derive_pair(
+            "demo",
+            world,
+            simple_projection("o1", "L_"),
+            simple_projection("o2", "R_", include=lambda e: e.uid != "p2"),
+            relation_gold=[("L_name", "R_name")],
+        )
+        gold_lefts = {left for left, _right in pair.gold.instance_pairs}
+        assert "L_p1" in gold_lefts
+        assert "L_p2" not in gold_lefts  # excluded from the right side
+
+    def test_relation_gold_closed_under_inversion(self, world):
+        pair = derive_pair(
+            "demo",
+            world,
+            simple_projection("o1", "L_"),
+            simple_projection("o2", "R_"),
+            relation_gold=[("L_name", "R_name")],
+        )
+        assert pair.gold.has_relation_pair(
+            Relation("L_name").inverse, Relation("R_name").inverse
+        )
+
+    def test_class_gold_from_extents(self, world):
+        pair = derive_pair(
+            "demo",
+            world,
+            simple_projection("o1", "L_"),
+            simple_projection("o2", "R_"),
+            relation_gold=[],
+        )
+        assert pair.gold.has_class_inclusion(
+            Resource("L_person"), Resource("R_person")
+        )
+        assert not pair.gold.has_class_inclusion(
+            Resource("L_person"), Resource("R_city")
+        )
+
+    def test_vocabularies_disjoint(self, world):
+        pair = derive_pair(
+            "demo",
+            world,
+            simple_projection("o1", "L_"),
+            simple_projection("o2", "R_"),
+            relation_gold=[],
+        )
+        left_relations = {r.name for r in pair.ontology1.relations()}
+        right_relations = {r.name for r in pair.ontology2.relations()}
+        assert not left_relations & right_relations
+        left_instances = {i.name for i in pair.ontology1.instances}
+        right_instances = {i.name for i in pair.ontology2.instances}
+        assert not left_instances & right_instances
