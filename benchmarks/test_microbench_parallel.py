@@ -1,0 +1,146 @@
+"""Micro-benchmark of the sharded parallel instance pass.
+
+Times one instance-equivalence pass over a synthetic large-ontology
+workload sequentially and with 2/4 process workers, records the speedup
+curve as an artifact, and — on machines with enough cores — asserts the
+parallel engine actually pays for itself.  Every timed run is also
+checked for score equality against the sequential pass, so the
+benchmark doubles as an end-to-end guarantee check at scale.
+
+``test_parallel_smoke_two_workers`` is a fast 2-worker smoke intended
+for CI (`pytest benchmarks/test_microbench_parallel.py -k smoke`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from helpers import save_artifact
+from repro.core.equivalence import instance_equivalence_pass
+from repro.core.functionality import FunctionalityOracle
+from repro.core.literal_index import LiteralIndex
+from repro.core.matrix import SubsumptionMatrix
+from repro.core.parallel import parallel_instance_equivalence_pass
+from repro.core.store import EquivalenceStore
+from repro.core.subrelations import subrelation_pass
+from repro.core.view import EquivalenceView
+from repro.datasets import yago_dbpedia_pair
+from repro.literals import IdentitySimilarity
+
+#: Worker counts on the speedup curve.
+WORKER_COUNTS = (2, 4)
+
+#: Cores needed before the ≥1.5× speedup assertion is meaningful.
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def _pass_inputs(num_persons, num_works, seed, second_iteration=False):
+    """Inputs for one instance pass over a synthetic KB pair.
+
+    With ``second_iteration`` the pass runs against a filled
+    previous-iteration view and computed relation matrices — the
+    compute-dominated shape of every iteration after the bootstrap, and
+    the realistic target of the parallel engine (a bootstrap pass over
+    an empty store is too cheap for process overhead to amortize).
+    """
+    pair = yago_dbpedia_pair(num_persons=num_persons, num_works=num_works, seed=seed)
+    similarity = IdentitySimilarity()
+    literals2 = LiteralIndex(pair.ontology2, similarity)
+    literals1 = LiteralIndex(pair.ontology1, similarity)
+    fun1 = FunctionalityOracle(pair.ontology1)
+    fun2 = FunctionalityOracle(pair.ontology2)
+    view = EquivalenceView(EquivalenceStore(), literals2, literals1)
+    rel12 = SubsumptionMatrix.bootstrap(0.1)
+    rel21 = SubsumptionMatrix.bootstrap(0.1)
+    if second_iteration:
+        bootstrap = instance_equivalence_pass(
+            pair.ontology1, pair.ontology2, view, fun1, fun2, rel12, rel21, 0.1
+        )
+        view = EquivalenceView(bootstrap.restricted_to_maximal(), literals2, literals1)
+        rel12 = subrelation_pass(
+            pair.ontology1, pair.ontology2, view,
+            truncation_threshold=0.1, max_pairs=10_000, bootstrap_theta=0.1,
+        )
+        rel21 = subrelation_pass(
+            pair.ontology2, pair.ontology1, view,
+            truncation_threshold=0.1, max_pairs=10_000, reverse=True,
+            bootstrap_theta=0.1,
+        )
+    return (
+        pair.ontology1,
+        pair.ontology2,
+        view,
+        fun1,
+        fun2,
+        rel12,
+        rel21,
+        0.1,
+    )
+
+
+def _scores(store):
+    return {(left, right): p for left, right, p in store.items()}
+
+
+def _assert_scores_match(actual, expected):
+    """Bit-exact under fork; ≈1 ulp under spawn (see repro.core.parallel)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert actual == expected
+        return
+    assert actual.keys() == expected.keys()
+    for key, probability in expected.items():
+        assert abs(actual[key] - probability) <= 1e-12, key
+
+
+def test_parallel_speedup_curve():
+    inputs = _pass_inputs(
+        num_persons=3000, num_works=1500, seed=11, second_iteration=True
+    )
+
+    started = time.perf_counter()
+    sequential = instance_equivalence_pass(*inputs)
+    sequential_seconds = time.perf_counter() - started
+    expected = _scores(sequential)
+    assert expected, "workload produced no equivalences"
+
+    rows = [f"{'workers':>7}  {'seconds':>8}  {'speedup':>7}"]
+    rows.append(f"{1:>7}  {sequential_seconds:>8.3f}  {1.0:>7.2f}")
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        store = parallel_instance_equivalence_pass(
+            *inputs, workers=workers, backend="process"
+        )
+        seconds = time.perf_counter() - started
+        _assert_scores_match(_scores(store), expected)
+        speedups[workers] = sequential_seconds / seconds
+        rows.append(f"{workers:>7}  {seconds:>8.3f}  {speedups[workers]:>7.2f}")
+
+    cores = os.cpu_count() or 1
+    rows.append(f"(cpu cores: {cores})")
+    save_artifact("microbench_parallel", "\n".join(rows))
+
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        best = max(speedups.values())
+        assert best >= 1.5, (
+            f"expected >=1.5x speedup on a {cores}-core machine, "
+            f"best was {best:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= {MIN_CORES_FOR_SPEEDUP} cores, "
+            f"machine has {cores}; curve recorded for the record"
+        )
+
+
+def test_parallel_smoke_two_workers():
+    """CI smoke: 2 process workers, exact equality, modest workload."""
+    inputs = _pass_inputs(num_persons=300, num_works=150, seed=11)
+    sequential = instance_equivalence_pass(*inputs)
+    parallel = parallel_instance_equivalence_pass(*inputs, workers=2, backend="process")
+    _assert_scores_match(_scores(parallel), _scores(sequential))
+    assert len(parallel) > 0

@@ -24,6 +24,7 @@ from typing import List, Optional
 from . import __version__
 from .core.aligner import align
 from .core.config import ParisConfig
+from .core.parallel import BACKENDS
 from .io.alignment_io import save_result, write_sameas_links
 from .literals import (
     EditDistanceSimilarity,
@@ -66,6 +67,9 @@ def _build_config(args: argparse.Namespace) -> ParisConfig:
         max_iterations=args.max_iterations,
         use_negative_evidence=args.negative_evidence,
         use_name_prior=args.name_prior,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        parallel_backend=args.parallel_backend,
     )
 
 
@@ -91,8 +95,11 @@ def cmd_align(args: argparse.Namespace) -> int:
     )
     print(f"wrote {out_dir}/ ({links} owl:sameAs links)", file=sys.stderr)
     if args.print_pairs:
+        # Total order: probability ties sort by name, so the output does
+        # not depend on store insertion order (sequential vs. sharded).
         for entity, counterpart, probability in sorted(
-            result.instance_pairs(args.threshold), key=lambda p: -p[2]
+            result.instance_pairs(args.threshold),
+            key=lambda p: (-p[2], str(p[0]), str(p[1])),
         ):
             print(f"{entity}\t{counterpart}\t{probability:.4f}")
     return 0
@@ -198,6 +205,21 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def add_parallel_options(subparser: argparse.ArgumentParser) -> None:
+    """Knobs of the sharded instance-pass engine (repro.core.parallel).
+
+    The engine guarantees scores equal to the sequential path, so these
+    only trade wall-clock for processes/threads.
+    """
+    subparser.add_argument("--workers", type=int, default=1,
+                           help="instance-pass workers (default 1: sequential)")
+    subparser.add_argument("--shard-size", type=int, default=None,
+                           help="instances per shard (default: derived)")
+    subparser.add_argument("--parallel-backend", choices=list(BACKENDS),
+                           default="process",
+                           help="executor backend for --workers > 1")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -226,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seed relation priors from relation names")
     align_parser.add_argument("--print-pairs", action="store_true",
                               help="print matched instance pairs to stdout")
+    add_parallel_options(align_parser)
     align_parser.set_defaults(handler=cmd_align)
 
     def add_model_options(subparser: argparse.ArgumentParser) -> None:
@@ -235,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                                default="identity")
         subparser.add_argument("--negative-evidence", action="store_true")
         subparser.add_argument("--name-prior", action="store_true")
+        add_parallel_options(subparser)
 
     multi_parser = commands.add_parser(
         "multi", help="align three or more ontologies into entity clusters"

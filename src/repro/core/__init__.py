@@ -9,7 +9,11 @@ Public entry points:
 * :class:`FunctionalityOracle` and the Eq. 1–2 functionality functions,
 * the individual passes (:func:`instance_equivalence_pass`,
   :func:`subrelation_pass`, :func:`subclass_pass`) for ablations and
-  step-by-step inspection.
+  step-by-step inspection,
+* the sharded parallel instance pass
+  (:func:`parallel_instance_equivalence_pass`,
+  :func:`partition_instances`) with its sequential-equivalence
+  guarantee.
 """
 
 from .aligner import ParisAligner, align
@@ -26,6 +30,7 @@ from .functionality import (
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
 from .multi import EntityCluster, MultiAligner, MultiAlignmentResult, align_many
+from .parallel import parallel_instance_equivalence_pass, partition_instances
 from .priors import name_prior_matrix, name_similarity, name_tokens
 from .result import AlignmentResult, Assignment, IterationSnapshot
 from .store import EquivalenceStore
@@ -53,6 +58,8 @@ __all__ = [
     "score_instance",
     "negative_evidence_factor",
     "instance_equivalence_pass",
+    "parallel_instance_equivalence_pass",
+    "partition_instances",
     "score_relation",
     "subrelation_pass",
     "score_class",

@@ -12,6 +12,16 @@ One run alternates two steps until convergence:
 Convergence is declared when fewer than ``convergence_threshold`` of
 the instances change their maximal assignment (Section 6.1).  After the
 fixpoint, class inclusions are computed once (Eq. 17, Section 4.3).
+
+The instance pass — the dominant cost — can run sharded across workers
+(``ParisConfig.workers`` / ``shard_size`` / ``parallel_backend``),
+mirroring the paper's "in parallel on all available processors"
+(Section 5.1/6.2).  The parallel engine (:mod:`repro.core.parallel`)
+guarantees scores equal to the sequential pass: instances are scored
+independently against frozen previous-iteration views and merged in
+deterministic shard order, and ``workers=1`` short-circuits to the
+bit-identical sequential code path.  The guarantee is enforced by
+``tests/test_parallel.py`` and ``tests/test_parallel_properties.py``.
 """
 
 from __future__ import annotations
@@ -22,10 +32,10 @@ from typing import Optional
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Relation
 from .config import ParisConfig
-from .equivalence import instance_equivalence_pass
 from .functionality import FunctionalityOracle
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
+from .parallel import parallel_instance_equivalence_pass
 from .result import AlignmentResult, IterationSnapshot
 from .store import EquivalenceStore
 from .subclasses import subclass_pass
@@ -80,6 +90,30 @@ class ParisAligner:
         if self.config.restrict_to_maximal_assignment:
             store = store.restricted_to_maximal()
         return EquivalenceView(store, self.literals2, self.literals1)
+
+    def _instance_pass(
+        self,
+        view: EquivalenceView,
+        rel12: SubsumptionMatrix[Relation],
+        rel21: SubsumptionMatrix[Relation],
+    ) -> EquivalenceStore:
+        """One instance pass; the engine itself falls back to the
+        bit-identical sequential path for workers=1."""
+        config = self.config
+        return parallel_instance_equivalence_pass(
+            self.ontology1,
+            self.ontology2,
+            view,
+            self.fun1,
+            self.fun2,
+            rel12,
+            rel21,
+            truncation_threshold=config.theta,
+            use_negative_evidence=config.use_negative_evidence,
+            workers=config.workers,
+            shard_size=config.shard_size,
+            backend=config.parallel_backend,
+        )
 
     def _dampen(
         self, old_store: EquivalenceStore, new_store: EquivalenceStore
@@ -136,17 +170,7 @@ class ParisAligner:
         for iteration in range(1, config.max_iterations + 1):
             started = time.perf_counter()
             view = self._view(store)
-            new_store = instance_equivalence_pass(
-                self.ontology1,
-                self.ontology2,
-                view,
-                self.fun1,
-                self.fun2,
-                rel12,
-                rel21,
-                truncation_threshold=theta,
-                use_negative_evidence=config.use_negative_evidence,
-            )
+            new_store = self._instance_pass(view, rel12, rel21)
             store = self._dampen(store, new_store)
             assignment12 = store.maximal_assignment()
             assignment21 = store.maximal_assignment(reverse=True)

@@ -12,6 +12,7 @@ Section 6.3 / Appendix A ablations can toggle them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..literals import IdentitySimilarity, LiteralSimilarity
 from .functionality import FunctionalityDefinition
@@ -77,6 +78,21 @@ class ParisConfig:
         Record per-iteration maximal assignments for Table-3/5 style
         per-iteration evaluation (costs memory proportional to the
         number of matched instances per iteration).
+    workers:
+        Worker count for the instance pass (Section 5.1 runs it "in
+        parallel on all available processors").  ``1`` (default) keeps
+        the bit-identical sequential path; larger values shard the
+        instances across workers via :mod:`repro.core.parallel`, with
+        scores guaranteed equal to the sequential engine (see that
+        module's docstring for the exactness guarantee).
+    shard_size:
+        Instances per shard for the parallel engine; ``None`` derives a
+        size from the worker count.  Setting it with ``workers=1``
+        exercises the shard/merge pipeline in-process.
+    parallel_backend:
+        ``"process"`` (default; real multi-core speedup, one state
+        pickle per worker per pass) or ``"thread"`` (shared memory,
+        GIL-bound — useful for testing and small inputs).
     """
 
     theta: float = 0.1
@@ -92,6 +108,9 @@ class ParisConfig:
     dampening: float = 0.0
     detect_cycles: bool = True
     keep_snapshots: bool = True
+    workers: int = 1
+    shard_size: Optional[int] = None
+    parallel_backend: str = "process"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -114,3 +133,14 @@ class ParisConfig:
             )
         if not isinstance(self.functionality, FunctionalityDefinition):
             raise TypeError("functionality must be a FunctionalityDefinition")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        from .parallel import BACKENDS
+
+        if self.parallel_backend not in BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )

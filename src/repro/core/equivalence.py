@@ -19,7 +19,7 @@ This costs ``O(n·m²·e)`` rather than the naive ``O(n²·m)``.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Literal, Relation, Resource
@@ -32,6 +32,18 @@ from .view import EquivalenceView
 #: single statement pair decide the whole product; clamp factors away
 #: from 0 so several strong pairs still outrank one.
 _MIN_FACTOR = 1e-12
+
+
+def ordered_instances(instances: Iterable[Resource]) -> List[Resource]:
+    """Instances in the canonical traversal order (sorted by name).
+
+    Both the sequential pass and the parallel engine's partitioner MUST
+    use this one ordering: later-iteration passes accumulate floats over
+    store dict order, so bit-identity between sequential and sharded
+    runs holds only while they fill the store in the same insertion
+    order.
+    """
+    return sorted(instances, key=lambda instance: instance.name)
 
 
 def score_instance(
@@ -118,6 +130,40 @@ def negative_evidence_factor(
     return penalty
 
 
+def score_instances(
+    instances: Iterable[Resource],
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+    truncation_threshold: float,
+    use_negative_evidence: bool = False,
+) -> List[Tuple[Resource, Resource, float]]:
+    """Score a batch of instances; the shard unit of the parallel engine.
+
+    Each instance's scores depend only on the frozen inputs (ontologies,
+    previous-iteration view, functionalities, relation matrices), never
+    on other instances of the batch, so any partition of
+    ``ontology1.instances`` into batches yields the same entries — this
+    is what makes the sharded engine in :mod:`repro.core.parallel`
+    exactly equivalent to the sequential pass.
+    """
+    entries: List[Tuple[Resource, Resource, float]] = []
+    for x in instances:
+        scores = score_instance(x, ontology1, ontology2, view, fun1, fun2, rel12, rel21)
+        for x_prime, score in scores.items():
+            if use_negative_evidence and score >= truncation_threshold:
+                score *= negative_evidence_factor(
+                    x, x_prime, ontology1, ontology2, view, fun1, fun2, rel12, rel21
+                )
+            if score >= truncation_threshold:
+                entries.append((x, x_prime, score))
+    return entries
+
+
 def instance_equivalence_pass(
     ontology1: Ontology,
     ontology2: Ontology,
@@ -136,13 +182,24 @@ def instance_equivalence_pass(
     side), so a single sweep fills the store for both directions.
     """
     store = EquivalenceStore(truncation_threshold)
-    for x in ontology1.instances:
-        scores = score_instance(x, ontology1, ontology2, view, fun1, fun2, rel12, rel21)
-        for x_prime, score in scores.items():
-            if use_negative_evidence and score >= truncation_threshold:
-                score *= negative_evidence_factor(
-                    x, x_prime, ontology1, ontology2, view, fun1, fun2, rel12, rel21
-                )
-            if score >= truncation_threshold:
-                store.set(x, x_prime, score)
+    # Canonical traversal order shared with the parallel partitioner
+    # (see ordered_instances).  One instance per batch streams entries
+    # into the store instead of materializing the whole pass result as
+    # one list (the shard-sized lists are for the parallel engine,
+    # which must ship them between workers anyway).
+    for x in ordered_instances(ontology1.instances):
+        store.update(
+            score_instances(
+                (x,),
+                ontology1,
+                ontology2,
+                view,
+                fun1,
+                fun2,
+                rel12,
+                rel21,
+                truncation_threshold,
+                use_negative_evidence,
+            )
+        )
     return store

@@ -1,0 +1,219 @@
+"""Sharded parallel instance-equivalence engine (Section 5.1).
+
+The paper runs the per-instance equivalence computation "in parallel on
+all available processors": within one iteration, every instance's
+scores depend only on the *previous* iteration's equivalences and on
+per-ontology constants, never on the scores of other instances computed
+in the same iteration.  This module exploits that independence:
+
+1. **Partition** — :func:`partition_instances` sorts the instances of
+   the first ontology by name and cuts the sorted list into contiguous
+   shards.  Sorting makes the partition (and hence the merge order)
+   independent of set-iteration order.
+2. **Score** — each worker runs
+   :func:`repro.core.equivalence.score_instances` — the exact code of
+   the sequential pass — on its shard against read-only frozen views
+   (ontologies, previous-iteration :class:`EquivalenceView`,
+   functionality oracles, relation matrices).
+3. **Merge** — shard results are folded into one
+   :class:`EquivalenceStore` *in shard order* via
+   :meth:`EquivalenceStore.update`, regardless of which worker finished
+   first, so the result is deterministic under any scheduling.
+
+Equivalence guarantee
+---------------------
+``workers=1`` with no explicit shard size short-circuits to
+:func:`instance_equivalence_pass` — bit-identical to the sequential
+engine by construction.  With more workers, every ``(x, x')`` score is
+computed by the same code on the same frozen inputs, and the sequential
+pass traverses instances in the same sorted order the partitioner uses,
+so sequential and sharded runs fill the store in the *same insertion
+order* — which matters because later-iteration passes accumulate floats
+over store dict order.  The ``thread`` backend (and the ``process``
+backend under the default ``fork`` start method, where workers inherit
+the parent's hash seed and hence its dict/set iteration orders)
+therefore reproduces the sequential floating-point results exactly,
+across whole fixpoint runs.  Under a ``spawn`` start method the per-instance factor
+products may be accumulated in a different set order, which can perturb
+scores at the level of one ulp (≪ 1e-12).  The test harness in
+``tests/test_parallel.py`` / ``tests/test_parallel_properties.py``
+enforces the guarantee; it is not left to inspection.
+
+The ``thread`` backend shares the input structures and is cheap to
+start, but the pure-Python scoring loop holds the GIL, so wall-clock
+gains come from the ``process`` backend (the default for ``workers >
+1``), which pays one state pickle per worker per pass.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, List, Optional, Tuple
+
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Relation, Resource
+from .equivalence import (
+    instance_equivalence_pass,
+    ordered_instances,
+    score_instances,
+)
+from .functionality import FunctionalityOracle
+from .matrix import SubsumptionMatrix
+from .store import EquivalenceStore
+from .view import EquivalenceView
+
+#: Executor backends selectable via ``ParisConfig.parallel_backend``.
+BACKENDS = ("thread", "process")
+
+#: Default shards per worker.  Several small shards per worker smooth
+#: out skew (a shard of hub instances with many statements costs more
+#: than one of leaves) without drowning the pass in task overhead.
+SHARDS_PER_WORKER = 4
+
+#: One shard's scores: ``(x, x', Pr(x ≡ x'))`` tuples in scoring order.
+ShardEntries = List[Tuple[Resource, Resource, float]]
+
+
+def partition_instances(
+    instances: Iterable[Resource],
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> List[List[Resource]]:
+    """Cut ``instances`` into deterministic contiguous shards.
+
+    Instances are put in the canonical sorted order first (the same
+    :func:`ordered_instances` traversal the sequential pass uses), so
+    the same input set always produces the same shards in the same
+    order — the anchor of the engine's determinism guarantee.
+
+    Parameters
+    ----------
+    instances:
+        The instances of the first ontology (any iterable; typically a
+        set).
+    workers:
+        Intended worker count; used to derive a default shard size of
+        ``ceil(n / (workers * SHARDS_PER_WORKER))``.
+    shard_size:
+        Explicit shard size; overrides the derived default.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    ordered = ordered_instances(instances)
+    if not ordered:
+        return []
+    if shard_size is None:
+        shard_size = math.ceil(len(ordered) / (workers * SHARDS_PER_WORKER))
+    return [ordered[i : i + shard_size] for i in range(0, len(ordered), shard_size)]
+
+
+# ----------------------------------------------------------------------
+# worker plumbing
+# ----------------------------------------------------------------------
+
+#: Frozen per-pass state, installed once per process worker by the
+#: executor initializer so shard tasks only ship the shard itself.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_worker(state: tuple) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _score_shard(shard: List[Resource]) -> ShardEntries:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    return score_instances(shard, *_WORKER_STATE)
+
+
+def _process_context():
+    """Prefer ``fork``: workers inherit the parent's hash seed, keeping
+    set-iteration (and hence float-accumulation) order identical to the
+    sequential pass."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# the parallel pass
+# ----------------------------------------------------------------------
+
+
+def parallel_instance_equivalence_pass(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+    truncation_threshold: float,
+    use_negative_evidence: bool = False,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    backend: str = "process",
+) -> EquivalenceStore:
+    """Sharded, parallel drop-in for :func:`instance_equivalence_pass`.
+
+    Parameters beyond the sequential pass:
+
+    workers:
+        Worker count.  ``1`` with the default shard size falls back to
+        the sequential pass (bit-identical by construction); ``1`` with
+        an explicit ``shard_size`` runs the shard/merge pipeline
+        in-process, which exercises merge determinism without an
+        executor.
+    shard_size:
+        Instances per shard (default: spread over
+        ``workers * SHARDS_PER_WORKER`` shards).
+    backend:
+        ``"process"`` (default) or ``"thread"``.  See the module
+        docstring for the exactness/throughput trade-off.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    common = (
+        ontology1,
+        ontology2,
+        view,
+        fun1,
+        fun2,
+        rel12,
+        rel21,
+        truncation_threshold,
+        use_negative_evidence,
+    )
+    if workers == 1 and shard_size is None:
+        return instance_equivalence_pass(*common)
+    shards = partition_instances(ontology1.instances, workers, shard_size)
+    store = EquivalenceStore(truncation_threshold)
+    if not shards:
+        return store
+    if workers == 1:
+        for shard in shards:
+            store.update(score_instances(shard, *common))
+        return store
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            # executor.map preserves shard order however workers finish.
+            for entries in executor.map(
+                lambda shard: score_instances(shard, *common), shards
+            ):
+                store.update(entries)
+        return store
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_process_context(),
+        initializer=_init_worker,
+        initargs=(common,),
+    ) as executor:
+        for entries in executor.map(_score_shard, shards):
+            store.update(entries)
+    return store

@@ -7,13 +7,14 @@ of value 0 at all."  The store therefore keeps only strictly positive
 probabilities, truncated at ``θ``, in both directions.
 
 The *maximal assignment* (Section 4.2) maps each instance to the single
-equivalent with the highest score, ties broken arbitrarily but
-deterministically (first encountered wins).
+equivalent with the highest score; exact ties break deterministically
+on the counterpart name, so the assignment never depends on insertion
+order (in particular not on the parallel engine's shard-merge order).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from ..rdf.terms import Resource
 
@@ -42,7 +43,9 @@ class EquivalenceStore:
     def set(self, left: Resource, right: Resource, probability: float) -> None:
         """Record ``Pr(left ≡ right) = probability`` (both directions).
 
-        Values below the truncation threshold erase any stored entry.
+        Values *strictly below* the truncation threshold erase any
+        stored entry; a value exactly equal to the threshold is kept
+        (the Section 5.2 truncation is ``Pr < θ ⇒ 0``, not ``≤``).
         """
         if probability < 0.0 or probability > 1.0 + 1e-9:
             raise ValueError(f"probability out of range: {probability}")
@@ -65,6 +68,18 @@ class EquivalenceStore:
             del row[left]
             if not row:
                 del self._backward[right]
+
+    def update(self, entries: Iterable[Tuple[Resource, Resource, float]]) -> None:
+        """Bulk-:meth:`set` ``(left, right, probability)`` entries in order.
+
+        This is the merge step of the sharded parallel engine
+        (:mod:`repro.core.parallel`): shard results are applied in shard
+        order, so the stored values — and therefore the maximal
+        assignment, whose exact ties additionally break on the
+        counterpart name — do not depend on worker scheduling.
+        """
+        for left, right, probability in entries:
+            self.set(left, right, probability)
 
     def clear(self) -> None:
         """Drop all stored equivalences."""

@@ -75,6 +75,12 @@ class Resource(Term):
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Resource is immutable")
 
+    def __reduce__(self):
+        # Slotted immutables reject the default __setstate__; rebuild
+        # through the constructor so terms can cross process boundaries
+        # (the sharded parallel engine ships them to worker processes).
+        return (Resource, (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Resource) and other.name == self.name
 
@@ -128,6 +134,9 @@ class Literal(Term):
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Literal is immutable")
+
+    def __reduce__(self):
+        return (Literal, (self.value, self.datatype))
 
     def __eq__(self, other: object) -> bool:
         # Datatype is a hint only: "42"^^integer and "42" are one term.
@@ -186,6 +195,9 @@ class Relation(Term):
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Relation is immutable")
+
+    def __reduce__(self):
+        return (Relation, (self.name, self.inverted))
 
     @property
     def inverse(self) -> "Relation":

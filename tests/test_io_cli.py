@@ -118,6 +118,42 @@ class TestCli:
         assert main(["convert", str(target), str(back)]) == 0
         assert back.read_text()
 
+    def test_workers_flag_output_byte_identical(self, nt_files, tmp_path, capsys):
+        """`align --workers 4` writes byte-identical output to `--workers 1`."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("byte-identity of the process backend requires fork")
+        left, right = nt_files
+        outputs = {}
+        for workers in (1, 4):
+            out = tmp_path / f"alignment-w{workers}"
+            code = main([
+                "align", left, right, "--out", str(out),
+                "--workers", str(workers), "--print-pairs",
+            ])
+            assert code == 0
+            captured = capsys.readouterr()
+            files = {
+                path.name: path.read_bytes() for path in sorted(out.iterdir())
+            }
+            outputs[workers] = (files, captured.out)
+        assert set(outputs[1][0]) == set(outputs[4][0])
+        for name, blob in outputs[1][0].items():
+            assert outputs[4][0][name] == blob, f"{name} differs between 1/4 workers"
+        assert outputs[1][1] == outputs[4][1]  # printed pairs identical too
+
+    def test_workers_flag_thread_backend(self, nt_files, tmp_path):
+        left, right = nt_files
+        out = tmp_path / "alignment-threads"
+        code = main([
+            "align", left, right, "--out", str(out),
+            "--workers", "2", "--parallel-backend", "thread",
+            "--shard-size", "1",
+        ])
+        assert code == 0
+        assert (out / "instances.tsv").read_text()
+
     def test_missing_file_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["align", "/nonexistent.nt", "/nonexistent2.nt",

@@ -1,0 +1,236 @@
+"""Tests for the sharded parallel instance-pass engine.
+
+The heart of the engine is its guarantee: for any worker count, shard
+size and backend, the scores are *equal* to the sequential engine's.
+These tests enforce it on the unit level (partitioner, single pass,
+merge order) and end-to-end on the existing integration fixtures
+(``workers=4`` against the session-cached sequential results).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import ParisConfig, align
+from repro.core.equivalence import instance_equivalence_pass
+from repro.core.functionality import FunctionalityOracle
+from repro.core.literal_index import LiteralIndex
+from repro.core.matrix import SubsumptionMatrix
+from repro.core.parallel import (
+    BACKENDS,
+    parallel_instance_equivalence_pass,
+    partition_instances,
+)
+from repro.core.store import EquivalenceStore
+from repro.core.view import EquivalenceView
+from repro.literals import IdentitySimilarity
+from repro.rdf.terms import Resource
+
+
+#: Under fork, process workers inherit the parent's hash seed and thus
+#: its set-iteration orders, so the process backend is bit-exact; under
+#: spawn the guarantee is only ≈1 ulp (see repro/core/parallel.py).
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+def store_scores(store):
+    """All stored scores as a comparable dict keyed on (left, right)."""
+    return {(left, right): p for left, right, p in store.items()}
+
+
+def assert_stores_match(parallel, sequential, exact=True):
+    actual, expected = store_scores(parallel), store_scores(sequential)
+    if exact:
+        assert actual == expected
+        return
+    assert actual.keys() == expected.keys()
+    for key, probability in expected.items():
+        assert abs(actual[key] - probability) <= 1e-12, key
+
+
+def reverse_scores(store):
+    """Scores read through the backward direction of the store."""
+    scores = {}
+    for left, right, _p in store.items():
+        for other, p in store.equals_of_right(right).items():
+            scores[(other, right)] = p
+    return scores
+
+
+class TestPartitioner:
+    def test_covers_all_instances_exactly_once(self):
+        instances = {Resource(f"i{n}") for n in range(23)}
+        shards = partition_instances(instances, workers=4)
+        flat = [x for shard in shards for x in shard]
+        assert len(flat) == len(instances)
+        assert set(flat) == instances
+
+    def test_deterministic_and_sorted(self):
+        instances = {Resource(f"i{n}") for n in range(50)}
+        first = partition_instances(instances, workers=3)
+        second = partition_instances(list(instances), workers=3)
+        assert first == second
+        flat = [x.name for shard in first for x in shard]
+        assert flat == sorted(flat)
+
+    def test_explicit_shard_size(self):
+        instances = {Resource(f"i{n}") for n in range(10)}
+        shards = partition_instances(instances, workers=2, shard_size=3)
+        assert [len(s) for s in shards] == [3, 3, 3, 1]
+
+    def test_empty_input(self):
+        assert partition_instances(set(), workers=2) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_instances({Resource("a")}, workers=0)
+        with pytest.raises(ValueError):
+            partition_instances({Resource("a")}, workers=1, shard_size=0)
+
+
+@pytest.fixture(scope="module")
+def pass_inputs():
+    """Frozen first-iteration inputs over a mid-sized benchmark pair."""
+    from repro.datasets import yago_dbpedia_pair
+
+    pair = yago_dbpedia_pair(num_persons=120, num_works=60, seed=17)
+    similarity = IdentitySimilarity()
+    view = EquivalenceView(
+        EquivalenceStore(),
+        LiteralIndex(pair.ontology2, similarity),
+        LiteralIndex(pair.ontology1, similarity),
+    )
+    return (
+        pair.ontology1,
+        pair.ontology2,
+        view,
+        FunctionalityOracle(pair.ontology1),
+        FunctionalityOracle(pair.ontology2),
+        SubsumptionMatrix.bootstrap(0.1),
+        SubsumptionMatrix.bootstrap(0.1),
+        0.1,
+    )
+
+
+class TestParallelPass:
+    def test_single_worker_matches_sequential_bitwise(self, pass_inputs):
+        sequential = instance_equivalence_pass(*pass_inputs)
+        fallback = parallel_instance_equivalence_pass(*pass_inputs, workers=1)
+        assert store_scores(fallback) == store_scores(sequential)
+
+    def test_sharded_single_worker_matches_sequential(self, pass_inputs):
+        sequential = instance_equivalence_pass(*pass_inputs)
+        sharded = parallel_instance_equivalence_pass(
+            *pass_inputs, workers=1, shard_size=7
+        )
+        assert store_scores(sharded) == store_scores(sequential)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_backends_match_sequential_exactly(self, pass_inputs, backend, workers):
+        sequential = instance_equivalence_pass(*pass_inputs)
+        parallel = parallel_instance_equivalence_pass(
+            *pass_inputs, workers=workers, backend=backend
+        )
+        assert_stores_match(
+            parallel,
+            sequential,
+            exact=backend == "thread" or FORK_AVAILABLE,
+        )
+
+    def test_both_directions_filled(self, pass_inputs):
+        sequential = instance_equivalence_pass(*pass_inputs)
+        parallel = parallel_instance_equivalence_pass(
+            *pass_inputs, workers=2, backend="thread"
+        )
+        assert reverse_scores(parallel) == reverse_scores(sequential)
+
+    def test_shard_size_does_not_change_scores(self, pass_inputs):
+        baseline = parallel_instance_equivalence_pass(
+            *pass_inputs, workers=2, backend="thread"
+        )
+        for shard_size in (1, 5, 1000):
+            other = parallel_instance_equivalence_pass(
+                *pass_inputs, workers=2, shard_size=shard_size, backend="thread"
+            )
+            assert store_scores(other) == store_scores(baseline)
+
+    def test_maximal_assignment_identical(self, pass_inputs):
+        sequential = instance_equivalence_pass(*pass_inputs)
+        parallel = parallel_instance_equivalence_pass(
+            *pass_inputs, workers=4, backend="thread"
+        )
+        assert parallel.maximal_assignment() == sequential.maximal_assignment()
+        assert parallel.maximal_assignment(reverse=True) == sequential.maximal_assignment(
+            reverse=True
+        )
+
+    def test_invalid_backend_rejected(self, pass_inputs):
+        with pytest.raises(ValueError):
+            parallel_instance_equivalence_pass(*pass_inputs, workers=2, backend="mpi")
+
+    def test_invalid_worker_count_rejected(self, pass_inputs):
+        with pytest.raises(ValueError):
+            parallel_instance_equivalence_pass(*pass_inputs, workers=0)
+
+    def test_empty_ontology(self, pass_inputs):
+        from repro.rdf.ontology import Ontology
+
+        _, ontology2, view, fun1, fun2, rel12, rel21, theta = pass_inputs
+        empty = Ontology("empty")
+        store = parallel_instance_equivalence_pass(
+            empty, ontology2, view, fun1, fun2, rel12, rel21, theta,
+            workers=2, backend="thread",
+        )
+        assert len(store) == 0
+
+
+class TestConfigKnobs:
+    def test_defaults_are_sequential(self):
+        config = ParisConfig()
+        assert config.workers == 1
+        assert config.shard_size is None
+        assert config.parallel_backend == "process"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParisConfig(workers=0)
+        with pytest.raises(ValueError):
+            ParisConfig(shard_size=0)
+        with pytest.raises(ValueError):
+            ParisConfig(parallel_backend="gpu")
+
+
+class TestIntegrationFixtures:
+    """workers=4 matches the session-cached sequential results exactly."""
+
+    def test_person_fixture_exact(self, person_pair, person_result):
+        config = ParisConfig(workers=4)
+        parallel = align(person_pair.ontology1, person_pair.ontology2, config)
+        assert_stores_match(
+            parallel.instances, person_result.instances, exact=FORK_AVAILABLE
+        )
+        if FORK_AVAILABLE:
+            assert parallel.assignment12 == person_result.assignment12
+            assert parallel.assignment21 == person_result.assignment21
+
+    def test_kb_fixture_exact(self, kb_pair, kb_result):
+        config = ParisConfig(
+            max_iterations=4, convergence_threshold=0.0, workers=4
+        )
+        parallel = align(kb_pair.ontology1, kb_pair.ontology2, config)
+        assert_stores_match(
+            parallel.instances, kb_result.instances, exact=FORK_AVAILABLE
+        )
+        if FORK_AVAILABLE:
+            assert parallel.assignment12 == kb_result.assignment12
+        assert parallel.converged == kb_result.converged
+
+    def test_thread_backend_full_align_exact(self, person_pair, person_result):
+        config = ParisConfig(workers=2, parallel_backend="thread", shard_size=11)
+        parallel = align(person_pair.ontology1, person_pair.ontology2, config)
+        assert store_scores(parallel.instances) == store_scores(
+            person_result.instances
+        )

@@ -88,6 +88,71 @@ class TestStoreBasics:
         assert len(store) == 0
 
 
+class TestTruncationBoundary:
+    """Regression: the Section 5.2 truncation is ``Pr < θ ⇒ 0``.
+
+    A score *exactly equal* to the threshold must be stored; strictly
+    below must be dropped — and the shard-merge order of the parallel
+    engine must not disturb maximal-assignment tie-breaking.
+    """
+
+    def test_exact_threshold_is_stored(self):
+        store = EquivalenceStore(truncation_threshold=0.3)
+        store.set(R("a"), R("x"), 0.3)
+        assert store.get(R("a"), R("x")) == 0.3
+        assert len(store) == 1
+
+    def test_strictly_below_is_dropped(self):
+        store = EquivalenceStore(truncation_threshold=0.3)
+        store.set(R("a"), R("x"), 0.3 - 1e-15)
+        assert store.get(R("a"), R("x")) == 0.0
+        assert len(store) == 0
+
+    def test_exact_threshold_survives_both_directions(self):
+        store = EquivalenceStore(truncation_threshold=0.3)
+        store.set(R("a"), R("x"), 0.3)
+        assert dict(store.equals_of(R("a"))) == {R("x"): 0.3}
+        assert dict(store.equals_of_right(R("x"))) == {R("a"): 0.3}
+
+    def test_update_applies_truncation_per_entry(self):
+        store = EquivalenceStore(truncation_threshold=0.3)
+        store.update([
+            (R("a"), R("x"), 0.3),
+            (R("a"), R("y"), 0.2999999),
+            (R("b"), R("z"), 0.9),
+        ])
+        assert set(store.items()) == {
+            (R("a"), R("x"), 0.3),
+            (R("b"), R("z"), 0.9),
+        }
+
+    def test_tie_break_independent_of_merge_order(self):
+        # Two shards both scoring `a` with the same probability against
+        # different counterparts: whichever shard order the parallel
+        # merge applies, the assignment must pick the same counterpart.
+        entries = [
+            (R("a"), R("z"), 0.5),
+            (R("a"), R("y"), 0.5),
+            (R("b"), R("y"), 0.5),
+        ]
+        assignments = []
+        for ordering in (entries, list(reversed(entries))):
+            store = EquivalenceStore(truncation_threshold=0.3)
+            store.update(ordering)
+            assignments.append(
+                (store.maximal_assignment(), store.maximal_assignment(reverse=True))
+            )
+        assert assignments[0] == assignments[1]
+        forward, backward = assignments[0]
+        assert forward[R("a")] == (R("y"), 0.5)  # lexicographic tie-break
+        assert backward[R("y")] == (R("a"), 0.5)
+
+    def test_boundary_scores_tie_break_at_threshold(self):
+        store = EquivalenceStore(truncation_threshold=0.5)
+        store.update([(R("a"), R("x"), 0.5), (R("a"), R("w"), 0.5)])
+        assert store.maximal_assignment()[R("a")] == (R("w"), 0.5)
+
+
 class TestMaximalAssignment:
     def test_picks_best(self):
         store = EquivalenceStore()
