@@ -1,0 +1,109 @@
+"""Micro-benchmark: delta-update latency vs. full realignment.
+
+The headline number of the incremental alignment service: on the
+disconnected family fixture (:mod:`repro.datasets.incremental`), a
+1 %-of-triples delta absorbed through the warm-start fixpoint must be
+**≥ 5× faster** than a cold realignment of the updated corpus — and
+produce scores equal to that cold run within 1e-9.  Both properties are
+asserted here (the equality also independently in
+``tests/test_warm_start.py``); the measured curve is recorded under
+``benchmarks/results/microbench_incremental.txt``.
+
+The speedup assertion is algorithmic (work skipped, not cores used), so
+it holds on any machine; the fixture is sized to keep the bench inside
+tier-1 runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from helpers import save_artifact
+from repro.core.aligner import align
+from repro.core.config import ParisConfig
+from repro.datasets.incremental import family_addition, family_pair
+from repro.service import AlignmentService, Delta
+
+#: Families in the base corpus (3 instances, 8 facts each).
+BASE_FAMILIES = 400
+
+#: Families per delta — 1 % of the base corpus.
+DELTA_FAMILIES = BASE_FAMILIES // 100
+
+#: Successive deltas measured; the *minimum* warm latency counts, so a
+#: single scheduler stall on a noisy machine cannot fail the ratio.
+WARM_ROUNDS = 3
+
+#: Required advantage of the warm path over a cold realign.
+MIN_SPEEDUP = 5.0
+
+#: Required score equality between warm state and cold realign.
+SCORE_TOLERANCE = 1e-9
+
+
+def test_incremental_delta_vs_cold_realign():
+    left, right = family_pair(BASE_FAMILIES)
+    started = time.perf_counter()
+    service = AlignmentService.cold_start(left, right, ParisConfig())
+    cold_start_seconds = time.perf_counter() - started
+    assert service.state.converged
+
+    warm_rounds = []
+    last_report = None
+    for round_index in range(WARM_ROUNDS):
+        add_left, add_right = family_addition(
+            BASE_FAMILIES + round_index * DELTA_FAMILIES, DELTA_FAMILIES
+        )
+        delta = Delta(add1=tuple(add_left), add2=tuple(add_right))
+        started = time.perf_counter()
+        last_report = service.apply_delta(delta)
+        warm_rounds.append(time.perf_counter() - started)
+        assert last_report.converged
+    warm_seconds = min(warm_rounds)
+
+    final_families = BASE_FAMILIES + WARM_ROUNDS * DELTA_FAMILIES
+    cold_left, cold_right = family_pair(final_families)
+    started = time.perf_counter()
+    reference = align(cold_left, cold_right, ParisConfig(score_stationarity=True))
+    cold_seconds = time.perf_counter() - started
+    assert reference.converged
+
+    difference = service.state.store.max_difference(reference.instances)
+    speedup = cold_seconds / warm_seconds
+
+    total_triples = 8 * final_families * 2
+    delta_triples = 8 * DELTA_FAMILIES * 2
+    rows = [
+        f"base corpus:        {BASE_FAMILIES} families x 2 sides "
+        f"({8 * BASE_FAMILIES * 2} triples)",
+        f"delta:              {DELTA_FAMILIES} families per round "
+        f"({delta_triples} triples, {delta_triples / total_triples:.1%} of corpus), "
+        f"{WARM_ROUNDS} rounds",
+        f"cold start:         {cold_start_seconds:8.3f} s",
+        f"cold realign:       {cold_seconds:8.3f} s",
+        f"warm delta update:  {warm_seconds:8.3f} s best of "
+        f"{[f'{seconds:.3f}' for seconds in warm_rounds]} "
+        f"({last_report.passes} passes, {last_report.dirty} dirty instances)",
+        f"speedup:            {speedup:8.1f} x",
+        f"max score diff:     {difference:.3e} (tolerance {SCORE_TOLERANCE:.0e})",
+    ]
+    save_artifact("microbench_incremental", "\n".join(rows))
+
+    assert difference <= SCORE_TOLERANCE, (
+        f"warm-start scores diverged from cold realign by {difference:.3e}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x over cold realign, got {speedup:.1f}x "
+        f"(cold {cold_seconds:.3f}s vs warm {warm_seconds:.3f}s)"
+    )
+
+
+def test_incremental_smoke():
+    """CI smoke: tiny corpus, equality only (no timing assertions)."""
+    left, right = family_pair(20)
+    service = AlignmentService.cold_start(left, right, ParisConfig())
+    add_left, add_right = family_addition(20, 1)
+    report = service.apply_delta(Delta(add1=tuple(add_left), add2=tuple(add_right)))
+    assert report.converged
+    reference = align(*family_pair(21), ParisConfig(score_stationarity=True))
+    assert service.state.store.max_difference(reference.instances) <= SCORE_TOLERANCE

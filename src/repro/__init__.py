@@ -36,6 +36,20 @@ Subpackages
     Gold standards, precision/recall/F1 and report rendering.
 ``repro.baselines``
     The rdfs:label matcher of Section 6.4 and comparator constants.
+``repro.service``
+    The incremental alignment service: live delta ingestion
+    (add/remove triple batches with targeted invalidation), warm-start
+    fixpoints that re-score only the dirty frontier, versioned state
+    snapshots, and the ``repro serve`` HTTP front-end
+    (``POST /delta``, ``GET /pair``, ``GET /alignment``,
+    ``GET /healthz``).  Served scores match a cold realignment of the
+    updated ontologies within 1e-9::
+
+        from repro.service import AlignmentService, Delta
+
+        service = AlignmentService.cold_start(left, right)
+        service.apply_delta(Delta(add1=(new_triple,)))
+        service.pair("Elvis", "elvis_presley")
 """
 
 from .core import (

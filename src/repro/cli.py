@@ -6,11 +6,17 @@
     python -m repro stats onto1.nt onto2.nt ...
     python -m repro demo {person,restaurant,kb,movies}
     python -m repro convert input.nt output.tsv
+    python -m repro serve left.nt right.nt --state-dir dir --port 8765
 
 ``align`` loads two ontologies (N-Triples or TSV, by extension), runs
 PARIS and writes the full result (instances/relations/classes) plus an
 ``owl:sameAs`` link file.  ``demo`` regenerates one of the paper's
 experiments on its synthetic benchmark and prints the report tables.
+``serve`` starts the long-running incremental alignment service
+(:mod:`repro.service`): it cold-aligns the inputs once (or resumes the
+newest snapshot in ``--state-dir``), then absorbs ``POST /delta``
+batches via the warm-start fixpoint and answers ``GET /pair`` /
+``GET /alignment`` queries from the live state.
 """
 
 from __future__ import annotations
@@ -59,6 +65,16 @@ def load_ontology(path: str, name: Optional[str] = None) -> Ontology:
     raise SystemExit(f"error: unsupported extension {suffix!r} (use .nt or .tsv)")
 
 
+def _load_pair(args: argparse.Namespace) -> tuple:
+    """Load the two positional ontologies, disambiguating name collisions."""
+    left = load_ontology(args.left, name=args.left_name)
+    right = load_ontology(args.right, name=args.right_name)
+    if left.name == right.name:
+        # default stems collided; disambiguate instead of failing
+        right = load_ontology(args.right, name=left.name + "-2")
+    return left, right
+
+
 def _build_config(args: argparse.Namespace) -> ParisConfig:
     similarity: LiteralSimilarity = SIMILARITIES[args.similarity]()
     return ParisConfig(
@@ -74,11 +90,7 @@ def _build_config(args: argparse.Namespace) -> ParisConfig:
 
 
 def cmd_align(args: argparse.Namespace) -> int:
-    left = load_ontology(args.left, name=args.left_name)
-    right = load_ontology(args.right, name=args.right_name)
-    if left.name == right.name:
-        # default stems collided; disambiguate instead of failing
-        right = load_ontology(args.right, name=left.name + "-2")
+    left, right = _load_pair(args)
     config = _build_config(args)
     print(f"aligning {left!r}\n     with {right!r}", file=sys.stderr)
     started = time.perf_counter()
@@ -160,10 +172,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from .analysis import explain_match, render_explanation
     from .rdf.terms import Resource
 
-    left = load_ontology(args.left, name=args.left_name)
-    right = load_ontology(args.right, name=args.right_name)
-    if left.name == right.name:
-        right = load_ontology(args.right, name=left.name + "-2")
+    left, right = _load_pair(args)
     config = _build_config(args)
     result = align(left, right, config)
     explanation = explain_match(
@@ -194,7 +203,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
         "movies": yago_imdb_pair,
     }
     pair = makers[args.benchmark]()
-    config = ParisConfig(max_iterations=4, convergence_threshold=0.0)
+    config = ParisConfig(
+        max_iterations=4,
+        convergence_threshold=0.0,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        parallel_backend=args.parallel_backend,
+    )
     result = align(pair.ontology1, pair.ontology2, config)
     print(render_iteration_table(result, pair.gold))
     print()
@@ -203,6 +218,62 @@ def cmd_demo(args: argparse.Namespace) -> int:
     relations = evaluate_relations(result.relation_pairs(), pair.gold)
     print(f"\ninstances: {instances}\nrelations: {relations}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AlignmentService, latest_version, load_state
+    from .service.server import run_server
+
+    from dataclasses import replace
+
+    state_dir = Path(args.state_dir)
+    resumable = state_dir.is_dir() and latest_version(state_dir) is not None
+    if resumable:
+        if args.left or args.right:
+            print(
+                f"resuming snapshot in {state_dir}; ignoring ontology arguments",
+                file=sys.stderr,
+            )
+        state = load_state(state_dir)
+        # Model knobs (theta, similarity, ...) are part of the snapshot
+        # and must not drift under a resumed state; the runtime-only
+        # parallel knobs follow the command line, as for a cold start.
+        state.config = replace(
+            state.config,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            parallel_backend=args.parallel_backend,
+        )
+        print(
+            f"resumed alignment state version {state.version} "
+            "(model settings come from the snapshot)",
+            file=sys.stderr,
+        )
+        service = AlignmentService.from_state(state)
+    else:
+        if not args.left or not args.right:
+            raise SystemExit(
+                "error: no snapshot to resume — pass two ontology files "
+                "for the initial cold alignment"
+            )
+        left, right = _load_pair(args)
+        config = _build_config(args)
+        print(f"cold-aligning {left!r}\n           with {right!r}", file=sys.stderr)
+        started = time.perf_counter()
+        service = AlignmentService.cold_start(left, right, config)
+        print(
+            f"cold alignment done in {time.perf_counter() - started:.1f}s "
+            f"({len(service.state.store)} instance pairs)",
+            file=sys.stderr,
+        )
+        service.snapshot(state_dir)
+    return run_server(
+        service,
+        args.host,
+        args.port,
+        state_dir=state_dir,
+        snapshot_every=args.snapshot_every,
+    )
 
 
 def add_parallel_options(subparser: argparse.ArgumentParser) -> None:
@@ -296,7 +367,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser = commands.add_parser("demo", help="run a paper benchmark")
     demo_parser.add_argument("benchmark",
                              choices=["person", "restaurant", "kb", "movies"])
+    add_parallel_options(demo_parser)
     demo_parser.set_defaults(handler=cmd_demo)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the long-running incremental alignment service"
+    )
+    serve_parser.add_argument("left", nargs="?", default=None,
+                              help="left ontology for the initial cold run "
+                                   "(omit to resume a snapshot)")
+    serve_parser.add_argument("right", nargs="?", default=None,
+                              help="right ontology for the initial cold run")
+    serve_parser.add_argument("--state-dir", required=True,
+                              help="directory for versioned state snapshots")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="listen port (0 binds an ephemeral port)")
+    serve_parser.add_argument("--snapshot-every", type=int, default=1,
+                              help="snapshot state after every Nth delta "
+                                   "(0: only on shutdown or POST /snapshot)")
+    serve_parser.add_argument("--left-name", default=None)
+    serve_parser.add_argument("--right-name", default=None)
+    add_model_options(serve_parser)
+    serve_parser.set_defaults(handler=cmd_serve)
     return parser
 
 

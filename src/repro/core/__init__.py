@@ -10,15 +10,21 @@ Public entry points:
 * the individual passes (:func:`instance_equivalence_pass`,
   :func:`subrelation_pass`, :func:`subclass_pass`) for ablations and
   step-by-step inspection,
-* the sharded parallel instance pass
+* the sharded parallel instance and relation passes
   (:func:`parallel_instance_equivalence_pass`,
-  :func:`partition_instances`) with its sequential-equivalence
-  guarantee.
+  :func:`parallel_subrelation_pass`, :func:`partition_instances`) with
+  their sequential-equivalence guarantee,
+* the incremental machinery behind the alignment service
+  (:class:`IncrementalRelationPass` and
+  :meth:`ParisAligner.warm_align` — delta-driven warm-start fixpoints
+  over a previous run's state; the service layer lives in
+  :mod:`repro.service`).
 """
 
 from .aligner import ParisAligner, align
 from .config import ParisConfig
 from .equivalence import instance_equivalence_pass, negative_evidence_factor, score_instance
+from .incremental import IncrementalRelationPass, RowChange
 from .functionality import (
     FunctionalityDefinition,
     FunctionalityOracle,
@@ -30,7 +36,13 @@ from .functionality import (
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
 from .multi import EntityCluster, MultiAligner, MultiAlignmentResult, align_many
-from .parallel import parallel_instance_equivalence_pass, partition_instances
+from .parallel import (
+    parallel_instance_equivalence_pass,
+    parallel_score_instances,
+    parallel_subrelation_pass,
+    partition_instances,
+    partition_ordered,
+)
 from .priors import name_prior_matrix, name_similarity, name_tokens
 from .result import AlignmentResult, Assignment, IterationSnapshot
 from .store import EquivalenceStore
@@ -59,7 +71,12 @@ __all__ = [
     "negative_evidence_factor",
     "instance_equivalence_pass",
     "parallel_instance_equivalence_pass",
+    "parallel_score_instances",
+    "parallel_subrelation_pass",
     "partition_instances",
+    "partition_ordered",
+    "IncrementalRelationPass",
+    "RowChange",
     "score_relation",
     "subrelation_pass",
     "score_class",

@@ -13,34 +13,60 @@ Convergence is declared when fewer than ``convergence_threshold`` of
 the instances change their maximal assignment (Section 6.1).  After the
 fixpoint, class inclusions are computed once (Eq. 17, Section 4.3).
 
-The instance pass — the dominant cost — can run sharded across workers
-(``ParisConfig.workers`` / ``shard_size`` / ``parallel_backend``),
-mirroring the paper's "in parallel on all available processors"
-(Section 5.1/6.2).  The parallel engine (:mod:`repro.core.parallel`)
-guarantees scores equal to the sequential pass: instances are scored
-independently against frozen previous-iteration views and merged in
-deterministic shard order, and ``workers=1`` short-circuits to the
-bit-identical sequential code path.  The guarantee is enforced by
+Both passes can run sharded across workers (``ParisConfig.workers`` /
+``shard_size`` / ``parallel_backend``), mirroring the paper's "in
+parallel on all available processors" (Section 5.1/6.2).  The parallel
+engine (:mod:`repro.core.parallel`) guarantees scores equal to the
+sequential passes: instances (and relations) are scored independently
+against frozen previous-iteration views and merged in deterministic
+shard order, and ``workers=1`` short-circuits to the bit-identical
+sequential code paths.  The guarantee is enforced by
 ``tests/test_parallel.py`` and ``tests/test_parallel_properties.py``.
+
+Incremental service mode
+------------------------
+Besides the cold batch run, the aligner offers a **warm-start
+fixpoint** (:meth:`ParisAligner.warm_align`) for the long-running
+alignment service (:mod:`repro.service`): after a delta batch touched
+the ontologies, iteration 0 starts from the previous run's
+:class:`EquivalenceStore` and relation matrices, and each pass
+re-scores only the *dirty frontier* — instances whose inputs (own
+statements, 1-hop neighbours' equivalents, relation rows,
+functionalities, literal candidates) changed — while every other row
+keeps its previous value.  The frontier expands along 1-hop
+neighbourhoods of whatever each pass actually changed, so the warm run
+converges to the same numeric fixpoint a cold ``score_stationarity``
+run reaches, at a fraction of the work for small deltas.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..rdf.ontology import Ontology
-from ..rdf.terms import Relation
+from ..rdf.terms import Node, Relation, Resource
 from .config import ParisConfig
+from .equivalence import ordered_instances
 from .functionality import FunctionalityOracle
+from .incremental import IncrementalRelationPass
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
-from .parallel import parallel_instance_equivalence_pass
+from .parallel import (
+    parallel_instance_equivalence_pass,
+    parallel_score_instances,
+    parallel_subrelation_pass,
+)
 from .result import AlignmentResult, IterationSnapshot
 from .store import EquivalenceStore
 from .subclasses import subclass_pass
-from .subrelations import subrelation_pass
 from .view import EquivalenceView
+
+#: Warm passes without a new minimum per-pass change before the loop
+#: declares a limit cycle (see :meth:`ParisAligner.warm_align`).  A
+#: converging run improves its minimum (near-)every pass, so the window
+#: only triggers on genuinely stuck dynamics.
+WARM_STALL_WINDOW = 10
 
 
 class ParisAligner:
@@ -86,10 +112,18 @@ class ParisAligner:
 
     # ------------------------------------------------------------------
 
-    def _view(self, store: EquivalenceStore) -> EquivalenceView:
+    def _view_store(self, store: EquivalenceStore) -> EquivalenceStore:
+        """The store the passes actually read (Section 5.2 restriction)."""
         if self.config.restrict_to_maximal_assignment:
-            store = store.restricted_to_maximal()
-        return EquivalenceView(store, self.literals2, self.literals1)
+            return store.restricted_to_maximal()
+        return store
+
+    def make_view(self, view_store: EquivalenceStore) -> EquivalenceView:
+        """Wrap an (already restricted) store with the literal indexes."""
+        return EquivalenceView(view_store, self.literals2, self.literals1)
+
+    def _view(self, store: EquivalenceStore) -> EquivalenceView:
+        return self.make_view(self._view_store(store))
 
     def _instance_pass(
         self,
@@ -112,6 +146,27 @@ class ParisAligner:
             use_negative_evidence=config.use_negative_evidence,
             workers=config.workers,
             shard_size=config.shard_size,
+            backend=config.parallel_backend,
+        )
+
+    def _relation_pass(
+        self, view: EquivalenceView, reverse: bool = False
+    ) -> SubsumptionMatrix[Relation]:
+        """One direction of the relation pass, sharded like the
+        instance pass when ``config.workers > 1``."""
+        config = self.config
+        first, second = (
+            (self.ontology2, self.ontology1) if reverse else (self.ontology1, self.ontology2)
+        )
+        return parallel_subrelation_pass(
+            first,
+            second,
+            view,
+            truncation_threshold=config.theta,
+            max_pairs=config.max_pairs_per_relation,
+            reverse=reverse,
+            bootstrap_theta=config.theta,
+            workers=config.workers,
             backend=config.parallel_backend,
         )
 
@@ -163,6 +218,7 @@ class ParisAligner:
             rel12 = SubsumptionMatrix.bootstrap(theta)
             rel21 = SubsumptionMatrix.bootstrap(theta)
         store = EquivalenceStore(theta)
+        previous_store = store
         previous_assignment = store.maximal_assignment()
         assignment_history: list = []
         snapshots = []
@@ -179,9 +235,16 @@ class ParisAligner:
                 if iteration > 1
                 else None
             )
+            stationary = (
+                config.score_stationarity
+                and iteration > 1
+                and store.max_difference(previous_store) <= config.warm_tolerance
+            )
+            previous_store = store
             previous_assignment = assignment12
             cycle = (
                 config.detect_cycles
+                and not config.score_stationarity
                 and len(assignment_history) >= 2
                 and self._same_targets(assignment12, assignment_history[-2])
             )
@@ -192,23 +255,8 @@ class ParisAligner:
             # steps are iterated until convergence", Section 5.1).  The
             # second round uses the computed values and no longer θ.
             relation_view = self._view(store)
-            rel12 = subrelation_pass(
-                self.ontology1,
-                self.ontology2,
-                relation_view,
-                truncation_threshold=theta,
-                max_pairs=config.max_pairs_per_relation,
-                bootstrap_theta=theta,
-            )
-            rel21 = subrelation_pass(
-                self.ontology2,
-                self.ontology1,
-                relation_view,
-                truncation_threshold=theta,
-                max_pairs=config.max_pairs_per_relation,
-                reverse=True,
-                bootstrap_theta=theta,
-            )
+            rel12 = self._relation_pass(relation_view)
+            rel21 = self._relation_pass(relation_view, reverse=True)
             duration = time.perf_counter() - started
             if config.keep_snapshots:
                 snapshots.append(
@@ -223,6 +271,14 @@ class ParisAligner:
                         relations21=rel21,
                     )
                 )
+            if config.score_stationarity:
+                # Numeric stationarity replaces both the assignment
+                # criterion and cycle detection (warm-start reference
+                # mode; see the config docstring).
+                if stationary:
+                    converged = True
+                    break
+                continue
             if change is not None and change < config.convergence_threshold:
                 converged = True
                 break
@@ -263,6 +319,278 @@ class ParisAligner:
             converged=converged,
             iterations=snapshots,
         )
+
+    # ------------------------------------------------------------------
+    # warm-start fixpoint (incremental service mode)
+    # ------------------------------------------------------------------
+
+    def _instance_subjects(self, relation: Relation) -> Iterable[Resource]:
+        """Instances with a ``relation``-statement (literal subjects of
+        inverse relations are skipped — only instances get re-scored)."""
+        return (
+            subject
+            for subject in self.ontology1.subjects(relation)
+            if isinstance(subject, Resource)
+        )
+
+    def warm_align(
+        self,
+        store: EquivalenceStore,
+        rel12_cache: IncrementalRelationPass,
+        rel21_cache: IncrementalRelationPass,
+        dirty_instances: Iterable[Resource] = (),
+        seed_nodes1: Iterable[Node] = (),
+        seed_nodes2: Iterable[Node] = (),
+        delta_statements1: Iterable[Tuple[Relation, Node, Node]] = (),
+        delta_statements2: Iterable[Tuple[Relation, Node, Node]] = (),
+    ) -> AlignmentResult:
+        """Resume the fixpoint from a previous run's state after a delta.
+
+        Parameters
+        ----------
+        store:
+            The previous run's instance equivalences (iteration-0
+            state).  Not mutated; the result carries fresh stores.
+        rel12_cache, rel21_cache:
+            Incremental relation matrices built over the previous state
+            (see :class:`repro.core.incremental.IncrementalRelationPass`);
+            refreshed in place as the warm passes proceed.
+        dirty_instances:
+            Left instances whose scores must be recomputed — delta
+            statement endpoints, 1-hop neighbours of changed literals,
+            left equivalents of touched right nodes (the service's
+            delta layer computes this frontier).  May include former
+            instances that lost all statements; their rows are cleared.
+        seed_nodes1, seed_nodes2:
+            Left/right nodes whose *equivalents-view* changed at delta
+            time without their own scores moving — literals with
+            shifted candidate sets, and equivalents of touched
+            opposite-side resources.  They seed the relation-cache
+            refresh of the first pass.
+        delta_statements1, delta_statements2:
+            Applied data-statement changes ``(relation, subject,
+            object)`` per ontology, for targeted relation-row updates.
+
+        Each pass re-scores the dirty frontier against the current
+        view, replaces exactly those rows, refreshes the relation
+        matrices incrementally, then expands the frontier to the 1-hop
+        neighbourhood of whatever changed beyond
+        ``config.warm_tolerance``.  Convergence is numeric
+        stationarity, i.e. the same criterion as a cold
+        ``score_stationarity`` run — which is the reference this method
+        is equality-tested against (``tests/test_warm_start.py``).
+        Falls back to full passes when the frontier exceeds
+        ``config.warm_full_pass_fraction`` of the instances, when
+        negative evidence is enabled (its penalty term reads arbitrary
+        statements, defeating frontier tracking), or when a relation
+        row's *default* flipped (which re-prices every unmatched
+        relation pair at once).
+
+        On noisy inputs whose fixpoint oscillates (the case the batch
+        path's cycle detection handles), stationarity never arrives;
+        with ``config.detect_cycles`` the warm loop stops early on two
+        signals, both at the *score* level (scores can oscillate under
+        a perfectly stable maximal assignment, so the batch path's
+        assignment check is not enough):
+
+        * a period-2 cycle — the view store returns to where it stood
+          two passes earlier (within ``warm_tolerance``);
+        * a stall — the per-pass maximum change fails to set a new
+          minimum for :data:`WARM_STALL_WINDOW` consecutive passes,
+          which catches longer-period and intermittent limit cycles.
+
+        A genuinely converging run trips neither: its changes shrink
+        (near-)geometrically until the stationarity criterion fires.
+        """
+        config = self.config
+        theta = config.theta
+        tolerance = config.warm_tolerance
+        force_full = config.use_negative_evidence
+        dirty: Set[Resource] = set(dirty_instances)
+        changed_left: Set[Node] = set(seed_nodes1)
+        changed_right: Set[Node] = set(seed_nodes2)
+        pending12: Iterable[Tuple[Relation, Node, Node]] = list(delta_statements1)
+        pending21: Iterable[Tuple[Relation, Node, Node]] = list(delta_statements2)
+        view_store = self._view_store(store)
+        snapshots: List[IterationSnapshot] = []
+        view_history: List[EquivalenceStore] = []
+        best_change = float("inf")
+        stalled_passes = 0
+        converged = False
+        for iteration in range(1, config.warm_max_iterations + 1):
+            started = time.perf_counter()
+            view = self.make_view(view_store)
+            changes12 = rel12_cache.refresh(view, changed_left, pending12)
+            changes21 = rel21_cache.refresh(view, changed_right, pending21)
+            pending12 = pending21 = ()
+            full_pass = force_full
+            for relation, row_change in changes12.items():
+                # A left relation's row prices statements of exactly its
+                # subjects (Eq. 13 reads rel12[r, ·] and rel21[·, r]
+                # only for relations r of the instance being scored).
+                if row_change.max_delta > tolerance:
+                    dirty.update(self._instance_subjects(relation))
+            for _relation2, row_change in changes21.items():
+                if row_change.max_delta <= tolerance:
+                    continue
+                if row_change.default_changed:
+                    full_pass = True
+                    continue
+                for relation in row_change.changed_supers:
+                    dirty.update(self._instance_subjects(relation))
+            instances = self.ontology1.instances
+            if full_pass or len(dirty) >= config.warm_full_pass_fraction * len(instances):
+                dirty |= instances
+            ordered_dirty = ordered_instances(dirty)
+            entries = parallel_score_instances(
+                ordered_dirty,
+                self.ontology1,
+                self.ontology2,
+                view,
+                self.fun1,
+                self.fun2,
+                rel12_cache.matrix,
+                rel21_cache.matrix,
+                theta,
+                config.use_negative_evidence,
+                workers=config.workers,
+                shard_size=config.shard_size,
+                backend=config.parallel_backend,
+            )
+            new_store = store.copy()
+            for x in ordered_dirty:
+                new_store.clear_left(x)
+            if config.dampening > 0.0:
+                self._blend_rows(store, new_store, ordered_dirty, entries)
+            else:
+                new_store.update(entries)
+            next_view_store = self._view_store(new_store)
+            max_change = 0.0
+            changed_left = set()
+            changed_right = set()
+            for left, right, new_p, old_p in next_view_store.diff(view_store):
+                delta = abs(new_p - old_p)
+                max_change = max(max_change, delta)
+                if delta > tolerance:
+                    changed_left.add(left)
+                    changed_right.add(right)
+            # Next frontier: 1-hop neighbourhood of every node whose
+            # view row moved — their Eq. 13 inputs are now stale.
+            dirty = set()
+            for node in changed_left:
+                for _relation, other in self.ontology1.statements_about(node):
+                    if isinstance(other, Resource):
+                        dirty.add(other)
+            duration = time.perf_counter() - started
+            store = new_store
+            if max_change < best_change:
+                best_change = max_change
+                stalled_passes = 0
+            else:
+                stalled_passes += 1
+            # view_history[-1] is the view store from two passes ago
+            # (the current `view_store` is one pass old until the
+            # reassignment below).
+            cycle = config.detect_cycles and (
+                stalled_passes >= WARM_STALL_WINDOW
+                or (
+                    bool(view_history)
+                    and next_view_store.max_difference(view_history[-1]) <= tolerance
+                )
+            )
+            view_history.append(view_store)
+            if len(view_history) > 1:
+                view_history.pop(0)
+            view_store = next_view_store
+            if config.keep_snapshots:
+                snapshots.append(
+                    IterationSnapshot(
+                        index=iteration,
+                        duration_seconds=duration,
+                        change_fraction=None,
+                        num_equivalences=len(store),
+                        assignment12=store.maximal_assignment(),
+                        assignment21=store.maximal_assignment(reverse=True),
+                        # Copies: the cache matrices keep mutating in
+                        # place on later passes (and later deltas).
+                        relations12=rel12_cache.matrix.copy(),
+                        relations21=rel21_cache.matrix.copy(),
+                    )
+                )
+            if max_change <= tolerance:
+                converged = True
+                break
+            if cycle:
+                # Oscillation between equally plausible states:
+                # stationarity will never arrive (the same situation
+                # the batch path's cycle detection stops).
+                converged = True
+                break
+        final_view = self.make_view(view_store)
+        if changed_left or changed_right:
+            # Non-stationary exit (cycle break or iteration cap): the
+            # last pass's view changes were never folded into the
+            # relation caches.  Refresh now so the returned matrices —
+            # and the caches a resident service reuses for the *next*
+            # delta — reflect the final store, exactly as the batch
+            # path recomputes its matrices after the last instance
+            # pass.  (On a stationary exit both sets are empty.)
+            rel12_cache.refresh(final_view, changed_left)
+            rel21_cache.refresh(final_view, changed_right)
+        classes12 = subclass_pass(
+            self.ontology1,
+            self.ontology2,
+            final_view,
+            truncation_threshold=theta,
+            max_instances=config.max_pairs_per_relation,
+        )
+        classes21 = subclass_pass(
+            self.ontology2,
+            self.ontology1,
+            final_view,
+            truncation_threshold=theta,
+            max_instances=config.max_pairs_per_relation,
+            reverse=True,
+        )
+        return AlignmentResult(
+            left_name=self.ontology1.name,
+            right_name=self.ontology2.name,
+            instances=store,
+            assignment12=store.maximal_assignment(),
+            assignment21=store.maximal_assignment(reverse=True),
+            relations12=rel12_cache.matrix,
+            relations21=rel21_cache.matrix,
+            classes12=classes12,
+            classes21=classes21,
+            converged=converged,
+            iterations=snapshots,
+        )
+
+    def _blend_rows(
+        self,
+        old_store: EquivalenceStore,
+        new_store: EquivalenceStore,
+        dirty: List[Resource],
+        entries: List[Tuple[Resource, Resource, float]],
+    ) -> None:
+        """Dampening for re-scored rows only.
+
+        An untouched row blends to itself (``f·p + (1−f)·p = p``), so
+        the warm pass only needs to blend the rows it replaced.
+        """
+        factor = self.config.dampening
+        fresh: Dict[Resource, Dict[Resource, float]] = {}
+        for left, right, probability in entries:
+            fresh.setdefault(left, {})[right] = probability
+        for left in dirty:
+            old_row = old_store.equals_of(left)
+            new_row = fresh.get(left, {})
+            for right in old_row.keys() | new_row.keys():
+                blended = factor * old_row.get(right, 0.0) + (1.0 - factor) * new_row.get(
+                    right, 0.0
+                )
+                if blended >= new_store.truncation_threshold:
+                    new_store.set(left, right, blended)
 
 
 def align(

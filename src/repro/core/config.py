@@ -93,6 +93,28 @@ class ParisConfig:
         ``"process"`` (default; real multi-core speedup, one state
         pickle per worker per pass) or ``"thread"`` (shared memory,
         GIL-bound — useful for testing and small inputs).
+    score_stationarity:
+        Replace the assignment-change convergence criterion with
+        *numeric stationarity*: iterate until no stored probability
+        moves by more than ``warm_tolerance`` between iterations (or
+        the iteration cap).  Cycle detection is suspended in this mode.
+        This is the reference the warm-start fixpoint is compared
+        against: on clean inputs the fixpoint becomes bit-stable within
+        a few extra iterations, making incremental recomputation
+        equality testable.
+    warm_tolerance:
+        Score/matrix changes at or below this magnitude neither spread
+        the warm-start dirty frontier nor block its convergence; also
+        the stationarity slack of ``score_stationarity``.  Keep it a
+        few orders below the equality budget you care about (default
+        1e-12 against the service's documented 1e-9).
+    warm_full_pass_fraction:
+        When the dirty frontier of a warm pass exceeds this fraction of
+        the instances, the pass re-scores everything instead — frontier
+        bookkeeping costs more than it saves beyond that point.
+    warm_max_iterations:
+        Hard cap on warm-start passes (a warm pass is cheap, so the
+        default is looser than ``max_iterations``).
     """
 
     theta: float = 0.1
@@ -111,6 +133,10 @@ class ParisConfig:
     workers: int = 1
     shard_size: Optional[int] = None
     parallel_backend: str = "process"
+    score_stationarity: bool = False
+    warm_tolerance: float = 1e-12
+    warm_full_pass_fraction: float = 0.5
+    warm_max_iterations: int = 60
 
     def __post_init__(self) -> None:
         self.validate()
@@ -137,6 +163,15 @@ class ParisConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if not 0.0 <= self.warm_tolerance < 1.0:
+            raise ValueError(f"warm_tolerance must be in [0, 1), got {self.warm_tolerance}")
+        if not 0.0 < self.warm_full_pass_fraction <= 1.0:
+            raise ValueError(
+                "warm_full_pass_fraction must be in (0, 1], "
+                f"got {self.warm_full_pass_fraction}"
+            )
+        if self.warm_max_iterations < 1:
+            raise ValueError("warm_max_iterations must be >= 1")
         from .parallel import BACKENDS
 
         if self.parallel_backend not in BACKENDS:

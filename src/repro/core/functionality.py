@@ -19,7 +19,7 @@ and never revised — :class:`FunctionalityOracle` caches them.
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Dict, Iterable, Tuple
 
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Node, Relation
@@ -151,6 +151,30 @@ class FunctionalityOracle:
     def inverse_fun(self, relation: Relation) -> float:
         """Cached global inverse functionality ``fun⁻¹(r) = fun(r⁻)``."""
         return self.fun(relation.inverse)
+
+    def invalidate(self, relations: "Iterable[Relation]") -> Dict[Relation, Tuple[float, float]]:
+        """Recompute the functionalities of ``relations`` (and inverses).
+
+        Delta ingestion (:mod:`repro.service.delta`) calls this after
+        statements of a relation were added or removed: the upfront
+        computation of Section 5.1 is then stale for exactly those
+        relations.  Returns ``{relation: (old, new)}`` for every
+        recomputed value that actually changed, so the warm-start
+        fixpoint can dirty the affected instances.
+        """
+        changes: Dict[Relation, Tuple[float, float]] = {}
+        seen = set()
+        for relation in relations:
+            for term in (relation, relation.inverse):
+                if term in seen:
+                    continue
+                seen.add(term)
+                old = self._cache.get(term, 0.0)
+                new = global_functionality(self.ontology, term, self.definition)
+                self._cache[term] = new
+                if new != old:
+                    changes[term] = (old, new)
+        return changes
 
     def __repr__(self) -> str:
         return (

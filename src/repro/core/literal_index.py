@@ -7,6 +7,12 @@ lookup: literals are bucketed by the similarity measure's blocking keys
 (see :meth:`repro.literals.base.LiteralSimilarity.keys`), and candidate
 sets are memoized because the same literal (a common city name, a
 popular release year) is queried many times per iteration.
+
+"Fixed for the whole run" stops being true once deltas arrive
+(:mod:`repro.service`): :meth:`LiteralIndex.add` / :meth:`discard`
+update the postings in place and report which *query* literals saw
+their candidate sets change, which is what the warm-start fixpoint
+needs to dirty the right instances.
 """
 
 from __future__ import annotations
@@ -59,6 +65,46 @@ class LiteralIndex:
         frozen = tuple(result)
         self._memo[literal] = frozen
         return frozen
+
+    def add(self, literal: Literal) -> bool:
+        """Index a newly seen literal (delta ingestion).
+
+        The memo is dropped wholesale: any memoized query sharing a
+        blocking key with ``literal`` would be stale, and re-memoizing
+        is cheap relative to a warm pass.
+        """
+        added = False
+        for key in self.similarity.keys(literal):
+            bucket = self._buckets.setdefault(key, set())
+            if literal not in bucket:
+                bucket.add(literal)
+                added = True
+        if added:
+            self._memo.clear()
+        return added
+
+    def discard(self, literal: Literal) -> bool:
+        """Drop a literal that left the ontology (delta ingestion)."""
+        removed = False
+        for key in self.similarity.keys(literal):
+            bucket = self._buckets.get(key)
+            if bucket and literal in bucket:
+                bucket.remove(literal)
+                if not bucket:
+                    del self._buckets[key]
+                removed = True
+        if removed:
+            self._memo.clear()
+        return removed
+
+    def bucket_members(self, key: str) -> Set[Literal]:
+        """Indexed literals under one blocking key (empty set if none).
+
+        The service uses this on the *opposite* side's index to find
+        which query literals a changed literal can affect: two literals
+        interact only if their key sets intersect.
+        """
+        return self._buckets.get(key, set())
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())

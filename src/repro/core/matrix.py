@@ -57,9 +57,42 @@ class SubsumptionMatrix(Generic[K]):
         self._by_sub.setdefault(sub, {})[sup] = probability
         self._by_super.setdefault(sup, {})[sub] = probability
 
+    def copy(self) -> "SubsumptionMatrix[K]":
+        """An independent copy (same entries, defaults and reverse index).
+
+        Needed where a matrix that keeps being mutated in place (the
+        incremental relation caches) must be captured at a point in
+        time — e.g. warm-run iteration snapshots.
+        """
+        duplicate: SubsumptionMatrix[K] = SubsumptionMatrix(self.default)
+        duplicate._by_sub = {sub: dict(row) for sub, row in self._by_sub.items()}
+        duplicate._by_super = {sup: dict(row) for sup, row in self._by_super.items()}
+        duplicate._sub_defaults = dict(self._sub_defaults)
+        return duplicate
+
+    def clear_sub(self, sub: K) -> None:
+        """Drop the explicit row and per-sub default of ``sub``.
+
+        The row-replacement primitive of the incremental relation pass
+        (:mod:`repro.core.incremental`): a dirty relation's row is
+        cleared and rebuilt from its refreshed statement sums.
+        """
+        row = self._by_sub.pop(sub, None)
+        if row:
+            for sup in row:
+                column = self._by_super[sup]
+                del column[sub]
+                if not column:
+                    del self._by_super[sup]
+        self._sub_defaults.pop(sub, None)
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
+
+    def sub_default(self, sub: K) -> float:
+        """The effective default score of ``sub``'s row."""
+        return self._sub_defaults.get(sub, self.default)
 
     def set_sub_default(self, sub: K, default: float) -> None:
         """Keep ``sub`` in its prior state: unknown pairs score ``default``.

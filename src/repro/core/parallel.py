@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Relation, Resource
@@ -62,7 +62,10 @@ from .equivalence import (
 from .functionality import FunctionalityOracle
 from .matrix import SubsumptionMatrix
 from .store import EquivalenceStore
+from .subrelations import apply_relation_scores, score_relations, subrelation_pass
 from .view import EquivalenceView
+
+T = TypeVar("T")
 
 #: Executor backends selectable via ``ParisConfig.parallel_backend``.
 BACKENDS = ("thread", "process")
@@ -74,6 +77,29 @@ SHARDS_PER_WORKER = 4
 
 #: One shard's scores: ``(x, x', Pr(x ≡ x'))`` tuples in scoring order.
 ShardEntries = List[Tuple[Resource, Resource, float]]
+
+
+def partition_ordered(
+    items: Sequence[T],
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> List[List[T]]:
+    """Cut an already-ordered sequence into contiguous shards.
+
+    The order-preserving core of :func:`partition_instances`, reused by
+    the relation pass (whose canonical order is the ontology's relation
+    registration order, not a sort) and by the warm-start fixpoint
+    (whose dirty frontier is pre-sorted).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if not items:
+        return []
+    if shard_size is None:
+        shard_size = math.ceil(len(items) / (workers * SHARDS_PER_WORKER))
+    return [list(items[i : i + shard_size]) for i in range(0, len(items), shard_size)]
 
 
 def partition_instances(
@@ -99,16 +125,7 @@ def partition_instances(
     shard_size:
         Explicit shard size; overrides the derived default.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    if shard_size is not None and shard_size < 1:
-        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
-    ordered = ordered_instances(instances)
-    if not ordered:
-        return []
-    if shard_size is None:
-        shard_size = math.ceil(len(ordered) / (workers * SHARDS_PER_WORKER))
-    return [ordered[i : i + shard_size] for i in range(0, len(ordered), shard_size)]
+    return partition_ordered(ordered_instances(instances), workers, shard_size)
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +145,11 @@ def _init_worker(state: tuple) -> None:
 def _score_shard(shard: List[Resource]) -> ShardEntries:
     assert _WORKER_STATE is not None, "worker initializer did not run"
     return score_instances(shard, *_WORKER_STATE)
+
+
+def _score_relation_shard(shard: List[Relation]):
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    return score_relations(shard, *_WORKER_STATE)
 
 
 def _process_context():
@@ -217,3 +239,141 @@ def parallel_instance_equivalence_pass(
         for entries in executor.map(_score_shard, shards):
             store.update(entries)
     return store
+
+
+# ----------------------------------------------------------------------
+# scored subsets (warm-start fixpoint)
+# ----------------------------------------------------------------------
+
+
+def parallel_score_instances(
+    instances: Sequence[Resource],
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    fun1: FunctionalityOracle,
+    fun2: FunctionalityOracle,
+    rel12: SubsumptionMatrix[Relation],
+    rel21: SubsumptionMatrix[Relation],
+    truncation_threshold: float,
+    use_negative_evidence: bool = False,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    backend: str = "process",
+) -> ShardEntries:
+    """Score an explicit (pre-ordered) instance subset, possibly sharded.
+
+    The warm-start fixpoint re-scores only its dirty frontier per pass;
+    this routes that subset through the same shard executor as the full
+    pass, so warm passes are parallel and deterministic too (entries
+    come back concatenated in shard order, i.e. input order).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    common = (
+        ontology1,
+        ontology2,
+        view,
+        fun1,
+        fun2,
+        rel12,
+        rel21,
+        truncation_threshold,
+        use_negative_evidence,
+    )
+    if workers == 1:
+        return score_instances(instances, *common)
+    shards = partition_ordered(instances, workers, shard_size)
+    entries: ShardEntries = []
+    if not shards:
+        return entries
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            for shard_entries in executor.map(
+                lambda shard: score_instances(shard, *common), shards
+            ):
+                entries.extend(shard_entries)
+        return entries
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_process_context(),
+        initializer=_init_worker,
+        initargs=(common,),
+    ) as executor:
+        for shard_entries in executor.map(_score_shard, shards):
+            entries.extend(shard_entries)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# the parallel relation pass
+# ----------------------------------------------------------------------
+
+
+def parallel_subrelation_pass(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    truncation_threshold: float,
+    max_pairs: int,
+    reverse: bool = False,
+    bootstrap_theta: float = 0.0,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    backend: str = "process",
+) -> SubsumptionMatrix[Relation]:
+    """Sharded, parallel drop-in for :func:`.subrelations.subrelation_pass`.
+
+    The same determinism recipe as the instance pass: each relation's
+    row is computed independently against the frozen view by the exact
+    sequential code (:func:`.subrelations.score_relations`), shards cut
+    the relation list *in its canonical order* (the ontology's relation
+    registration order, which is what the sequential pass traverses),
+    and rows merge in shard order — so any worker count/backend fills
+    the matrix in the same insertion order as ``workers=1``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 and shard_size is None:
+        return subrelation_pass(
+            ontology1,
+            ontology2,
+            view,
+            truncation_threshold,
+            max_pairs,
+            reverse=reverse,
+            bootstrap_theta=bootstrap_theta,
+        )
+    relations = ontology1.relations(include_inverses=True)
+    matrix: SubsumptionMatrix[Relation] = SubsumptionMatrix()
+    shards = partition_ordered(relations, workers, shard_size)
+    if not shards:
+        return matrix
+    common = (ontology1, ontology2, view, max_pairs, reverse)
+    if workers == 1:
+        for shard in shards:
+            apply_relation_scores(
+                matrix,
+                score_relations(shard, *common),
+                truncation_threshold,
+                bootstrap_theta,
+            )
+        return matrix
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            for scored in executor.map(
+                lambda shard: score_relations(shard, *common), shards
+            ):
+                apply_relation_scores(matrix, scored, truncation_threshold, bootstrap_theta)
+        return matrix
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_process_context(),
+        initializer=_init_worker,
+        initargs=(common,),
+    ) as executor:
+        for scored in executor.map(_score_relation_shard, shards):
+            apply_relation_scores(matrix, scored, truncation_threshold, bootstrap_theta)
+    return matrix

@@ -86,6 +86,29 @@ class EquivalenceStore:
         self._forward.clear()
         self._backward.clear()
 
+    def clear_left(self, left: Resource) -> None:
+        """Drop every stored pair ``(left, ·)`` (both directions).
+
+        This is the row-replacement primitive of the warm-start
+        fixpoint: a re-scored instance's row is cleared and refilled,
+        while untouched rows keep their previous values.
+        """
+        row = self._forward.pop(left, None)
+        if not row:
+            return
+        for right in row:
+            back = self._backward[right]
+            del back[left]
+            if not back:
+                del self._backward[right]
+
+    def copy(self) -> "EquivalenceStore":
+        """An independent copy with the same entries and threshold."""
+        duplicate = EquivalenceStore(self.truncation_threshold)
+        duplicate._forward = {left: dict(row) for left, row in self._forward.items()}
+        duplicate._backward = {right: dict(row) for right, row in self._backward.items()}
+        return duplicate
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -111,6 +134,36 @@ class EquivalenceStore:
         for left, row in self._forward.items():
             for right, probability in row.items():
                 yield left, right, probability
+
+    def diff(
+        self, other: "EquivalenceStore", tolerance: float = 0.0
+    ) -> Iterator[Tuple[Resource, Resource, float, float]]:
+        """Pairs whose probability differs by more than ``tolerance``.
+
+        Yields ``(left, right, this_probability, other_probability)``
+        over the union of both stores' pairs; absent entries count as
+        0.0 (the Section 5.2 semantics), so appearing or disappearing
+        pairs are always reported.
+        """
+        for left, right, probability in self.items():
+            other_probability = other.get(left, right)
+            if abs(probability - other_probability) > tolerance:
+                yield left, right, probability, other_probability
+        for left, right, probability in other.items():
+            if self.get(left, right) == 0.0 and probability > tolerance:
+                yield left, right, 0.0, probability
+
+    def max_difference(self, other: "EquivalenceStore") -> float:
+        """Largest absolute probability difference over the pair union.
+
+        0.0 means the two stores are numerically identical — the
+        stationarity criterion of warm-start convergence and of
+        ``ParisConfig.score_stationarity`` cold runs.
+        """
+        worst = 0.0
+        for _left, _right, probability, other_probability in self.diff(other):
+            worst = max(worst, abs(probability - other_probability))
+        return worst
 
     # ------------------------------------------------------------------
     # maximal assignment

@@ -24,12 +24,53 @@ Implementation notes (Section 5.2):
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..rdf.ontology import Ontology
-from ..rdf.terms import Relation
+from ..rdf.terms import Node, Relation
 from .matrix import SubsumptionMatrix
 from .view import EquivalenceView
+
+
+def statement_terms(
+    x: Node,
+    y: Node,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    reverse: bool = False,
+) -> Tuple[float, Dict[Relation, float]]:
+    """The Eq. 12 contribution of one statement ``r(x, y)``.
+
+    Returns ``(denominator_term, {r': numerator_term})``: the statement
+    adds ``denominator_term`` to every row denominator of its relation
+    and ``numerator_term`` to the numerator of each matched ``r'``.
+    Both the batch pass below and the incremental relation pass
+    (:mod:`repro.core.incremental`) sum exactly these terms, which is
+    what makes the incremental row maintenance equivalent to a fresh
+    sweep.
+    """
+    x_equals = list(view.equivalents(x, reverse=reverse))
+    if not x_equals:
+        return 0.0, {}
+    y_equals = list(view.equivalents(y, reverse=reverse))
+    if not y_equals:
+        return 0.0, {}
+    denominator_product = 1.0
+    matched_products: Dict[Relation, float] = {}
+    for x_prime, prob_x in x_equals:
+        for y_prime, prob_y in y_equals:
+            pair_probability = prob_x * prob_y
+            if pair_probability <= 0.0:
+                continue
+            denominator_product *= 1.0 - pair_probability
+            for relation2 in ontology2.relations_of(x_prime):
+                if y_prime in ontology2.objects(relation2, x_prime):
+                    matched_products[relation2] = matched_products.get(
+                        relation2, 1.0
+                    ) * (1.0 - pair_probability)
+    return 1.0 - denominator_product, {
+        relation2: 1.0 - product for relation2, product in matched_products.items()
+    }
 
 
 def score_relation(
@@ -61,34 +102,62 @@ def score_relation(
         if examined >= max_pairs:
             break
         examined += 1
-        x_equals = list(view.equivalents(x, reverse=reverse))
-        if not x_equals:
-            continue
-        y_equals = list(view.equivalents(y, reverse=reverse))
-        if not y_equals:
-            continue
-        denominator_product = 1.0
-        matched_products: Dict[Relation, float] = {}
-        for x_prime, prob_x in x_equals:
-            for y_prime, prob_y in y_equals:
-                pair_probability = prob_x * prob_y
-                if pair_probability <= 0.0:
-                    continue
-                denominator_product *= 1.0 - pair_probability
-                for relation2 in ontology2.relations_of(x_prime):
-                    if y_prime in ontology2.objects(relation2, x_prime):
-                        matched_products[relation2] = matched_products.get(
-                            relation2, 1.0
-                        ) * (1.0 - pair_probability)
-        denominator += 1.0 - denominator_product
-        for relation2, product in matched_products.items():
-            numerators[relation2] = numerators.get(relation2, 0.0) + (1.0 - product)
+        denominator_term, numerator_terms = statement_terms(
+            x, y, ontology2, view, reverse=reverse
+        )
+        denominator += denominator_term
+        for relation2, term in numerator_terms.items():
+            numerators[relation2] = numerators.get(relation2, 0.0) + term
     if denominator <= 0.0:
         return None
     return {
         relation2: min(1.0, numerator / denominator)
         for relation2, numerator in numerators.items()
     }
+
+
+def score_relations(
+    relations: Iterable[Relation],
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    max_pairs: int,
+    reverse: bool = False,
+) -> List[Tuple[Relation, Optional[Dict[Relation, float]]]]:
+    """Score a batch of relations; the shard unit of the parallel pass.
+
+    Each relation's row depends only on the frozen inputs (ontologies
+    and previous-iteration view), never on other relations, so any
+    partition of the relation list yields the same rows — the exact
+    analogue of :func:`repro.core.equivalence.score_instances` for the
+    relation pass.
+    """
+    return [
+        (
+            relation,
+            score_relation(relation, ontology1, ontology2, view, max_pairs, reverse=reverse),
+        )
+        for relation in relations
+    ]
+
+
+def apply_relation_scores(
+    matrix: SubsumptionMatrix[Relation],
+    scored: Iterable[Tuple[Relation, Optional[Dict[Relation, float]]]],
+    truncation_threshold: float,
+    bootstrap_theta: float,
+) -> None:
+    """Fold scored rows into ``matrix`` (the shard-merge step)."""
+    for relation, scores in scored:
+        if scores is None:
+            # No evidence: the relation stays at the bootstrap prior so
+            # entities reachable only through it can still be matched
+            # in the next iteration (see score_relation).
+            matrix.set_sub_default(relation, bootstrap_theta)
+            continue
+        for relation2, score in scores.items():
+            if score >= truncation_threshold:
+                matrix.set(relation, relation2, score)
 
 
 def subrelation_pass(
@@ -110,16 +179,12 @@ def subrelation_pass(
     """
     matrix: SubsumptionMatrix[Relation] = SubsumptionMatrix()
     for relation in ontology1.relations(include_inverses=True):
-        scores = score_relation(
-            relation, ontology1, ontology2, view, max_pairs, reverse=reverse
+        apply_relation_scores(
+            matrix,
+            score_relations(
+                (relation,), ontology1, ontology2, view, max_pairs, reverse=reverse
+            ),
+            truncation_threshold,
+            bootstrap_theta,
         )
-        if scores is None:
-            # No evidence: the relation stays at the bootstrap prior so
-            # entities reachable only through it can still be matched
-            # in the next iteration (see score_relation).
-            matrix.set_sub_default(relation, bootstrap_theta)
-            continue
-        for relation2, score in scores.items():
-            if score >= truncation_threshold:
-                matrix.set(relation, relation2, score)
     return matrix

@@ -8,9 +8,17 @@ DESIGN.md §1 for why this substitutes for the paper's datasets):
   2010 stand-ins of Table 1,
 * :func:`yago_dbpedia_pair` — the encyclopedic KB pair of Tables 2–4
   and Figures 1–2,
-* :func:`yago_imdb_pair` — the movie-domain pair of Table 5.
+* :func:`yago_imdb_pair` — the movie-domain pair of Table 5,
+* :func:`family_pair` / :func:`family_addition` / :func:`family_removal`
+  — delta workloads for the incremental alignment service.
 """
 
+from .incremental import (
+    family_addition,
+    family_pair,
+    family_removal,
+    family_triples,
+)
 from .imdb import IMDB_EXCLUDED_CLASSES, IMDB_RELATION_GOLD, build_movie_world, yago_imdb_pair
 from .kb import (
     KB_EXCLUDED_CLASSES,
@@ -49,4 +57,8 @@ __all__ = [
     "build_movie_world",
     "IMDB_RELATION_GOLD",
     "IMDB_EXCLUDED_CLASSES",
+    "family_pair",
+    "family_addition",
+    "family_removal",
+    "family_triples",
 ]

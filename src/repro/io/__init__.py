@@ -1,5 +1,17 @@
 """Persistence of alignment results and owl:sameAs link export."""
 
-from .alignment_io import OWL_SAMEAS_URI, load_result, save_result, write_sameas_links
+from .alignment_io import (
+    OWL_SAMEAS_URI,
+    load_result,
+    render_assignment_rows,
+    save_result,
+    write_sameas_links,
+)
 
-__all__ = ["save_result", "load_result", "write_sameas_links", "OWL_SAMEAS_URI"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "render_assignment_rows",
+    "write_sameas_links",
+    "OWL_SAMEAS_URI",
+]

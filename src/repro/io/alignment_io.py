@@ -28,10 +28,20 @@ from ..rdf.terms import Relation, Resource
 OWL_SAMEAS_URI = "http://www.w3.org/2002/07/owl#sameAs"
 
 
+def render_assignment_rows(rows: List[Tuple[str, str, float]]) -> str:
+    """Render ``(left, right, probability)`` rows as sorted TSV text.
+
+    The one TSV shape used everywhere results are exchanged: the
+    ``save_result`` files below and the alignment service's
+    ``GET /alignment?format=tsv`` response.
+    """
+    return "".join(
+        f"{left}\t{right}\t{probability:.6f}\n" for left, right, probability in sorted(rows)
+    )
+
+
 def _write_rows(path: Path, rows: List[Tuple[str, str, float]]) -> None:
-    with path.open("w", encoding="utf-8") as stream:
-        for left, right, probability in sorted(rows):
-            stream.write(f"{left}\t{right}\t{probability:.6f}\n")
+    path.write_text(render_assignment_rows(rows), encoding="utf-8")
 
 
 def _read_rows(path: Path) -> List[Tuple[str, str, float]]:

@@ -14,6 +14,12 @@ Every assertion is stored in both directions: adding ``r(x, y)`` also
 records ``r⁻(y, x)``, exactly as the paper assumes ("we assume that the
 ontology contains all inverse relations and their corresponding
 statements", Section 3).
+
+The store is also the substrate of the *incremental alignment service*
+(:mod:`repro.service`): :meth:`Ontology.remove` retracts statements
+with full index cleanup, so live delta batches (add + remove) can be
+absorbed without rebuilding, and the warm-start fixpoint can invalidate
+exactly the entries a delta touched.
 """
 
 from __future__ import annotations
@@ -168,6 +174,124 @@ class Ontology:
     def update(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number of new statements."""
         return sum(1 for t in triples if self.add_triple(t))
+
+    # ------------------------------------------------------------------
+    # retraction (delta ingestion, repro.service)
+    # ------------------------------------------------------------------
+
+    def remove(self, subject: Node, relation: Relation, obj: Node) -> bool:
+        """Retract the statement ``relation(subject, obj)``.
+
+        The mirror of :meth:`add`: schema relations are routed to
+        :meth:`remove_type` / :meth:`remove_subclass`, data statements
+        are removed from both directions, and nodes that no longer
+        appear in any statement are dropped from the instance/literal
+        registries.
+
+        Returns
+        -------
+        bool
+            ``True`` if the statement was present and removed.
+        """
+        if not isinstance(relation, Relation):
+            raise TypeError(f"relation must be a Relation, got {type(relation).__name__}")
+        base = relation.base
+        if base == RDF_TYPE:
+            sub, obj2 = (subject, obj) if not relation.inverted else (obj, subject)
+            return self.remove_type(sub, obj2)  # type: ignore[arg-type]
+        if base == RDFS_SUBCLASSOF:
+            sub, obj2 = (subject, obj) if not relation.inverted else (obj, subject)
+            return self.remove_subclass(sub, obj2)  # type: ignore[arg-type]
+        if base == RDFS_SUBPROPERTYOF:
+            raise ValueError(
+                "remove rdfs:subPropertyOf edges via remove_subproperty(), "
+                "they relate Relation terms, not nodes"
+            )
+        return self._remove_data(subject, relation, obj)
+
+    def _remove_data(self, subject: Node, relation: Relation, obj: Node) -> bool:
+        objects = self._statements.get(relation, {}).get(subject)
+        if objects is None or obj not in objects:
+            return False
+        self._drop_direction(subject, relation, obj)
+        self._drop_direction(obj, relation.inverse, subject)
+        self._unregister_if_orphan(subject)
+        self._unregister_if_orphan(obj)
+        return True
+
+    def _drop_direction(self, subject: Node, relation: Relation, obj: Node) -> None:
+        by_subject = self._statements[relation]
+        objects = by_subject[subject]
+        objects.remove(obj)
+        if not objects:
+            del by_subject[subject]
+            if not by_subject:
+                del self._statements[relation]
+        by_relation = self._subject_index[subject]
+        indexed = by_relation[relation]
+        indexed.remove(obj)
+        if not indexed:
+            del by_relation[relation]
+            if not by_relation:
+                del self._subject_index[subject]
+        remaining = self._fact_counts.get(relation, 0) - 1
+        if remaining > 0:
+            self._fact_counts[relation] = remaining
+        else:
+            self._fact_counts.pop(relation, None)
+
+    def _unregister_if_orphan(self, node: Node) -> None:
+        """Drop a node from the registries once nothing mentions it."""
+        if self._subject_index.get(node):
+            return
+        if isinstance(node, Literal):
+            self._literals.discard(node)
+        elif node not in self._instance_classes:
+            self._instances.discard(node)
+
+    def remove_type(self, instance: Resource, cls: Resource) -> bool:
+        """Retract ``rdf:type(instance, cls)``."""
+        members = self._class_instances.get(cls)
+        if members is None or instance not in members:
+            return False
+        members.remove(instance)
+        if not members:
+            del self._class_instances[cls]
+        classes = self._instance_classes[instance]
+        classes.remove(cls)
+        if not classes:
+            del self._instance_classes[instance]
+            if not self._subject_index.get(instance):
+                self._instances.discard(instance)
+        return True
+
+    def remove_subclass(self, sub: Resource, sup: Resource) -> bool:
+        """Retract ``rdfs:subClassOf(sub, sup)``."""
+        supers = self._subclass_edges.get(sub)
+        if supers is None or sup not in supers:
+            return False
+        supers.remove(sup)
+        if not supers:
+            del self._subclass_edges[sub]
+        subs = self._superclass_edges[sup]
+        subs.remove(sub)
+        if not subs:
+            del self._superclass_edges[sup]
+        return True
+
+    def remove_subproperty(self, sub: Relation, sup: Relation) -> bool:
+        """Retract ``rdfs:subPropertyOf(sub, sup)``."""
+        supers = self._subproperty_edges.get(sub)
+        if supers is None or sup not in supers:
+            return False
+        supers.remove(sup)
+        if not supers:
+            del self._subproperty_edges[sub]
+        return True
+
+    def remove_triple(self, triple: Triple) -> bool:
+        """Retract a :class:`~repro.rdf.triples.Triple`."""
+        return self.remove(triple.subject, triple.relation, triple.object)
 
     # ------------------------------------------------------------------
     # statement access

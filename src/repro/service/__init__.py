@@ -1,0 +1,43 @@
+"""Incremental alignment service — PARIS as a resident process.
+
+The paper targets living knowledge bases that change continuously; this
+package turns the batch reproduction into a long-running service:
+
+``repro.service.delta``
+    Triple-level delta batches (add/remove, both ontologies, JSON
+    codec) and their application to the indexed stores, computing the
+    dirty frontier the warm-start fixpoint re-scores.
+``repro.service.state``
+    Versioned snapshot/restore of the full alignment state (ontologies,
+    equivalences, relation/class matrices) via pickle.
+``repro.service.engine``
+    :class:`AlignmentService` — owns the state, the functionality /
+    literal-index invalidation, the incremental relation matrices, and
+    drives :meth:`repro.core.aligner.ParisAligner.warm_align` per delta.
+``repro.service.server``
+    A stdlib ``ThreadingHTTPServer`` front-end (``POST /delta``,
+    ``GET /pair/<x>/<x'>``, ``GET /alignment``, ``GET /healthz``),
+    wired into the CLI as ``repro serve``.
+
+Guarantee: after each delta, the served scores equal a cold
+``score_stationarity`` realignment of the updated ontologies within
+1e-9 (enforced by ``tests/test_warm_start.py`` and the
+``benchmarks/test_microbench_incremental.py`` latency bench).
+"""
+
+from .delta import Delta, DeltaEffect, apply_delta, validate_delta
+from .engine import AlignmentService, DeltaReport
+from .state import AlignmentState, latest_version, load_state, save_state
+
+__all__ = [
+    "Delta",
+    "DeltaEffect",
+    "apply_delta",
+    "validate_delta",
+    "AlignmentService",
+    "DeltaReport",
+    "AlignmentState",
+    "save_state",
+    "load_state",
+    "latest_version",
+]

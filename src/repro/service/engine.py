@@ -1,0 +1,357 @@
+"""The alignment service engine.
+
+:class:`AlignmentService` is the resident-process core behind
+``repro serve``: it owns an :class:`~repro.service.state.AlignmentState`,
+keeps the derived structures (functionality oracles, literal indexes,
+incremental relation matrices) in sync with delta batches, computes the
+dirty instance frontier a delta induces, and drives
+:meth:`repro.core.aligner.ParisAligner.warm_align`.
+
+Frontier computation (the 1-hop invalidation contract)
+------------------------------------------------------
+A left instance must be re-scored when any input of its Eq. 13
+computation changed:
+
+* its own statements (delta endpoints on the left side);
+* the candidate sets of a neighbouring literal (tracked through the
+  blocking keys of the literal similarity, on either side's index);
+* a statement of a *right* node it can reach — covered by dirtying the
+  1-hop neighbours of every left equivalent of the touched right nodes;
+* an inverse functionality of one of its relations (left-side
+  functionality changes dirty the relation's subjects; right-side
+  changes fall back to a full pass, since their reach crosses the
+  candidate frontier);
+* a relation-matrix row of one of its relations — handled inside the
+  warm loop by diffing the incrementally refreshed rows.
+
+All queries and delta applications are serialized behind one lock;
+reads between deltas are cheap dictionary lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..core.aligner import ParisAligner, align
+from ..core.config import ParisConfig
+from ..core.incremental import IncrementalRelationPass
+from ..rdf.ontology import Ontology
+from ..rdf.terms import Literal, Node, Resource
+from .delta import Delta, DeltaEffect, apply_delta, validate_delta
+from .state import AlignmentState, save_state
+
+
+@dataclass
+class DeltaReport:
+    """Outcome of one applied delta batch."""
+
+    version: int
+    applied_add: int
+    applied_remove: int
+    dirty: int
+    passes: int
+    seconds: float
+    converged: bool
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "applied_add": self.applied_add,
+            "applied_remove": self.applied_remove,
+            "dirty": self.dirty,
+            "passes": self.passes,
+            "seconds": self.seconds,
+            "converged": self.converged,
+        }
+
+
+class AlignmentService:
+    """A live alignment over two evolving ontologies.
+
+    Construct via :meth:`cold_start` (align from scratch, stationarity
+    mode) or :meth:`from_state` (resume a snapshot); then feed
+    :class:`~repro.service.delta.Delta` batches through
+    :meth:`apply_delta` and read pairs/alignments between them.
+    """
+
+    def __init__(self, state: AlignmentState) -> None:
+        self.state = state
+        self.lock = threading.RLock()
+        #: Set when a delta failed *after* mutation started: the live
+        #: structures may be inconsistent, so the service fail-stops
+        #: (every further call raises) rather than serving — and
+        #: snapshotting — a corrupted mix.  Restart from the last
+        #: snapshot to recover.
+        self.poisoned: Optional[str] = None
+        self.aligner = ParisAligner(state.ontology1, state.ontology2, state.config)
+        config = state.config
+        view = self.aligner._view(state.store)
+        self._rel12 = IncrementalRelationPass(
+            state.ontology1,
+            state.ontology2,
+            view,
+            truncation_threshold=config.theta,
+            max_pairs=config.max_pairs_per_relation,
+            bootstrap_theta=config.theta,
+        )
+        self._rel21 = IncrementalRelationPass(
+            state.ontology2,
+            state.ontology1,
+            view,
+            truncation_threshold=config.theta,
+            max_pairs=config.max_pairs_per_relation,
+            reverse=True,
+            bootstrap_theta=config.theta,
+        )
+        self._assignment12 = state.store.maximal_assignment()
+        self._assignment21 = state.store.maximal_assignment(reverse=True)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def cold_start(
+        cls,
+        ontology1: Ontology,
+        ontology2: Ontology,
+        config: Optional[ParisConfig] = None,
+    ) -> "AlignmentService":
+        """Align from scratch and wrap the result as a service.
+
+        The cold run is forced into ``score_stationarity`` mode: the
+        warm-start fixpoint converges to numeric stationarity, so the
+        baseline it extends must sit at the same kind of fixpoint for
+        the incremental-equals-cold guarantee to hold.
+        """
+        config = replace(config or ParisConfig(), score_stationarity=True)
+        result = align(ontology1, ontology2, config)
+        return cls(AlignmentState.from_result(ontology1, ontology2, config, result))
+
+    @classmethod
+    def from_state(cls, state: AlignmentState) -> "AlignmentService":
+        return cls(state)
+
+    # ------------------------------------------------------------------
+    # delta ingestion
+    # ------------------------------------------------------------------
+
+    def _instance_neighbours1(self, node: Node) -> Iterable[Resource]:
+        for _relation, other in self.state.ontology1.statements_about(node):
+            if isinstance(other, Resource):
+                yield other
+
+    def _similar_literals(self, literal: Literal, own_index) -> Set[Literal]:
+        """Literals of one side's index that can interact with ``literal``."""
+        similar: Set[Literal] = set()
+        for key in self.aligner.config.literal_similarity.keys(literal):
+            similar |= own_index.bucket_members(key)
+        return similar
+
+    def _check_consistent(self) -> None:
+        if self.poisoned is not None:
+            raise RuntimeError(
+                "alignment service is fail-stopped after a mid-delta "
+                f"failure ({self.poisoned}); restart from the last snapshot"
+            )
+
+    def apply_delta(self, delta: Delta) -> DeltaReport:
+        """Absorb a delta batch and warm-start the fixpoint over it.
+
+        Validation failures (bad triples) raise ``ValueError`` before
+        anything is touched.  A failure *after* mutation started (e.g.
+        a broken worker pool mid-warm-pass) poisons the service: the
+        in-memory structures may be inconsistent, so every later call
+        fails fast instead of silently serving — or snapshotting — a
+        corrupted state.
+        """
+        with self.lock:
+            self._check_consistent()
+            # Validate before the poisoning scope: a rejected batch
+            # raises ValueError here with the state untouched and the
+            # service still healthy.
+            validate_delta(delta)
+            try:
+                return self._apply_delta_locked(delta)
+            except BaseException as error:
+                self.poisoned = repr(error)
+                raise
+
+    def _apply_delta_locked(self, delta: Delta) -> DeltaReport:
+        state = self.state
+        config = state.config
+        tolerance = config.warm_tolerance
+        started = time.perf_counter()
+        effect = apply_delta(state.ontology1, state.ontology2, delta, validated=True)
+        if effect.is_noop():
+            return DeltaReport(
+                version=state.version,
+                applied_add=0,
+                applied_remove=0,
+                dirty=0,
+                passes=0,
+                seconds=time.perf_counter() - started,
+                converged=state.converged,
+            )
+        dirty, seed1, seed2, full = self._invalidate(effect, tolerance)
+        if full:
+            dirty |= state.ontology1.instances
+        result = self.aligner.warm_align(
+            state.store,
+            self._rel12,
+            self._rel21,
+            dirty_instances=dirty,
+            seed_nodes1=seed1,
+            seed_nodes2=seed2,
+            delta_statements1=effect.statements1,
+            delta_statements2=effect.statements2,
+        )
+        state.absorb(result)
+        self._assignment12 = result.assignment12
+        self._assignment21 = result.assignment21
+        return DeltaReport(
+            version=state.version,
+            applied_add=effect.applied_add,
+            applied_remove=effect.applied_remove,
+            dirty=len(dirty),
+            passes=len(result.iterations),
+            seconds=time.perf_counter() - started,
+            converged=result.converged,
+        )
+
+    def _invalidate(
+        self, effect: DeltaEffect, tolerance: float
+    ) -> Tuple[Set[Resource], Set[Node], Set[Node], bool]:
+        """Refresh derived structures; compute the initial dirty frontier.
+
+        Returns ``(dirty instances, seed nodes left, seed nodes right,
+        full-pass flag)`` — see the module docstring for the contract.
+        """
+        aligner = self.aligner
+        store = self.state.store
+        dirty: Set[Resource] = set(effect.touched_instances1)
+        seed1: Set[Node] = set()
+        seed2: Set[Node] = set()
+        full = False
+        # Literal-index postings: update both sides first, then derive
+        # which query literals saw their candidate sets move.
+        for literal in effect.removed_literals1:
+            aligner.literals1.discard(literal)
+        for literal in effect.added_literals1:
+            aligner.literals1.add(literal)
+        for literal in effect.removed_literals2:
+            aligner.literals2.discard(literal)
+        for literal in effect.added_literals2:
+            aligner.literals2.add(literal)
+        for literal in (*effect.added_literals2, *effect.removed_literals2):
+            # Right-side postings changed: left query literals sharing a
+            # blocking key now see different candidates.
+            for query in self._similar_literals(literal, aligner.literals1):
+                seed1.add(query)
+                dirty.update(self._instance_neighbours1(query))
+        for literal in (*effect.added_literals1, *effect.removed_literals1):
+            for query in self._similar_literals(literal, aligner.literals2):
+                seed2.add(query)
+        # Functionalities (Section 5.1 computes them upfront; a delta
+        # is exactly the event that invalidates that assumption).
+        fun1_changes = aligner.fun1.invalidate(effect.touched_relations1)
+        for relation, (old, new) in fun1_changes.items():
+            if abs(new - old) > tolerance:
+                # fun1 enters Eq. 13 as fun⁻¹(r) = fun(r⁻): a changed
+                # fun(u) re-prices the statements of u's inverse.
+                dirty.update(aligner._instance_subjects(relation.inverse))
+        fun2_changes = aligner.fun2.invalidate(effect.touched_relations2)
+        if any(abs(new - old) > tolerance for old, new in fun2_changes.values()):
+            # fun2 weighs candidate statements of arbitrary right
+            # instances; its reach cannot be bounded by one hop.
+            full = True
+        # Right-side statement changes reach left scores through the
+        # equivalents of their endpoints.
+        for _relation, subject, obj in effect.statements2:
+            for node in (subject, obj):
+                if isinstance(node, Literal):
+                    for query in self._similar_literals(node, aligner.literals1):
+                        seed1.add(query)
+                        dirty.update(self._instance_neighbours1(query))
+                else:
+                    for left in store.equals_of_right(node):
+                        seed1.add(left)
+                        dirty.update(self._instance_neighbours1(left))
+        # Left-side statement changes reach the reverse relation matrix
+        # through the equivalents of their endpoints.
+        for _relation, subject, obj in effect.statements1:
+            for node in (subject, obj):
+                if isinstance(node, Literal):
+                    for query in self._similar_literals(node, aligner.literals2):
+                        seed2.add(query)
+                else:
+                    seed2.update(store.equals_of(node))
+        return dirty, seed1, seed2, full
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def pair(self, left_name: str, right_name: str) -> Dict[str, object]:
+        """Probability and assignment context for one instance pair."""
+        left = Resource(left_name)
+        right = Resource(right_name)
+        with self.lock:
+            self._check_consistent()
+            probability = self.state.store.get(left, right)
+            best12 = self._assignment12.get(left)
+            best21 = self._assignment21.get(right)
+        payload: Dict[str, object] = {
+            "left": left_name,
+            "right": right_name,
+            "probability": probability,
+        }
+        if best12:
+            payload["best_counterpart_of_left"] = {
+                "right": best12[0].name,
+                "probability": best12[1],
+            }
+        if best21:
+            payload["best_counterpart_of_right"] = {
+                "left": best21[0].name,
+                "probability": best21[1],
+            }
+        return payload
+
+    def alignment(self, threshold: float = 0.0) -> List[Tuple[str, str, float]]:
+        """Maximal-assignment pairs with probability ≥ ``threshold``."""
+        with self.lock:
+            self._check_consistent()
+            pairs = [
+                (left.name, counterpart.name, probability)
+                for left, (counterpart, probability) in self._assignment12.items()
+                if probability >= threshold
+            ]
+        pairs.sort(key=lambda row: (-row[2], row[0], row[1]))
+        return pairs
+
+    def health(self) -> Dict[str, object]:
+        with self.lock:
+            state = self.state
+            return {
+                "status": "ok" if self.poisoned is None else "inconsistent",
+                "version": state.version,
+                "converged": state.converged,
+                "left": state.ontology1.name,
+                "right": state.ontology2.name,
+                "facts_left": state.ontology1.num_facts,
+                "facts_right": state.ontology2.num_facts,
+                "instance_pairs": len(state.store),
+                "matched_left": len(self._assignment12),
+                "matched_right": len(self._assignment21),
+            }
+
+    def snapshot(self, directory: Union[str, Path]) -> Path:
+        """Persist the current state (see :mod:`repro.service.state`)."""
+        with self.lock:
+            self._check_consistent()
+            return save_state(self.state, directory)

@@ -1,0 +1,254 @@
+"""HTTP front-end for the alignment service (stdlib only).
+
+A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentService`:
+
+* ``GET  /healthz``                  — liveness + state summary
+* ``GET  /pair/<left>/<right>``      — one pair's probability (URL-quoted names)
+* ``GET  /alignment?threshold=0.5``  — maximal assignment (``format=tsv`` for TSV)
+* ``POST /delta``                    — apply a JSON delta batch (see
+  :meth:`repro.service.delta.Delta.from_json`), warm-start the fixpoint,
+  snapshot the new state if a state directory is configured
+* ``POST /snapshot``                 — force a snapshot
+
+Concurrency: request handlers run on one thread each; the engine
+serializes mutation and reads behind its own lock, so a long warm pass
+never corrupts a concurrent query (it just waits).
+
+``run_server`` adds the process plumbing for ``repro serve``: SIGTERM /
+SIGINT trigger a final snapshot and a clean exit, which is what the CI
+service-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, unquote, urlparse
+
+from .delta import Delta
+from .engine import AlignmentService
+from ..io.alignment_io import render_assignment_rows
+
+
+class AlignmentRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`AlignmentService`."""
+
+    server_version = "repro-serve/1.0"
+    #: Upper bound on accepted delta payloads (64 MiB).
+    MAX_BODY = 64 * 1024 * 1024
+
+    @property
+    def service(self) -> AlignmentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # type: ignore[attr-defined]
+            sys.stderr.write("serve: %s\n" % (format % args))
+
+    # -- helpers -------------------------------------------------------
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._route_get()
+        except RuntimeError as error:
+            # The engine fail-stopped after a mid-delta failure.
+            self._error(503, str(error))
+
+    def _route_get(self) -> None:
+        url = urlparse(self.path)
+        parts = [unquote(part) for part in url.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._send_json(self.service.health())
+            return
+        if len(parts) == 3 and parts[0] == "pair":
+            self._send_json(self.service.pair(parts[1], parts[2]))
+            return
+        if parts == ["alignment"]:
+            query = parse_qs(url.query)
+            try:
+                threshold = float(query.get("threshold", ["0.0"])[0])
+            except ValueError:
+                self._error(400, "threshold must be a number")
+                return
+            pairs = self.service.alignment(threshold)
+            if query.get("format", ["json"])[0] == "tsv":
+                self._send_text(render_assignment_rows(pairs))
+                return
+            self._send_json(
+                {
+                    "threshold": threshold,
+                    "pairs": [
+                        {"left": left, "right": right, "probability": probability}
+                        for left, right, probability in pairs
+                    ],
+                }
+            )
+            return
+        self._error(404, f"no such resource: {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._route_post()
+        except RuntimeError as error:
+            self._error(503, str(error))
+
+    def _route_post(self) -> None:
+        url = urlparse(self.path)
+        if url.path == "/snapshot":
+            state_dir = self.server.state_dir  # type: ignore[attr-defined]
+            if state_dir is None:
+                self._error(409, "server runs without a state directory")
+                return
+            try:
+                path = self.service.snapshot(state_dir)
+            except OSError as error:
+                self._error(500, f"snapshot failed: {error}")
+                return
+            self._send_json({"snapshot": str(path)})
+            return
+        if url.path != "/delta":
+            self._error(404, f"no such resource: {url.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > self.MAX_BODY:
+            self._error(400, "delta body must be non-empty JSON")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            delta = Delta.from_json(payload)
+            # apply_delta validates the whole batch before mutating, so
+            # a rejected delta leaves the live state untouched.
+            report = self.service.apply_delta(delta)
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, f"bad delta: {error}")
+            return
+        except RuntimeError as error:
+            # Engine fail-stopped (this or an earlier delta died
+            # mid-mutation): refuse rather than serve inconsistency.
+            self._error(503, str(error))
+            return
+        except Exception as error:  # noqa: BLE001 - fail-stop surface
+            # The engine just poisoned itself for this unexpected
+            # failure; report it instead of killing the handler thread.
+            self._error(500, f"delta failed mid-apply: {error!r}")
+            return
+        state_dir = self.server.state_dir  # type: ignore[attr-defined]
+        snapshot_every = self.server.snapshot_every  # type: ignore[attr-defined]
+        payload = report.to_json()
+        if (
+            state_dir is not None
+            and snapshot_every > 0
+            and report.applied_add + report.applied_remove > 0
+            and report.version % snapshot_every == 0
+        ):
+            try:
+                self.service.snapshot(state_dir)
+            except OSError as error:
+                # The delta itself succeeded; tell the client both
+                # facts instead of dropping the connection.
+                payload["snapshot_error"] = str(error)
+        self._send_json(payload)
+
+
+def build_server(
+    service: AlignmentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    state_dir: Optional[Union[str, Path]] = None,
+    verbose: bool = False,
+    snapshot_every: int = 1,
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the HTTP server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (the in-process tests do).
+    ``snapshot_every=N`` snapshots after every Nth version (a full
+    state pickle is O(corpus), so large deployments raise this or set
+    0 to snapshot only on shutdown / ``POST /snapshot``).
+    """
+    server = ThreadingHTTPServer((host, port), AlignmentRequestHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.state_dir = Path(state_dir) if state_dir is not None else None  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.snapshot_every = snapshot_every  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_server(
+    service: AlignmentService,
+    host: str,
+    port: int,
+    state_dir: Optional[Union[str, Path]] = None,
+    verbose: bool = True,
+    snapshot_every: int = 1,
+) -> int:
+    """Serve until SIGTERM/SIGINT; snapshot on the way out.
+
+    Returns the process exit code (0 on a clean, signalled shutdown).
+    """
+    server = build_server(
+        service,
+        host,
+        port,
+        state_dir=state_dir,
+        verbose=verbose,
+        snapshot_every=snapshot_every,
+    )
+    actual_host, actual_port = server.server_address[:2]
+    print(
+        f"serving alignment {service.state.ontology1.name!r} <-> "
+        f"{service.state.ontology2.name!r} on http://{actual_host}:{actual_port} "
+        f"(version {service.state.version})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    def _shutdown(signum, _frame) -> None:
+        print(f"received signal {signum}, shutting down", file=sys.stderr, flush=True)
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {
+        sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        if state_dir is not None:
+            path = service.snapshot(state_dir)
+            print(f"state saved to {path}", file=sys.stderr, flush=True)
+    return 0

@@ -171,6 +171,61 @@ class TestCli:
         assert exc.value.code == 0
 
 
+class TestParallelOptionsWiring:
+    """Every alignment-running subcommand accepts the parallel knobs."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["align", "l.nt", "r.nt"],
+            ["multi", "a.nt", "b.nt", "c.nt"],
+            ["explain", "l.nt", "r.nt", "x", "y"],
+            ["demo", "person"],
+            ["serve", "l.nt", "r.nt", "--state-dir", "state"],
+        ],
+    )
+    def test_parallel_flags_parse(self, argv):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            argv + ["--workers", "3", "--shard-size", "7", "--parallel-backend", "thread"]
+        )
+        assert args.workers == 3
+        assert args.shard_size == 7
+        assert args.parallel_backend == "thread"
+
+    def test_parallel_defaults_are_sequential(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["demo", "kb"])
+        assert args.workers == 1
+        assert args.shard_size is None
+        assert args.parallel_backend == "process"
+
+    def test_demo_runs_with_workers(self, capsys):
+        assert main(["demo", "person", "--workers", "2",
+                     "--parallel-backend", "thread"]) == 0
+        captured = capsys.readouterr()
+        assert "instances:" in captured.out
+
+    def test_serve_parser(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--state-dir", "statedir", "--port", "0", "--host", "0.0.0.0"]
+        )
+        assert args.state_dir == "statedir"
+        assert args.port == 0
+        assert args.left is None and args.right is None
+        assert args.handler.__name__ == "cmd_serve"
+
+    def test_serve_without_inputs_or_snapshot_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--state-dir", str(tmp_path / "empty")])
+
+
 class TestCliMultiAndExplain:
     @pytest.fixture()
     def nt_files(self, tiny_pair, tmp_path):

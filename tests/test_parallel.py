@@ -21,9 +21,13 @@ from repro.core.matrix import SubsumptionMatrix
 from repro.core.parallel import (
     BACKENDS,
     parallel_instance_equivalence_pass,
+    parallel_score_instances,
+    parallel_subrelation_pass,
     partition_instances,
+    partition_ordered,
 )
 from repro.core.store import EquivalenceStore
+from repro.core.subrelations import subrelation_pass
 from repro.core.view import EquivalenceView
 from repro.literals import IdentitySimilarity
 from repro.rdf.terms import Resource
@@ -185,6 +189,131 @@ class TestParallelPass:
             workers=2, backend="thread",
         )
         assert len(store) == 0
+
+
+def matrix_scores(matrix, sub_ontology):
+    """Explicit entries plus per-sub defaults, for exact comparison.
+
+    Defaults are enumerated over *every* relation of the sub-side
+    ontology, not just those with explicit entries — a relation whose
+    whole row is the no-evidence bootstrap default (``set_sub_default``
+    only) must also compare equal between sequential and sharded runs.
+    """
+    return (
+        {(sub, sup): p for sub, sup, p in matrix.items()},
+        {
+            relation: matrix.sub_default(relation)
+            for relation in sub_ontology.relations(include_inverses=True)
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def relation_pass_inputs(pass_inputs):
+    """Relation-pass inputs over a *filled* view (bootstrap equivalences),
+    so Eq. 12 has real evidence to aggregate."""
+    ontology1, ontology2, view, fun1, fun2, rel12, rel21, theta = pass_inputs
+    bootstrap = instance_equivalence_pass(*pass_inputs)
+    filled_view = EquivalenceView(
+        bootstrap.restricted_to_maximal(),
+        view._right_index,
+        view._left_index,
+    )
+    return ontology1, ontology2, filled_view
+
+
+class TestParallelRelationPass:
+    """The relation pass shards with the same equivalence guarantee as
+    the instance pass (ROADMAP "next steps" item)."""
+
+    def kwargs(self):
+        return dict(truncation_threshold=0.1, max_pairs=10_000, bootstrap_theta=0.1)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_single_worker_matches_sequential_bitwise(self, relation_pass_inputs, reverse):
+        ontology1, ontology2, view = relation_pass_inputs
+        first, second = (ontology2, ontology1) if reverse else (ontology1, ontology2)
+        sequential = subrelation_pass(first, second, view, reverse=reverse, **self.kwargs())
+        fallback = parallel_subrelation_pass(
+            first, second, view, reverse=reverse, workers=1, **self.kwargs()
+        )
+        assert matrix_scores(fallback, first) == matrix_scores(sequential, first)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_backends_match_sequential(self, relation_pass_inputs, backend, workers, reverse):
+        ontology1, ontology2, view = relation_pass_inputs
+        first, second = (ontology2, ontology1) if reverse else (ontology1, ontology2)
+        sequential = subrelation_pass(first, second, view, reverse=reverse, **self.kwargs())
+        parallel = parallel_subrelation_pass(
+            first, second, view, reverse=reverse,
+            workers=workers, backend=backend, **self.kwargs()
+        )
+        if backend == "thread" or FORK_AVAILABLE:
+            assert matrix_scores(parallel, first) == matrix_scores(sequential, first)
+        else:
+            entries, defaults = matrix_scores(sequential, first)
+            for key, probability in entries.items():
+                assert abs(parallel.get(*key) - probability) <= 1e-12, key
+            assert defaults == matrix_scores(parallel, first)[1]
+
+    def test_sharded_single_worker_matches_sequential(self, relation_pass_inputs):
+        ontology1, ontology2, view = relation_pass_inputs
+        sequential = subrelation_pass(ontology1, ontology2, view, **self.kwargs())
+        sharded = parallel_subrelation_pass(
+            ontology1, ontology2, view, workers=1, shard_size=3, **self.kwargs()
+        )
+        assert matrix_scores(sharded, ontology1) == matrix_scores(sequential, ontology1)
+
+    def test_invalid_arguments(self, relation_pass_inputs):
+        ontology1, ontology2, view = relation_pass_inputs
+        with pytest.raises(ValueError):
+            parallel_subrelation_pass(
+                ontology1, ontology2, view, workers=0, **self.kwargs()
+            )
+        with pytest.raises(ValueError):
+            parallel_subrelation_pass(
+                ontology1, ontology2, view, workers=2, backend="mpi", **self.kwargs()
+            )
+
+    def test_full_align_with_workers_matches_sequential(self, person_pair, person_result):
+        """End-to-end: both passes sharded, thread backend, exact."""
+        config = ParisConfig(workers=2, parallel_backend="thread")
+        parallel = align(person_pair.ontology1, person_pair.ontology2, config)
+        assert store_scores(parallel.instances) == store_scores(person_result.instances)
+        assert matrix_scores(parallel.relations12, person_pair.ontology1) == matrix_scores(
+            person_result.relations12, person_pair.ontology1
+        )
+        assert matrix_scores(parallel.relations21, person_pair.ontology2) == matrix_scores(
+            person_result.relations21, person_pair.ontology2
+        )
+
+
+class TestScoredSubsets:
+    """parallel_score_instances — the warm-start fixpoint's shard unit."""
+
+    def test_matches_sequential_scoring(self, pass_inputs):
+        from repro.core.equivalence import ordered_instances, score_instances
+
+        ontology1 = pass_inputs[0]
+        subset = ordered_instances(ontology1.instances)[:40]
+        sequential = score_instances(subset, *pass_inputs)
+        for workers, backend in [(1, "process"), (2, "thread"), (2, "process")]:
+            entries = parallel_score_instances(
+                subset, *pass_inputs, workers=workers, backend=backend
+            )
+            if backend == "thread" or workers == 1 or FORK_AVAILABLE:
+                assert entries == sequential
+            else:
+                assert len(entries) == len(sequential)
+
+    def test_partition_ordered_preserves_order(self):
+        items = list(range(17))
+        shards = partition_ordered(items, workers=3, shard_size=5)
+        assert [len(s) for s in shards] == [5, 5, 5, 2]
+        assert [x for shard in shards for x in shard] == items
+        assert partition_ordered([], workers=2) == []
 
 
 class TestConfigKnobs:
