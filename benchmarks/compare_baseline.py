@@ -1,0 +1,113 @@
+"""Gate fresh microbench metrics against the committed baselines.
+
+Usage (what the CI ``bench-track`` job runs)::
+
+    BENCH_JSON_DIR=bench-out pytest benchmarks/test_microbench_incremental.py ...
+    python benchmarks/compare_baseline.py bench-out
+
+Every ``BENCH_<name>.json`` in the given directory is compared against
+the committed copy under ``benchmarks/results/``.  A metric fails the
+gate when
+
+* it carries a ``floor`` and the fresh value is below it, or
+* it is not marked ``informational`` and the fresh value is worse than
+  the baseline by more than ``TOLERANCE`` (30 %), in the direction of
+  its ``higher_is_better`` flag.
+
+Only deterministic, machine-independent metrics (pair counts, pass
+counts) are baseline-gated; wall-clock metrics are ``informational``
+with at most an absolute ``floor``, so a noisy shared runner cannot
+produce a false failure.  Exit code is non-zero on any regression, which
+is what fails the CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed relative slack against the committed baseline.
+TOLERANCE = 0.30
+
+BASELINE_DIR = Path(__file__).parent / "results"
+
+
+def compare_metric(name: str, fresh: dict, baseline: dict | None) -> str | None:
+    """Returns a failure message for one metric, or None if it passes."""
+    value = fresh["value"]
+    floor = fresh.get("floor")
+    if floor is not None and value < floor:
+        return f"{name}: value {value:.3g} is below its hard floor {floor:.3g}"
+    if fresh.get("informational"):
+        return None
+    if baseline is None:
+        # New metric without a committed reference: record, don't gate.
+        return None
+    reference = baseline["value"]
+    higher_is_better = fresh.get("higher_is_better", True)
+    if higher_is_better:
+        limit = reference * (1.0 - TOLERANCE)
+        if value < limit:
+            return (
+                f"{name}: {value:.3g} regressed >{TOLERANCE:.0%} below "
+                f"baseline {reference:.3g}"
+            )
+    else:
+        limit = reference * (1.0 + TOLERANCE)
+        if value > limit:
+            return (
+                f"{name}: {value:.3g} regressed >{TOLERANCE:.0%} above "
+                f"baseline {reference:.3g}"
+            )
+    return None
+
+
+def compare_file(fresh_path: Path) -> list[str]:
+    baseline_path = BASELINE_DIR / fresh_path.name
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        baseline_metrics = baseline.get("metrics", {})
+    else:
+        # Hard floors still apply; only the baseline comparison is
+        # skipped (compare_metric treats a missing reference as
+        # record-don't-gate).
+        print(f"{fresh_path.name}: no committed baseline, floor checks only")
+        baseline_metrics = {}
+    failures = []
+    for name, metric in sorted(fresh.get("metrics", {}).items()):
+        failure = compare_metric(name, metric, baseline_metrics.get(name))
+        status = "FAIL" if failure else ("info" if metric.get("informational") else "ok")
+        reference = baseline_metrics.get(name, {}).get("value")
+        reference_text = f" (baseline {reference:.3g})" if reference is not None else ""
+        print(f"  {status:>4}  {name} = {metric['value']:.4g}{reference_text}")
+        if failure:
+            failures.append(f"{fresh_path.name}: {failure}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    fresh_dir = Path(argv[1])
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json files under {fresh_dir}")
+        return 2
+    failures: list[str] = []
+    for path in fresh_files:
+        print(f"{path.name}:")
+        failures.extend(compare_file(path))
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,10 +4,19 @@ Every bench regenerates one table or figure of the paper: it prints the
 rows (visible with ``pytest benchmarks/ -s``) and also writes them to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite stable
 artifacts.
+
+The microbenches additionally emit machine-readable ``BENCH_<name>.json``
+files.  The committed copies under ``benchmarks/results/`` are the
+regression baselines the CI ``bench-track`` job compares fresh runs
+against (see :mod:`benchmarks.compare_baseline`); set ``BENCH_JSON_DIR``
+to redirect a fresh run's JSON somewhere else so it does not overwrite
+the baseline it is being compared to.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 #: Directory where rendered tables/figures are persisted.
@@ -20,6 +29,24 @@ def save_artifact(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def save_bench_json(name: str, metrics: dict) -> Path:
+    """Persist one bench's metrics as ``BENCH_<name>.json``.
+
+    ``metrics`` maps metric name to a dict with ``value`` plus optional
+    ``higher_is_better`` (default ``True``), ``informational`` (skip
+    the regression gate — for wall-clock numbers that depend on the
+    machine) and ``floor`` (absolute lower bound, gated regardless of
+    the baseline).  Deterministic, machine-independent metrics are the
+    ones worth gating.
+    """
+    directory = Path(os.environ.get("BENCH_JSON_DIR") or RESULTS_DIR)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {"bench": name, "metrics": metrics}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 

@@ -35,7 +35,9 @@ def test_figure1_class_precision_vs_threshold(benchmark):
             exclude=KB_EXCLUDED_CLASSES,
         ),
     )
-    save_artifact("figure1_class_precision", render_threshold_sweep(points) + "\n\n" + figure1_chart(points))
+    save_artifact(
+        "figure1_class_precision", render_threshold_sweep(points) + "\n\n" + figure1_chart(points)
+    )
 
     # the curve's shape: rising precision, high at the right end
     assert points[-1].precision >= points[0].precision

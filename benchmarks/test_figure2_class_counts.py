@@ -35,7 +35,9 @@ def test_figure2_class_counts_vs_threshold(benchmark):
             exclude=KB_EXCLUDED_CLASSES,
         ),
     )
-    save_artifact("figure2_class_counts", render_threshold_sweep(points) + "\n\n" + figure2_chart(points))
+    save_artifact(
+        "figure2_class_counts", render_threshold_sweep(points) + "\n\n" + figure2_chart(points)
+    )
 
     counts = [p.num_classes for p in points]
     # non-increasing, strictly falling overall

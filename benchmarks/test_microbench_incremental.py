@@ -1,24 +1,31 @@
 """Micro-benchmark: delta-update latency vs. full realignment.
 
-The headline number of the incremental alignment service: on the
+The headline numbers of the incremental alignment service: on the
 disconnected family fixture (:mod:`repro.datasets.incremental`), a
 1 %-of-triples delta absorbed through the warm-start fixpoint must be
-**≥ 5× faster** than a cold realignment of the updated corpus — and
-produce scores equal to that cold run within 1e-9.  Both properties are
-asserted here (the equality also independently in
-``tests/test_warm_start.py``); the measured curve is recorded under
-``benchmarks/results/microbench_incremental.txt``.
 
-The speedup assertion is algorithmic (work skipped, not cores used), so
-it holds on any machine; the fixture is sized to keep the bench inside
-tier-1 runtime.
+* **≥ 5× faster** than a cold realignment of the updated corpus,
+* **≥ 5× fewer pairs touched** than the store holds — the
+  frontier-proportional bookkeeping guarantee of the copy-on-write
+  overlay path (store writes + restricted-view updates, counted by
+  :class:`repro.core.store.OverlayStore`), and
+* score-equal to the cold run within 1e-9.
+
+All three are asserted here (the equality also independently in
+``tests/test_warm_start.py``); the measured curve is recorded under
+``benchmarks/results/microbench_incremental.txt`` and the deterministic
+metrics in ``BENCH_incremental.json`` for the CI regression gate.
+
+The speedup and pairs-touched assertions are algorithmic (work skipped,
+not cores used), so they hold on any machine; the fixture is sized to
+keep the bench inside tier-1 runtime.
 """
 
 from __future__ import annotations
 
 import time
 
-from helpers import save_artifact
+from helpers import save_artifact, save_bench_json
 from repro.core.aligner import align
 from repro.core.config import ParisConfig
 from repro.datasets.incremental import family_addition, family_pair
@@ -37,6 +44,9 @@ WARM_ROUNDS = 3
 #: Required advantage of the warm path over a cold realign.
 MIN_SPEEDUP = 5.0
 
+#: Required advantage of pairs touched per delta over the store size.
+MIN_PAIRS_RATIO = 5.0
+
 #: Required score equality between warm state and cold realign.
 SCORE_TOLERANCE = 1e-9
 
@@ -49,6 +59,7 @@ def test_incremental_delta_vs_cold_realign():
     assert service.state.converged
 
     warm_rounds = []
+    pairs_touched_rounds = []
     last_report = None
     for round_index in range(WARM_ROUNDS):
         add_left, add_right = family_addition(
@@ -58,8 +69,10 @@ def test_incremental_delta_vs_cold_realign():
         started = time.perf_counter()
         last_report = service.apply_delta(delta)
         warm_rounds.append(time.perf_counter() - started)
+        pairs_touched_rounds.append(last_report.pairs_touched)
         assert last_report.converged
     warm_seconds = min(warm_rounds)
+    pairs_touched = max(pairs_touched_rounds)
 
     final_families = BASE_FAMILIES + WARM_ROUNDS * DELTA_FAMILIES
     cold_left, cold_right = family_pair(final_families)
@@ -70,6 +83,8 @@ def test_incremental_delta_vs_cold_realign():
 
     difference = service.state.store.max_difference(reference.instances)
     speedup = cold_seconds / warm_seconds
+    store_pairs = len(service.state.store)
+    pairs_ratio = store_pairs / pairs_touched
 
     total_triples = 8 * final_families * 2
     delta_triples = 8 * DELTA_FAMILIES * 2
@@ -85,9 +100,39 @@ def test_incremental_delta_vs_cold_realign():
         f"{[f'{seconds:.3f}' for seconds in warm_rounds]} "
         f"({last_report.passes} passes, {last_report.dirty} dirty instances)",
         f"speedup:            {speedup:8.1f} x",
+        f"pairs touched:      {pairs_touched:8d} of {store_pairs} stored "
+        f"({pairs_ratio:.1f}x fewer, worst of {pairs_touched_rounds})",
         f"max score diff:     {difference:.3e} (tolerance {SCORE_TOLERANCE:.0e})",
     ]
     save_artifact("microbench_incremental", "\n".join(rows))
+    save_bench_json(
+        "incremental",
+        {
+            # Deterministic metrics: gated against the committed
+            # baseline by benchmarks/compare_baseline.py (CI bench-track).
+            "pairs_ratio": {"value": pairs_ratio, "higher_is_better": True},
+            "pairs_touched": {"value": pairs_touched, "higher_is_better": False},
+            "warm_passes": {"value": last_report.passes, "higher_is_better": False},
+            "dirty_instances": {"value": last_report.dirty, "higher_is_better": False},
+            # Wall-clock metrics: machine-dependent, floor-gated only.
+            "speedup": {
+                "value": speedup,
+                "higher_is_better": True,
+                "informational": True,
+                "floor": MIN_SPEEDUP,
+            },
+            "warm_seconds": {
+                "value": warm_seconds,
+                "higher_is_better": False,
+                "informational": True,
+            },
+            "cold_seconds": {
+                "value": cold_seconds,
+                "higher_is_better": False,
+                "informational": True,
+            },
+        },
+    )
 
     assert difference <= SCORE_TOLERANCE, (
         f"warm-start scores diverged from cold realign by {difference:.3e}"
@@ -95,6 +140,11 @@ def test_incremental_delta_vs_cold_realign():
     assert speedup >= MIN_SPEEDUP, (
         f"expected >= {MIN_SPEEDUP}x over cold realign, got {speedup:.1f}x "
         f"(cold {cold_seconds:.3f}s vs warm {warm_seconds:.3f}s)"
+    )
+    assert pairs_ratio >= MIN_PAIRS_RATIO, (
+        f"warm pass bookkeeping is not frontier-proportional: touched "
+        f"{pairs_touched} pairs against a {store_pairs}-pair store "
+        f"({pairs_ratio:.1f}x, expected >= {MIN_PAIRS_RATIO}x fewer)"
     )
 
 

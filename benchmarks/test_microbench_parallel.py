@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from helpers import save_artifact
+from helpers import save_artifact, save_bench_json
 from repro.core.equivalence import instance_equivalence_pass
 from repro.core.functionality import FunctionalityOracle
 from repro.core.literal_index import LiteralIndex
@@ -123,7 +123,36 @@ def test_parallel_speedup_curve():
     cores = os.cpu_count() or 1
     rows.append(f"(cpu cores: {cores})")
     save_artifact("microbench_parallel", "\n".join(rows))
+    save_bench_json(
+        "parallel",
+        {
+            # All wall-clock: the curve depends on the machine's core
+            # count, so nothing here is baseline-gated or floored — the
+            # artifact records the trend for humans.  Correctness of
+            # the parallel engine is gated separately by this bench's
+            # score-equality checks and the tier-1 smoke.
+            "sequential_seconds": {
+                "value": sequential_seconds,
+                "higher_is_better": False,
+                "informational": True,
+            },
+            **{
+                f"speedup_{workers}w": {
+                    "value": speedups[workers],
+                    "higher_is_better": True,
+                    "informational": True,
+                }
+                for workers in WORKER_COUNTS
+            },
+        },
+    )
 
+    if os.environ.get("BENCH_RELAX_WALLCLOCK") == "1":
+        # bench-track mode: record the curve + JSON artifact, but skip
+        # the wall-clock assertion — shared CI runners meet the core
+        # floor yet suffer noisy-neighbor stalls, the exact flakiness
+        # the tier-1 jobs exclude this file for.
+        return
     if cores >= MIN_CORES_FOR_SPEEDUP:
         best = max(speedups.values())
         assert best >= 1.5, (

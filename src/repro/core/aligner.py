@@ -49,7 +49,11 @@ from ..rdf.terms import Node, Relation, Resource
 from .config import ParisConfig
 from .equivalence import ordered_instances
 from .functionality import FunctionalityOracle
-from .incremental import IncrementalRelationPass
+from .incremental import (
+    IncrementalRelationPass,
+    RestrictedViewMaintainer,
+    current_assignments,
+)
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
 from .parallel import (
@@ -59,7 +63,7 @@ from .parallel import (
 )
 from .result import AlignmentResult, IterationSnapshot
 from .store import EquivalenceStore
-from .subclasses import subclass_pass
+from .subclasses import IncrementalClassPass, subclass_pass
 from .view import EquivalenceView
 
 #: Warm passes without a new minimum per-pass change before the loop
@@ -343,6 +347,10 @@ class ParisAligner:
         seed_nodes2: Iterable[Node] = (),
         delta_statements1: Iterable[Tuple[Relation, Node, Node]] = (),
         delta_statements2: Iterable[Tuple[Relation, Node, Node]] = (),
+        view_maintainer: Optional[RestrictedViewMaintainer] = None,
+        class12_cache: Optional[IncrementalClassPass] = None,
+        class21_cache: Optional[IncrementalClassPass] = None,
+        mutate_store: bool = False,
     ) -> AlignmentResult:
         """Resume the fixpoint from a previous run's state after a delta.
 
@@ -350,7 +358,8 @@ class ParisAligner:
         ----------
         store:
             The previous run's instance equivalences (iteration-0
-            state).  Not mutated; the result carries fresh stores.
+            state).  Copied up front unless ``mutate_store`` is set; the
+            result's ``instances`` is the working store either way.
         rel12_cache, rel21_cache:
             Incremental relation matrices built over the previous state
             (see :class:`repro.core.incremental.IncrementalRelationPass`);
@@ -370,12 +379,30 @@ class ParisAligner:
         delta_statements1, delta_statements2:
             Applied data-statement changes ``(relation, subject,
             object)`` per ontology, for targeted relation-row updates.
+        view_maintainer:
+            A resident :class:`RestrictedViewMaintainer` over ``store``
+            (requires ``mutate_store=True``): the restricted view is
+            then *updated* from the touched rows instead of rebuilt
+            from all pairs each pass.  ``None`` builds a fresh one.
+        class12_cache, class21_cache:
+            Resident :class:`~repro.core.subclasses.IncrementalClassPass`
+            caches; when given, only class rows whose member rows moved
+            are recomputed after the fixpoint.  ``None`` falls back to
+            a full :func:`subclass_pass` per direction.
+        mutate_store:
+            Fold each pass's touched rows back into ``store`` itself
+            (O(frontier) per pass, no O(store) copy).  The resident
+            service sets this; one-shot callers keep the default, which
+            copies once up front.
 
         Each pass re-scores the dirty frontier against the current
-        view, replaces exactly those rows, refreshes the relation
-        matrices incrementally, then expands the frontier to the 1-hop
-        neighbourhood of whatever changed beyond
-        ``config.warm_tolerance``.  Convergence is numeric
+        view and replaces exactly those rows **through a copy-on-write
+        overlay** (:class:`~repro.core.store.OverlayStore`): the store
+        copy, the restricted-view rebuild and the store diff of earlier
+        revisions are all replaced by O(frontier) work on the touched
+        rows.  The relation matrices refresh incrementally, then the
+        frontier expands to the 1-hop neighbourhood of whatever changed
+        beyond ``config.warm_tolerance``.  Convergence is numeric
         stationarity, i.e. the same criterion as a cold
         ``score_stationarity`` run — which is the reference this method
         is equality-tested against (``tests/test_warm_start.py``).
@@ -394,7 +421,8 @@ class ParisAligner:
         assignment check is not enough):
 
         * a period-2 cycle — the view store returns to where it stood
-          two passes earlier (within ``warm_tolerance``);
+          two passes earlier (within ``warm_tolerance``), checked over
+          the last two passes' change logs instead of a full diff;
         * a stall — the per-pass maximum change fails to set a new
           minimum for :data:`WARM_STALL_WINDOW` consecutive passes,
           which catches longer-period and intermittent limit cycles.
@@ -411,9 +439,25 @@ class ParisAligner:
         changed_right: Set[Node] = set(seed_nodes2)
         pending12: Iterable[Tuple[Relation, Node, Node]] = list(delta_statements1)
         pending21: Iterable[Tuple[Relation, Node, Node]] = list(delta_statements2)
-        view_store = self._view_store(store)
+        working = store if mutate_store else store.copy()
+        maintainer: Optional[RestrictedViewMaintainer] = None
+        if config.restrict_to_maximal_assignment:
+            maintainer = view_maintainer or RestrictedViewMaintainer(working)
+            if maintainer.store is not working:
+                raise ValueError(
+                    "view_maintainer must maintain the store being warmed "
+                    "(pass mutate_store=True for a resident maintainer)"
+                )
+            view_store = maintainer.view_store
+        else:
+            view_store = working
         snapshots: List[IterationSnapshot] = []
-        view_history: List[EquivalenceStore] = []
+        previous_log: Optional[Dict[Tuple[Resource, Resource], Tuple[float, float]]] = None
+        # Members whose view rows moved at all (any non-zero change):
+        # the exact invalidation set of the class-row caches.
+        changed_members1: Set[Resource] = set()
+        changed_members2: Set[Resource] = set()
+        pairs_touched = 0
         best_change = float("inf")
         stalled_passes = 0
         converged = False
@@ -457,20 +501,32 @@ class ParisAligner:
                 shard_size=config.shard_size,
                 backend=config.parallel_backend,
             )
-            new_store = store.copy()
+            overlay = working.overlay()
             for x in ordered_dirty:
-                new_store.clear_left(x)
+                overlay.clear_left(x)
             if config.dampening > 0.0:
-                self._blend_rows(store, new_store, ordered_dirty, entries)
+                self._blend_rows(working, overlay, ordered_dirty, entries)
             else:
-                new_store.update(entries)
-            next_view_store = self._view_store(new_store)
+                overlay.update(entries)
+            # View maintenance replaces the old full restricted-view
+            # rebuild + full store diff: only the touched rows (and the
+            # rights they mention) are reconsidered.
+            if maintainer is not None:
+                view_changes = maintainer.apply(overlay)
+            else:
+                view_changes = {
+                    (left, right): (old, new)
+                    for left, right, old, new in overlay.row_changes()
+                }
+            pairs_touched += overlay.pairs_touched + len(view_changes)
             max_change = 0.0
             changed_left = set()
             changed_right = set()
-            for left, right, new_p, old_p in next_view_store.diff(view_store):
+            for (left, right), (old_p, new_p) in view_changes.items():
                 delta = abs(new_p - old_p)
                 max_change = max(max_change, delta)
+                changed_members1.add(left)
+                changed_members2.add(right)
                 if delta > tolerance:
                     changed_left.add(left)
                     changed_right.add(right)
@@ -481,36 +537,33 @@ class ParisAligner:
                 for _relation, other in self.ontology1.statements_about(node):
                     if isinstance(other, Resource):
                         dirty.add(other)
+            working = overlay.commit()
             duration = time.perf_counter() - started
-            store = new_store
             if max_change < best_change:
                 best_change = max_change
                 stalled_passes = 0
             else:
                 stalled_passes += 1
-            # view_history[-1] is the view store from two passes ago
-            # (the current `view_store` is one pass old until the
-            # reassignment below).
             cycle = config.detect_cycles and (
                 stalled_passes >= WARM_STALL_WINDOW
                 or (
-                    bool(view_history)
-                    and next_view_store.max_difference(view_history[-1]) <= tolerance
+                    previous_log is not None
+                    and self._view_cycled(
+                        previous_log, view_changes, view_store, tolerance
+                    )
                 )
             )
-            view_history.append(view_store)
-            if len(view_history) > 1:
-                view_history.pop(0)
-            view_store = next_view_store
+            previous_log = view_changes
             if config.keep_snapshots:
+                assignment12, assignment21 = current_assignments(maintainer, working)
                 snapshots.append(
                     IterationSnapshot(
                         index=iteration,
                         duration_seconds=duration,
                         change_fraction=None,
-                        num_equivalences=len(store),
-                        assignment12=store.maximal_assignment(),
-                        assignment21=store.maximal_assignment(reverse=True),
+                        num_equivalences=len(working),
+                        assignment12=assignment12,
+                        assignment21=assignment21,
                         # Copies: the cache matrices keep mutating in
                         # place on later passes (and later deltas).
                         relations12=rel12_cache.matrix.copy(),
@@ -537,39 +590,70 @@ class ParisAligner:
             # pass.  (On a stationary exit both sets are empty.)
             rel12_cache.refresh(final_view, changed_left)
             rel21_cache.refresh(final_view, changed_right)
-        classes12 = subclass_pass(
-            self.ontology1,
-            self.ontology2,
-            final_view,
-            truncation_threshold=theta,
-            max_instances=config.max_pairs_per_relation,
-        )
-        classes21 = subclass_pass(
-            self.ontology2,
-            self.ontology1,
-            final_view,
-            truncation_threshold=theta,
-            max_instances=config.max_pairs_per_relation,
-            reverse=True,
-        )
+        if class12_cache is not None:
+            class12_cache.invalidate_members(changed_members1)
+            classes12 = class12_cache.matrix(final_view)
+        else:
+            classes12 = subclass_pass(
+                self.ontology1,
+                self.ontology2,
+                final_view,
+                truncation_threshold=theta,
+                max_instances=config.max_pairs_per_relation,
+            )
+        if class21_cache is not None:
+            class21_cache.invalidate_members(changed_members2)
+            classes21 = class21_cache.matrix(final_view)
+        else:
+            classes21 = subclass_pass(
+                self.ontology2,
+                self.ontology1,
+                final_view,
+                truncation_threshold=theta,
+                max_instances=config.max_pairs_per_relation,
+                reverse=True,
+            )
+        final_assignment12, final_assignment21 = current_assignments(maintainer, working)
         return AlignmentResult(
             left_name=self.ontology1.name,
             right_name=self.ontology2.name,
-            instances=store,
-            assignment12=store.maximal_assignment(),
-            assignment21=store.maximal_assignment(reverse=True),
+            instances=working,
+            assignment12=final_assignment12,
+            assignment21=final_assignment21,
             relations12=rel12_cache.matrix,
             relations21=rel21_cache.matrix,
             classes12=classes12,
             classes21=classes21,
             converged=converged,
             iterations=snapshots,
+            pairs_touched=pairs_touched,
         )
+
+    @staticmethod
+    def _view_cycled(
+        previous_log: Dict[Tuple[Resource, Resource], Tuple[float, float]],
+        current_log: Dict[Tuple[Resource, Resource], Tuple[float, float]],
+        view_store: EquivalenceStore,
+        tolerance: float,
+    ) -> bool:
+        """Period-2 check from change logs: is the (already updated)
+        view within ``tolerance`` of where it stood two passes ago?
+        Entries outside both logs did not move in either pass, so the
+        union of logged keys carries the whole difference."""
+        for key in previous_log.keys() | current_log.keys():
+            if key in previous_log:
+                two_ago = previous_log[key][0]
+            else:
+                two_ago = current_log[key][0]
+            left, right = key
+            if abs(view_store.get(left, right) - two_ago) > tolerance:
+                return False
+        return True
 
     def _blend_rows(
         self,
         old_store: EquivalenceStore,
-        new_store: EquivalenceStore,
+        new_store,
         dirty: List[Resource],
         entries: List[Tuple[Resource, Resource, float]],
     ) -> None:
@@ -577,6 +661,8 @@ class ParisAligner:
 
         An untouched row blends to itself (``f·p + (1−f)·p = p``), so
         the warm pass only needs to blend the rows it replaced.
+        ``new_store`` is the pass's working store — an
+        :class:`~repro.core.store.OverlayStore` in the warm loop.
         """
         factor = self.config.dampening
         fresh: Dict[Resource, Dict[Resource, float]] = {}

@@ -1,7 +1,12 @@
-"""Incremental maintenance of the Eq. 12 relation matrices.
+"""Incremental maintenance of the warm-start fixpoint's derived state.
 
-One direction of the relation pass (:mod:`repro.core.subrelations`)
-computes, for every relation ``r`` of the sub-side ontology::
+Two structures live here, both with the same contract: equal to their
+from-scratch counterpart, at O(what changed) per refresh instead of
+O(everything).
+
+**Relation matrices.**  One direction of the relation pass
+(:mod:`repro.core.subrelations`) computes, for every relation ``r`` of
+the sub-side ontology::
 
     Pr(r ⊆ r') = num(r, r') / den(r)
 
@@ -19,6 +24,17 @@ warm-start equality budget; relations whose statement count exceeds the
 ``max_pairs`` cap are recomputed with the exact sequential code instead
 of being cached, because the cap makes their row depend on traversal
 order, not just on the term multiset.
+
+**Restricted views.**  Section 5.2 restricts every pass to the previous
+maximal assignment.  Rebuilding that restriction
+(:meth:`EquivalenceStore.restricted_to_maximal`) scans all pairs; after
+a warm pass replaced only a frontier's rows, just those lefts — and the
+rights appearing in their old/new rows — can change their best match.
+:class:`RestrictedViewMaintainer` keeps both maximal assignments and
+the restricted store live under row replacements, applying an
+:class:`~repro.core.store.OverlayStore`'s touched rows in O(frontier)
+and reporting exactly the view entries that moved (which is also what
+replaces the warm loop's full store diffs).
 """
 
 from __future__ import annotations
@@ -26,8 +42,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..rdf.ontology import Ontology
-from ..rdf.terms import Node, Relation
+from ..rdf.terms import Node, Relation, Resource
 from .matrix import SubsumptionMatrix
+from .store import EquivalenceStore, OverlayStore, best_counterpart
 from .subrelations import score_relation, statement_terms
 from .view import EquivalenceView
 
@@ -278,3 +295,109 @@ class IncrementalRelationPass:
             return self._rebuild_relation(relation, view)
         self._den[relation] = max(den, 0.0)
         return self._install_row(relation, self._row_from_sums(relation))
+
+
+def current_assignments(
+    maintainer: Optional["RestrictedViewMaintainer"], store: EquivalenceStore
+) -> Tuple[Dict[Resource, Tuple[Resource, float]], Dict[Resource, Tuple[Resource, float]]]:
+    """Both maximal assignments of ``store`` — copied from a resident
+    maintainer when one exists (O(matched) dict copies; the live dicts
+    keep mutating on later passes/deltas), computed fresh otherwise.
+    The single definition behind warm-align snapshots, warm-align
+    results and service attach, so they can never disagree."""
+    if maintainer is not None:
+        return dict(maintainer.assignment12), dict(maintainer.assignment21)
+    return store.maximal_assignment(), store.maximal_assignment(reverse=True)
+
+
+class RestrictedViewMaintainer:
+    """Keeps ``store.restricted_to_maximal()`` live under row replacements.
+
+    Parameters
+    ----------
+    store:
+        The live full store.  Built once at attach time (O(store));
+        every later :meth:`apply` costs O(frontier).
+
+    Attributes
+    ----------
+    view_store:
+        The maintained restricted store — always equal to
+        ``store.restricted_to_maximal()`` (same entries, same floats).
+    assignment12, assignment21:
+        The maintained maximal assignments, equal to
+        ``store.maximal_assignment()`` / ``(reverse=True)``.  Mutated in
+        place by :meth:`apply`; copy before handing out.
+    """
+
+    def __init__(self, store: EquivalenceStore) -> None:
+        self.store = store
+        self.assignment12 = store.maximal_assignment()
+        self.assignment21 = store.maximal_assignment(reverse=True)
+        self.view_store = EquivalenceStore(store.truncation_threshold)
+        for left, (right, probability) in self.assignment12.items():
+            self.view_store.set(left, right, probability)
+        for right, (left, probability) in self.assignment21.items():
+            self.view_store.set(left, right, probability)
+
+    def apply(
+        self, overlay: OverlayStore
+    ) -> Dict[Tuple[Resource, Resource], Tuple[float, float]]:
+        """Fold an overlay's touched rows into the restricted view.
+
+        Must run *before* ``overlay.commit()`` (old rows are read from
+        the base, new rows through the overlay).  Returns the restricted
+        view entries that changed, as ``(left, right) -> (old, new)`` —
+        the warm loop's convergence/frontier signal, in O(frontier)
+        instead of a full store diff.
+        """
+        if overlay.base is not self.store:
+            raise ValueError("overlay must be layered over the maintained store")
+        assignment12 = self.assignment12
+        assignment21 = self.assignment21
+        affected_rights: Set[Resource] = set()
+        candidates: Set[Tuple[Resource, Resource]] = set()
+        for left in overlay.touched_lefts:
+            old_row = self.store.equals_of(left)
+            new_row = overlay.equals_of(left)
+            affected_rights.update(old_row.keys())
+            affected_rights.update(new_row.keys())
+            old_best = assignment12.get(left)
+            if old_best is not None:
+                candidates.add((left, old_best[0]))
+            new_best = best_counterpart(new_row)
+            if new_best is None:
+                assignment12.pop(left, None)
+            else:
+                assignment12[left] = new_best
+                candidates.add((left, new_best[0]))
+        for right in affected_rights:
+            old_best = assignment21.get(right)
+            if old_best is not None:
+                candidates.add((old_best[0], right))
+            new_best = best_counterpart(overlay.equals_of_right(right))
+            if new_best is None:
+                assignment21.pop(right, None)
+            else:
+                assignment21[right] = new_best
+                candidates.add((new_best[0], right))
+        changes: Dict[Tuple[Resource, Resource], Tuple[float, float]] = {}
+        view = self.view_store
+        for left, right in candidates:
+            best12 = assignment12.get(left)
+            best21 = assignment21.get(right)
+            if best12 is not None and best12[0] == right:
+                desired = best12[1]
+            elif best21 is not None and best21[0] == left:
+                desired = best21[1]
+            else:
+                desired = 0.0
+            current = view.get(left, right)
+            if desired == current:
+                continue
+            if desired == 0.0:
+                view.discard(left, right)
+            else:
+                view.set(left, right, desired)
+            changes[(left, right)] = (current, desired)
+        return changes

@@ -76,6 +76,10 @@ class AlignmentResult:
     converged: bool
     #: Per-iteration snapshots (empty if ``keep_snapshots`` was off).
     iterations: List[IterationSnapshot] = field(default_factory=list)
+    #: Store/view entry writes performed by the warm-start fixpoint
+    #: (0 for cold runs) — the O(frontier) work metric the incremental
+    #: microbenchmark asserts against the store size.
+    pairs_touched: int = 0
 
     @property
     def num_iterations(self) -> int:

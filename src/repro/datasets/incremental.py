@@ -31,6 +31,7 @@ from typing import List, Tuple
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Literal, Relation, Resource
 from ..rdf.triples import Triple
+from ..rdf.vocabulary import RDF_TYPE, RDFS_SUBCLASSOF
 
 #: (left relation, right relation) vocabulary used by the fixture.
 FAMILY_RELATIONS = (
@@ -41,13 +42,25 @@ FAMILY_RELATIONS = (
     ("cityName", "cityLabel"),
 )
 
+#: (left class, right class) vocabulary for the optional taxonomy.
+FAMILY_CLASSES = (
+    ("Human", "Person"),
+    ("Town", "Municipality"),
+)
 
-def _family_triples(index: int, side: int) -> List[Triple]:
+#: (left root, right root) each side's classes are subsumed under.
+FAMILY_ROOTS = ("LivingEntity", "Thing")
+
+
+def _family_triples(index: int, side: int, with_classes: bool = False) -> List[Triple]:
     """The facts of family ``index`` on one side (0 = left, 1 = right).
 
     Every family has the same shape: two persons with unique names and
     a shared birth year, married to each other, born in the family's
-    own city, which carries a unique city name.
+    own city, which carries a unique city name.  With ``with_classes``
+    the persons and the city are also typed (``rdf:type`` statements
+    feed only the Eq. 17 class pass, never Eq. 13, so the instance
+    scores are untouched).
     """
     prefix = "p" if side == 0 else "q"
     name_rel, place_rel, year_rel, spouse_rel, city_rel = (
@@ -57,7 +70,7 @@ def _family_triples(index: int, side: int) -> List[Triple]:
     person_b = Resource(f"{prefix}{index}b")
     city = Resource(f"{prefix}city{index}")
     year = Literal(str(1200 + index))
-    return [
+    triples = [
         Triple(person_a, name_rel, Literal(f"Person {index} Alpha")),
         Triple(person_b, name_rel, Literal(f"Person {index} Beta")),
         Triple(person_a, year_rel, year),
@@ -67,40 +80,71 @@ def _family_triples(index: int, side: int) -> List[Triple]:
         Triple(person_a, spouse_rel, person_b),
         Triple(city, city_rel, Literal(f"City of Family {index}")),
     ]
-
-
-def family_triples(indexes, side: int) -> List[Triple]:
-    """Concatenated family facts for one side, in family order."""
-    triples: List[Triple] = []
-    for index in indexes:
-        triples.extend(_family_triples(index, side))
+    if with_classes:
+        person_cls, city_cls = (Resource(pair[side]) for pair in FAMILY_CLASSES)
+        triples.extend(
+            [
+                Triple(person_a, RDF_TYPE, person_cls),
+                Triple(person_b, RDF_TYPE, person_cls),
+                Triple(city, RDF_TYPE, city_cls),
+            ]
+        )
     return triples
 
 
-def family_pair(num_families: int = 100) -> Tuple[Ontology, Ontology]:
+def family_schema(side: int) -> List[Triple]:
+    """One side's subclass edges (both classes under the side's root)."""
+    root = Resource(FAMILY_ROOTS[side])
+    return [
+        Triple(Resource(pair[side]), RDFS_SUBCLASSOF, root)
+        for pair in FAMILY_CLASSES
+    ]
+
+
+def family_triples(indexes, side: int, with_classes: bool = False) -> List[Triple]:
+    """Concatenated family facts for one side, in family order."""
+    triples: List[Triple] = []
+    for index in indexes:
+        triples.extend(_family_triples(index, side, with_classes=with_classes))
+    return triples
+
+
+def family_pair(
+    num_families: int = 100, with_classes: bool = False
+) -> Tuple[Ontology, Ontology]:
     """Build the two-sided family fixture with ``num_families`` clusters.
 
     Deterministic by construction (no randomness): the same call always
     produces ontologies with identical insertion orders, which is what
     lets tests rebuild "base + delta" corpora bit-compatibly with a
-    served base that absorbed the delta live.
+    served base that absorbed the delta live.  ``with_classes`` adds
+    each side's two-class taxonomy (plus a root) and types every
+    person/city, giving the Eq. 17 class pass real work.
     """
     left = Ontology("families-left")
     right = Ontology("families-right")
-    for index in range(num_families):
-        for triple in _family_triples(index, 0):
+    if with_classes:
+        for triple in family_schema(0):
             left.add_triple(triple)
-        for triple in _family_triples(index, 1):
+        for triple in family_schema(1):
+            right.add_triple(triple)
+    for index in range(num_families):
+        for triple in _family_triples(index, 0, with_classes=with_classes):
+            left.add_triple(triple)
+        for triple in _family_triples(index, 1, with_classes=with_classes):
             right.add_triple(triple)
     return left, right
 
 
 def family_addition(
-    start: int, count: int
+    start: int, count: int, with_classes: bool = False
 ) -> Tuple[List[Triple], List[Triple]]:
     """Delta triples adding families ``start .. start+count-1`` to both sides."""
     indexes = range(start, start + count)
-    return family_triples(indexes, 0), family_triples(indexes, 1)
+    return (
+        family_triples(indexes, 0, with_classes=with_classes),
+        family_triples(indexes, 1, with_classes=with_classes),
+    )
 
 
 def family_removal(indexes) -> Tuple[List[Triple], List[Triple]]:

@@ -111,7 +111,10 @@ def ancestors_or_self(
 
 
 def is_subclass_of(
-    ontology: Ontology, sub: Resource, sup: Resource, closure: Dict[Resource, Set[Resource]] | None = None
+    ontology: Ontology,
+    sub: Resource,
+    sup: Resource,
+    closure: Dict[Resource, Set[Resource]] | None = None,
 ) -> bool:
     """Whether ``sub ⊑ sup`` holds in the (possibly closed) hierarchy."""
     if sub == sup:

@@ -83,7 +83,9 @@ def read_tsv(source: Union[str, Path, TextIO], name: str | None = None) -> Ontol
             continue
         fields = line.split("\t")
         if len(fields) != 3:
-            raise TsvError(f"line {line_number}: expected 3 tab-separated fields, got {len(fields)}")
+            raise TsvError(
+                f"line {line_number}: expected 3 tab-separated fields, got {len(fields)}"
+            )
         subject_name, predicate_name, object_field = fields
         if predicate_name == RDFS_SUBPROPERTYOF.name:
             ontology.add_subproperty(

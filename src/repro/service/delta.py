@@ -146,6 +146,42 @@ class Delta:
         }
 
 
+#: Characters the N-Triples codec cannot round-trip inside a ``<uri>``
+#: token (the W3C IRIREF exclusions plus ASCII whitespace/controls).
+_URI_FORBIDDEN = set('<>"{}|^`\\')
+
+
+def _term_syntax_error(triple: Triple) -> Optional[str]:
+    """Why a triple's terms cannot survive the N-Triples codec, if any.
+
+    Literal objects always round-trip (the codec escapes them); resource
+    and relation names become bare ``<uri>`` tokens, so a name with
+    whitespace, controls or IRIREF-forbidden characters would serialize
+    to a line the parser rejects — or, worse, to a different statement.
+    """
+    names = [("subject", triple.subject), ("object", triple.object)]
+    for position, node in names:
+        if isinstance(node, Literal):
+            continue
+        for ch in node.name:
+            if ch in _URI_FORBIDDEN or ord(ch) <= 0x20:
+                return (
+                    f"{position} {node.name!r} contains {ch!r}, "
+                    "which is invalid inside an N-Triples <uri>"
+                )
+    schema = is_schema_relation(triple.relation)
+    for ch in triple.relation.name:
+        # Schema relation names are internal aliases ("rdf:type") that
+        # serialize through their full URIs, so only data relations
+        # must themselves be valid <uri> tokens.
+        if not schema and (ch in _URI_FORBIDDEN or ord(ch) <= 0x20):
+            return (
+                f"relation {triple.relation.name!r} contains {ch!r}, "
+                "which is invalid inside an N-Triples <uri>"
+            )
+    return None
+
+
 def validate_delta(delta: "Delta") -> None:
     """Reject triples the live stores cannot apply, *before* mutating.
 
@@ -153,7 +189,10 @@ def validate_delta(delta: "Delta") -> None:
     every condition under which :meth:`Ontology.add` /
     :meth:`Ontology.remove` would raise must be caught here first:
     ``rdfs:subPropertyOf`` statements (they relate Relation terms, not
-    nodes) and schema statements with literal arguments.
+    nodes) and schema statements with literal arguments.  Terms whose
+    names cannot round-trip through the N-Triples codec are rejected
+    here too — with the offending triple in the message — instead of
+    blowing up much later when the ontology is serialized.
     """
     for triple in (*delta.add1, *delta.remove1, *delta.add2, *delta.remove2):
         base = triple.relation.base
@@ -165,6 +204,11 @@ def validate_delta(delta: "Delta") -> None:
         if base in (RDF_TYPE, RDFS_SUBCLASSOF):
             if isinstance(triple.subject, Literal) or isinstance(triple.object, Literal):
                 raise ValueError(f"schema statement with a literal argument: {triple}")
+        syntax_error = _term_syntax_error(triple)
+        if syntax_error is not None:
+            raise ValueError(
+                f"invalid N-Triples term syntax in triple {triple}: {syntax_error}"
+            )
 
 
 @dataclass
@@ -191,6 +235,19 @@ class DeltaEffect:
     #: the dirty instance frontier; the right side's reach is derived
     #: from ``statements2`` through the equivalence store instead).
     touched_instances1: List[Resource] = field(default_factory=list)
+    #: Classes whose direct extension changed (``rdf:type`` adds or
+    #: removes), per ontology — the delta-aware class pass invalidates
+    #: exactly these rows.
+    touched_classes1: List[Resource] = field(default_factory=list)
+    touched_classes2: List[Resource] = field(default_factory=list)
+    #: Instances whose type set changed, per ontology (their closed
+    #: class sets feed the *other* direction's class pass).
+    type_changed_instances1: List[Resource] = field(default_factory=list)
+    type_changed_instances2: List[Resource] = field(default_factory=list)
+    #: Whether ``rdfs:subClassOf`` edges changed, per ontology — this
+    #: invalidates the class closures wholesale.
+    subclass_changed1: bool = False
+    subclass_changed2: bool = False
     #: Counts of actually-applied triple changes (schema included).
     applied_add: int = 0
     applied_remove: int = 0
@@ -208,9 +265,13 @@ def _apply_side(
     added_literals: List[Literal],
     removed_literals: List[Literal],
     effect: DeltaEffect,
+    touched_classes: List[Resource],
+    type_changed_instances: List[Resource],
     instances: Optional[List[Resource]] = None,
-) -> None:
+) -> bool:
+    """Apply one side's triples; returns whether subclass edges changed."""
     relation_set = set()
+    subclass_changed = False
     for triple, removing in [(t, True) for t in removes] + [(t, False) for t in adds]:
         # Canonicalize: an inverse-oriented statement (possibly with a
         # literal subject, see repro.rdf.triples) is the same assertion
@@ -233,6 +294,13 @@ def _apply_side(
         else:
             effect.applied_add += 1
         if schema:
+            base = triple.relation.base
+            if base == RDF_TYPE:
+                # Canonical orientation: rdf:type(instance, class).
+                type_changed_instances.append(triple.subject)  # type: ignore[arg-type]
+                touched_classes.append(triple.object)  # type: ignore[arg-type]
+            elif base == RDFS_SUBCLASSOF:
+                subclass_changed = True
             continue
         statements.append((triple.relation, triple.subject, triple.object))
         if triple.relation not in relation_set:
@@ -248,6 +316,7 @@ def _apply_side(
                 added_literals.append(literal)
             elif was_present[literal] and not now_present:
                 removed_literals.append(literal)
+    return subclass_changed
 
 
 def apply_delta(
@@ -269,7 +338,7 @@ def apply_delta(
     if not validated:
         validate_delta(delta)
     effect = DeltaEffect()
-    _apply_side(
+    effect.subclass_changed1 = _apply_side(
         ontology1,
         delta.add1,
         delta.remove1,
@@ -278,9 +347,11 @@ def apply_delta(
         effect.added_literals1,
         effect.removed_literals1,
         effect,
+        effect.touched_classes1,
+        effect.type_changed_instances1,
         instances=effect.touched_instances1,
     )
-    _apply_side(
+    effect.subclass_changed2 = _apply_side(
         ontology2,
         delta.add2,
         delta.remove2,
@@ -289,5 +360,7 @@ def apply_delta(
         effect.added_literals2,
         effect.removed_literals2,
         effect,
+        effect.touched_classes2,
+        effect.type_changed_instances2,
     )
     return effect

@@ -38,7 +38,12 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..core.aligner import ParisAligner, align
 from ..core.config import ParisConfig
-from ..core.incremental import IncrementalRelationPass
+from ..core.incremental import (
+    IncrementalRelationPass,
+    RestrictedViewMaintainer,
+    current_assignments,
+)
+from ..core.subclasses import IncrementalClassPass
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Literal, Node, Resource
 from .delta import Delta, DeltaEffect, apply_delta, validate_delta
@@ -56,6 +61,11 @@ class DeltaReport:
     passes: int
     seconds: float
     converged: bool
+    #: Store/view entry writes the warm fixpoint performed — the
+    #: O(frontier) work metric (compare against ``store_pairs``).
+    pairs_touched: int = 0
+    #: Stored instance pairs after the delta, for the ratio.
+    store_pairs: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -66,6 +76,8 @@ class DeltaReport:
             "passes": self.passes,
             "seconds": self.seconds,
             "converged": self.converged,
+            "pairs_touched": self.pairs_touched,
+            "store_pairs": self.store_pairs,
         }
 
 
@@ -89,7 +101,21 @@ class AlignmentService:
         self.poisoned: Optional[str] = None
         self.aligner = ParisAligner(state.ontology1, state.ontology2, state.config)
         config = state.config
-        view = self.aligner._view(state.store)
+        # Resident restricted-view maintainer: built once (O(store)) at
+        # attach, then warm passes fold their touched rows into it in
+        # O(frontier) instead of rebuilding the Section 5.2 restriction
+        # from all pairs.
+        if config.restrict_to_maximal_assignment:
+            self._view_maintainer: Optional[RestrictedViewMaintainer] = (
+                RestrictedViewMaintainer(state.store)
+            )
+            view = self.aligner.make_view(self._view_maintainer.view_store)
+        else:
+            self._view_maintainer = None
+            view = self.aligner.make_view(state.store)
+        self._assignment12, self._assignment21 = current_assignments(
+            self._view_maintainer, state.store
+        )
         self._rel12 = IncrementalRelationPass(
             state.ontology1,
             state.ontology2,
@@ -107,8 +133,22 @@ class AlignmentService:
             reverse=True,
             bootstrap_theta=config.theta,
         )
-        self._assignment12 = state.store.maximal_assignment()
-        self._assignment21 = state.store.maximal_assignment(reverse=True)
+        # Resident class-row caches (delta-aware Eq. 17): rows survive
+        # across deltas and are invalidated by class reach, not
+        # recomputed wholesale per warm run.
+        self._classes12 = IncrementalClassPass(
+            state.ontology1,
+            state.ontology2,
+            truncation_threshold=config.theta,
+            max_instances=config.max_pairs_per_relation,
+        )
+        self._classes21 = IncrementalClassPass(
+            state.ontology2,
+            state.ontology1,
+            truncation_threshold=config.theta,
+            max_instances=config.max_pairs_per_relation,
+            reverse=True,
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -196,6 +236,8 @@ class AlignmentService:
                 passes=0,
                 seconds=time.perf_counter() - started,
                 converged=state.converged,
+                pairs_touched=0,
+                store_pairs=len(state.store),
             )
         dirty, seed1, seed2, full = self._invalidate(effect, tolerance)
         if full:
@@ -209,6 +251,12 @@ class AlignmentService:
             seed_nodes2=seed2,
             delta_statements1=effect.statements1,
             delta_statements2=effect.statements2,
+            view_maintainer=self._view_maintainer,
+            class12_cache=self._classes12,
+            class21_cache=self._classes21,
+            # The engine owns the store: touched rows fold back in
+            # place, so a warm pass never copies the full store.
+            mutate_store=True,
         )
         state.absorb(result)
         self._assignment12 = result.assignment12
@@ -221,6 +269,8 @@ class AlignmentService:
             passes=len(result.iterations),
             seconds=time.perf_counter() - started,
             converged=result.converged,
+            pairs_touched=result.pairs_touched,
+            store_pairs=len(state.store),
         )
 
     def _invalidate(
@@ -237,6 +287,23 @@ class AlignmentService:
         seed1: Set[Node] = set()
         seed2: Set[Node] = set()
         full = False
+        # Class caches (delta-aware Eq. 17).  A subclass-edge change
+        # invalidates the *other* direction's closure wholesale; an
+        # rdf:type change invalidates the touched class's own row, the
+        # touched instance's closed class set on the other side, and
+        # the rows of classes whose members are matched to it.
+        if effect.subclass_changed1:
+            self._classes21.invalidate_closure()
+        if effect.subclass_changed2:
+            self._classes12.invalidate_closure()
+        self._classes12.invalidate_classes(effect.touched_classes1)
+        self._classes21.invalidate_classes(effect.touched_classes2)
+        for instance in effect.type_changed_instances1:
+            self._classes21.refresh_other_member(instance)
+            self._classes21.invalidate_members(store.equals_of(instance))
+        for instance in effect.type_changed_instances2:
+            self._classes12.refresh_other_member(instance)
+            self._classes12.invalidate_members(store.equals_of_right(instance))
         # Literal-index postings: update both sides first, then derive
         # which query literals saw their candidate sets move.
         for literal in effect.removed_literals1:

@@ -13,9 +13,14 @@ pickled to a *state directory*:
 Everything in the state is plain dictionaries over the slotted term
 types, which pickle via their ``__reduce__`` (the same property the
 process-backend parallel engine relies on).  Derived structures
-(functionality oracles, literal indexes, incremental relation caches)
-are *not* stored; :class:`repro.service.engine.AlignmentService`
-rebuilds them deterministically at attach time.
+(functionality oracles, literal indexes, incremental relation caches,
+the restricted-view maintainer and the class-row caches) are *not*
+stored; :class:`repro.service.engine.AlignmentService` rebuilds them
+deterministically at attach time.  The warm fixpoint's copy-on-write
+:class:`~repro.core.store.OverlayStore` never outlives a pass — it is
+committed into the base store before the result escapes — but
+:func:`save_state` collapses one defensively rather than pickling a
+view object whose base could drift after restore.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from typing import Optional, Union
 from ..core.config import ParisConfig
 from ..core.matrix import SubsumptionMatrix
 from ..core.result import AlignmentResult
-from ..core.store import EquivalenceStore
+from ..core.store import EquivalenceStore, OverlayStore
 from ..rdf.ontology import Ontology
 
 #: On-disk format version; bump on incompatible layout changes.
@@ -93,6 +98,11 @@ def _state_path(directory: Path, version: int) -> Path:
 
 def save_state(state: AlignmentState, directory: Union[str, Path]) -> Path:
     """Snapshot a state into ``directory``; returns the file written."""
+    if isinstance(state.store, OverlayStore):
+        # Invariant: warm passes commit their overlay before the result
+        # escapes, so this only fires on a misuse — collapse instead of
+        # persisting a copy-on-write view of a store that keeps living.
+        state.store = state.store.commit()
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = _state_path(directory, state.version)

@@ -11,7 +11,7 @@ from repro.analysis import (
     render_explanation,
 )
 from repro.evaluation.gold import GoldStandard
-from repro.rdf.terms import Relation, Resource
+from repro.rdf.terms import Resource
 
 
 class TestExplainMatch:

@@ -1,6 +1,5 @@
 """Unit tests for the baselines (Section 6.4 label matcher, ObjectCoref)."""
 
-import pytest
 
 from repro.baselines import (
     OBJECTCOREF_RESULTS,

@@ -5,7 +5,6 @@ consistency, determinism) — alignment quality on them is covered by the
 integration tests.
 """
 
-import pytest
 
 from repro.datasets import (
     person_benchmark,

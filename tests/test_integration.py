@@ -6,7 +6,6 @@ generous bands so that dataset-seed changes don't cause flakiness while
 genuine regressions still fail.
 """
 
-import pytest
 
 from repro import ParisConfig, align
 from repro.baselines import align_by_labels

@@ -5,7 +5,7 @@ import pytest
 from repro import align, load_result, save_result, write_sameas_links
 from repro.cli import main
 from repro.rdf import ntriples
-from repro.rdf.terms import Relation, Resource
+from repro.rdf.terms import Relation
 
 
 @pytest.fixture()

@@ -15,7 +15,7 @@ import urllib.request
 
 import pytest
 
-from repro import OntologyBuilder, ParisConfig
+from repro import OntologyBuilder, ParisConfig, align
 from repro.core.functionality import FunctionalityOracle
 from repro.core.literal_index import LiteralIndex
 from repro.datasets.incremental import family_addition, family_pair
@@ -289,6 +289,77 @@ class TestStateStore:
         assert load_state(tmp_path).version == 0
 
 
+class TestSnapshotResumeAfterOverlayWarmPass:
+    """Restart mid-stream of deltas: a snapshot taken after overlay
+    warm passes folded rows into the store in place must resume to a
+    process that serves exactly what a cold realign of the final corpus
+    computes."""
+
+    def test_restart_mid_stream_matches_cold_realign(self, tmp_path):
+        left, right = family_pair(8)
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        # Two overlay-store warm passes land before the restart...
+        for step in range(2):
+            add1, add2 = family_addition(8 + step, 1)
+            report = service.apply_delta(Delta(add1=tuple(add1), add2=tuple(add2)))
+            assert report.converged
+            assert report.pairs_touched > 0
+        service.snapshot(tmp_path)
+        # ...the process restarts from the snapshot...
+        resumed = AlignmentService.from_state(load_state(tmp_path))
+        # ...and the rest of the stream lands on the resumed process.
+        for step in range(2, 4):
+            add1, add2 = family_addition(8 + step, 1)
+            report = resumed.apply_delta(Delta(add1=tuple(add1), add2=tuple(add2)))
+            assert report.converged
+        reference = align(*family_pair(12), ParisConfig(score_stationarity=True))
+        assert resumed.state.store.max_difference(reference.instances) <= 1e-9
+        for left_res, (right_res, probability) in reference.assignment12.items():
+            payload = resumed.pair(left_res.name, right_res.name)
+            assert payload["probability"] == pytest.approx(probability, abs=1e-9)
+            assert payload["best_counterpart_of_left"]["right"] == right_res.name
+
+
+class TestInvalidTermSyntax:
+    """Deltas naming terms the N-Triples codec cannot round-trip are
+    rejected up front, with the offending triple in the message."""
+
+    @pytest.fixture()
+    def service(self):
+        left, right = family_pair(3)
+        return AlignmentService.cold_start(left, right, ParisConfig())
+
+    @pytest.mark.parametrize(
+        "subject, relation, obj",
+        [
+            ("has space", "name", "q0a"),
+            ("ok", "bad relation", "q0a"),
+            ("ok", "name", "angle>bracket"),
+            ("new\nline", "name", "q0a"),
+            ("quote\"inside", "name", "q0a"),
+        ],
+    )
+    def test_rejected_before_mutation(self, service, subject, relation, obj):
+        bad = Triple(Resource(subject), Relation(relation), Resource(obj))
+        facts_before = service.state.ontology1.num_facts
+        with pytest.raises(ValueError) as excinfo:
+            service.apply_delta(Delta(add1=(bad,)))
+        message = str(excinfo.value)
+        assert "N-Triples" in message
+        # The 400 must list the offending triple.
+        assert subject in message or relation in message or obj in message
+        assert service.poisoned is None
+        assert service.state.ontology1.num_facts == facts_before
+
+    def test_literal_values_are_not_restricted(self, service):
+        """Literals escape through the codec, so any content is fine."""
+        odd = Triple(
+            Resource("p0a"), Relation("note"), Literal('line\nbreak "quoted" <x>')
+        )
+        report = service.apply_delta(Delta(add1=(odd,)))
+        assert report.applied_add == 1
+
+
 class TestFailStop:
     """A failure after mutation started must poison the service: no
     more serving (or snapshotting) of a possibly inconsistent state."""
@@ -455,6 +526,25 @@ class TestHttpServer:
         health = self.get_json(server, "/healthz")
         assert health["facts_left"] == facts_before
         assert health["version"] == 0
+
+    def test_invalid_ntriples_term_400_lists_triple(self, server):
+        """A delta naming a term with invalid N-Triples syntax gets a
+        400 whose body names the offending triple — not a codec
+        traceback much later."""
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self.post_json(
+                server,
+                "/delta",
+                {"left": {"add": [
+                    {"subject": "bad uri", "relation": "extra", "object": "x"},
+                ]}},
+            )
+        assert error.value.code == 400
+        body = json.load(error.value)
+        assert "N-Triples" in body["error"]
+        assert "bad uri" in body["error"]
+        health = self.get_json(server, "/healthz")
+        assert health["status"] == "ok" and health["version"] == 0
 
     def test_bad_threshold_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as error:

@@ -13,7 +13,6 @@ to the real benchmarks — and check deeper invariants:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,8 +5,11 @@ stored scores equal a cold ``score_stationarity`` realignment of the
 updated ontologies within 1e-9, read through *both* directions of the
 store — for add-only and add+remove deltas.  Enforced here on the
 uniform family fixture (the bench workload) and property-based over
-randomized clustered ontologies, plus unit coverage for the
-incremental relation matrices and the stationarity mode itself.
+randomized clustered ontologies (instance stores *and* both class
+matrices, so the delta-aware class cache is covered by the same
+property), plus unit coverage for the incremental relation matrices,
+the copy-on-write overlay store, the restricted-view maintainer and
+the stationarity mode itself.
 """
 
 from __future__ import annotations
@@ -18,12 +21,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ParisConfig, align
-from repro.core.incremental import IncrementalRelationPass
+from repro.core.incremental import IncrementalRelationPass, RestrictedViewMaintainer
+from repro.core.store import EquivalenceStore
 from repro.core.subrelations import subrelation_pass
 from repro.datasets.incremental import family_addition, family_pair, family_removal
 from repro.rdf.ontology import Ontology
 from repro.rdf.terms import Literal, Relation, Resource
 from repro.rdf.triples import Triple
+from repro.rdf.vocabulary import RDF_TYPE
 from repro.service import AlignmentService, Delta
 
 TOLERANCE = 1e-9
@@ -40,6 +45,14 @@ def assert_stores_match(warm_store, cold_store, tolerance=TOLERANCE):
         )
     for left, right, probability in warm_store.items():
         assert cold_store.get(left, right) == pytest.approx(probability, abs=tolerance)
+
+
+def assert_class_matrices_match(warm, cold, tolerance=TOLERANCE):
+    """Class-matrix equality over the entry union (both read orders)."""
+    for sub, sup, probability in cold.items():
+        assert warm.get(sub, sup) == pytest.approx(probability, abs=tolerance), (sub, sup)
+    for sub, sup, probability in warm.items():
+        assert cold.get(sub, sup) == pytest.approx(probability, abs=tolerance), (sub, sup)
 
 
 def matrix_entries(matrix):
@@ -149,6 +162,58 @@ class TestFamilyFixtureEquality:
         assert {(a, b): p for a, b, p in first_pass.relations12.items()} == before
 
 
+class TestFamilyFixtureWithClasses:
+    """The class-enabled family fixture: the delta-aware class cache
+    must reproduce a cold run's class matrices, not just the stores."""
+
+    BASE = 60
+
+    @pytest.fixture()
+    def service(self):
+        left, right = family_pair(self.BASE, with_classes=True)
+        return AlignmentService.cold_start(left, right, ParisConfig())
+
+    def cold_reference(self, num_families):
+        left, right = family_pair(num_families, with_classes=True)
+        return align(left, right, ParisConfig(score_stationarity=True))
+
+    def test_classes_match_cold_run_after_delta(self, service):
+        add1, add2 = family_addition(self.BASE, 1, with_classes=True)
+        report = service.apply_delta(Delta(add1=tuple(add1), add2=tuple(add2)))
+        assert report.converged
+        reference = self.cold_reference(self.BASE + 1)
+        assert_stores_match(service.state.store, reference.instances)
+        assert_class_matrices_match(service.state.classes12, reference.classes12)
+        assert_class_matrices_match(service.state.classes21, reference.classes21)
+        # The fixture's classes have entries (the taxonomy is aligned).
+        assert len(matrix_entries(service.state.classes12)) > 0
+
+    def test_successive_class_deltas_stay_equal(self, service):
+        for step in range(3):
+            add1, add2 = family_addition(self.BASE + step, 1, with_classes=True)
+            service.apply_delta(Delta(add1=tuple(add1), add2=tuple(add2)))
+        reference = self.cold_reference(self.BASE + 3)
+        assert_class_matrices_match(service.state.classes12, reference.classes12)
+        assert_class_matrices_match(service.state.classes21, reference.classes21)
+
+    def test_type_only_delta_refreshes_class_rows(self, service):
+        """A pure rdf:type delta (no data statements) must invalidate
+        exactly the touched class rows and still match a cold run."""
+        retype = Delta(
+            add1=(Triple(Resource("p0a"), RDF_TYPE, Resource("Town")),),
+            add2=(Triple(Resource("q0a"), RDF_TYPE, Resource("Municipality")),),
+        )
+        report = service.apply_delta(retype)
+        assert report.applied_add == 2
+        left, right = family_pair(self.BASE, with_classes=True)
+        left.add_type(Resource("p0a"), Resource("Town"))
+        right.add_type(Resource("q0a"), Resource("Municipality"))
+        reference = align(left, right, ParisConfig(score_stationarity=True))
+        assert_stores_match(service.state.store, reference.instances)
+        assert_class_matrices_match(service.state.classes12, reference.classes12)
+        assert_class_matrices_match(service.state.classes21, reference.classes21)
+
+
 # ----------------------------------------------------------------------
 # property: randomized clustered ontologies
 # ----------------------------------------------------------------------
@@ -167,11 +232,19 @@ def _cluster_triples(cluster, size, rng):
             left.append(Triple(Resource(p), Relation("born"), year))
         if rng.random() < 0.8:
             right.append(Triple(Resource(q), Relation("year"), year))
+        if rng.random() < 0.5:
+            left.append(Triple(Resource(p), RDF_TYPE, Resource("CPerson")))
+        if rng.random() < 0.5:
+            right.append(Triple(Resource(q), RDF_TYPE, Resource("CHuman")))
     for _ in range(rng.randint(0, 2 * size)):
         i, j = rng.randrange(size), rng.randrange(size)
-        left.append(Triple(Resource(f"p{cluster}_{i}"), Relation("knows"), Resource(f"p{cluster}_{j}")))
+        left.append(
+            Triple(Resource(f"p{cluster}_{i}"), Relation("knows"), Resource(f"p{cluster}_{j}"))
+        )
         if rng.random() < 0.7:
-            right.append(Triple(Resource(f"q{cluster}_{i}"), Relation("friend"), Resource(f"q{cluster}_{j}")))
+            right.append(
+                Triple(Resource(f"q{cluster}_{i}"), Relation("friend"), Resource(f"q{cluster}_{j}"))
+            )
     return left, right
 
 
@@ -228,6 +301,10 @@ def test_warm_start_equals_cold_run_on_random_ontologies(seed, with_removal):
     )
     assert reference.converged
     assert_stores_match(service.state.store, reference.instances)
+    # The class cache rides the same property: both directions of the
+    # Eq. 17 matrices must equal the cold run's.
+    assert_class_matrices_match(service.state.classes12, reference.classes12)
+    assert_class_matrices_match(service.state.classes21, reference.classes21)
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +479,114 @@ class TestNonStationaryExit:
                 assert fresh.get(sub, sup) == pytest.approx(
                     probability, abs=1e-9
                 ), (sub, sup)
+
+
+# ----------------------------------------------------------------------
+# copy-on-write overlay + restricted-view maintenance
+# ----------------------------------------------------------------------
+
+_RESOURCES = [Resource(f"x{i}") for i in range(6)]
+_COUNTERPARTS = [Resource(f"y{i}") for i in range(6)]
+
+_op = st.tuples(
+    st.sampled_from(_RESOURCES),
+    st.sampled_from(_COUNTERPARTS),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+def _seeded_store(entries, threshold=0.1):
+    store = EquivalenceStore(threshold)
+    for left, right, probability in entries:
+        store.set(left, right, probability)
+    return store
+
+
+class TestOverlayStore:
+    """The overlay must be observationally equal to an eager copy,
+    through both read directions, before and after commit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base_entries=st.lists(_op, max_size=25),
+        cleared=st.lists(st.sampled_from(_RESOURCES), max_size=4),
+        writes=st.lists(_op, max_size=25),
+    )
+    def test_overlay_equals_eager_copy(self, base_entries, cleared, writes):
+        base = _seeded_store(base_entries)
+        pristine = base.copy()
+        eager = base.copy()
+        overlay = base.overlay()
+        for left in cleared:
+            eager.clear_left(left)
+            overlay.clear_left(left)
+        for left, right, probability in writes:
+            eager.set(left, right, probability)
+            overlay.set(left, right, probability)
+        # The base is untouched until commit.
+        assert base.max_difference(pristine) == 0.0
+        # Forward and backward reads agree with the eager copy.
+        for left in _RESOURCES:
+            assert dict(overlay.equals_of(left)) == dict(eager.equals_of(left))
+            for right in _COUNTERPARTS:
+                assert overlay.get(left, right) == eager.get(left, right)
+        for right in _COUNTERPARTS:
+            assert dict(overlay.equals_of_right(right)) == dict(
+                eager.equals_of_right(right)
+            )
+        # Commit folds into the base in place and both directions match.
+        committed = overlay.commit()
+        assert committed is base
+        assert committed.max_difference(eager) == 0.0
+        for right in _COUNTERPARTS:
+            assert dict(committed.equals_of_right(right)) == dict(
+                eager.equals_of_right(right)
+            )
+
+    def test_pairs_touched_counts_only_touched_rows(self):
+        base = _seeded_store(
+            [(Resource(f"x{i}"), Resource(f"y{i}"), 0.9) for i in range(100)]
+        )
+        overlay = base.overlay()
+        overlay.clear_left(Resource("x3"))
+        overlay.set(Resource("x3"), Resource("y3"), 0.8)
+        assert overlay.pairs_touched == 2
+        assert overlay.pairs_touched < len(base)
+
+
+class TestRestrictedViewMaintainer:
+    """The maintained view must equal ``restricted_to_maximal()`` (and
+    both maximal assignments) after arbitrary row replacements."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base_entries=st.lists(_op, max_size=25),
+        rounds=st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(_RESOURCES), min_size=1, max_size=3),
+                st.lists(_op, max_size=10),
+            ),
+            max_size=3,
+        ),
+    )
+    def test_maintained_view_equals_fresh_restriction(self, base_entries, rounds):
+        store = _seeded_store(base_entries)
+        maintainer = RestrictedViewMaintainer(store)
+        for cleared, writes in rounds:
+            overlay = store.overlay()
+            for left in cleared:
+                overlay.clear_left(left)
+            for left, right, probability in writes:
+                overlay.set(left, right, probability)
+            changes = maintainer.apply(overlay)
+            overlay.commit()
+            fresh = store.restricted_to_maximal()
+            assert maintainer.view_store.max_difference(fresh) == 0.0
+            assert maintainer.assignment12 == store.maximal_assignment()
+            assert maintainer.assignment21 == store.maximal_assignment(reverse=True)
+            for (left, right), (old, new) in changes.items():
+                assert old != new
+                assert fresh.get(left, right) == new
 
 
 # ----------------------------------------------------------------------
