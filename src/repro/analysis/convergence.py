@@ -58,15 +58,15 @@ def detect_oscillation(result: AlignmentResult) -> Dict[Resource, List[Optional[
     """
     if len(result.iterations) < 3:
         return {}
-    last = result.iterations[-1].assignment12
-    previous = result.iterations[-2].assignment12
-    before = result.iterations[-3].assignment12
+    # Reconstruct each snapshot's assignment once up front: the
+    # ``assignment12`` property replays the snapshot's delta chain per
+    # access, so reading it inside the per-entity loop would be
+    # quadratic in the number of matched instances.
+    assignments = [snapshot.assignment12 for snapshot in result.iterations]
+    last, previous, before = assignments[-1], assignments[-2], assignments[-3]
     oscillating: Dict[Resource, List[Optional[str]]] = {}
     for entity in set(last) | set(previous) | set(before):
-        trajectory = [
-            snapshot.assignment12.get(entity)
-            for snapshot in result.iterations
-        ]
+        trajectory = [assignment.get(entity) for assignment in assignments]
         names = [entry[0].name if entry else None for entry in trajectory]
         last_name, prev_name, before_name = names[-1], names[-2], names[-3]
         # a 2-cycle: A, B, A with A != B

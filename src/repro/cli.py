@@ -6,7 +6,9 @@
     python -m repro stats onto1.nt onto2.nt ...
     python -m repro demo {person,restaurant,kb,movies}
     python -m repro convert input.nt output.tsv
-    python -m repro serve left.nt right.nt --state-dir dir --port 8765
+    python -m repro serve left.nt right.nt --state-dir dir --port 8765 \
+        [--wal] [--watch deltas.ndjson] [--max-batch 32] [--max-lag-ms 50]
+    python -m repro replay dir/wal.ndjson --state-dir dir
 
 ``align`` loads two ontologies (N-Triples or TSV, by extension), runs
 PARIS and writes the full result (instances/relations/classes) plus an
@@ -16,7 +18,15 @@ experiments on its synthetic benchmark and prints the report tables.
 (:mod:`repro.service`): it cold-aligns the inputs once (or resumes the
 newest snapshot in ``--state-dir``), then absorbs ``POST /delta``
 batches via the warm-start fixpoint and answers ``GET /pair`` /
-``GET /alignment`` queries from the live state.
+``GET /alignment`` queries from the live state.  ``--wal`` / ``--watch``
+put the streaming ingestion pipeline (:mod:`repro.service.stream`) in
+front of the engine: tailed NDJSON files or spool directories feed the
+same admission-controlled queue as ``POST /delta``, accepted deltas are
+write-ahead-logged before application, and the coalescing batcher
+merges queued writes so one warm pass absorbs many of them.  ``replay``
+is the matching offline recovery tool: it reapplies a WAL's
+un-snapshotted suffix onto the newest snapshot and snapshots the
+caught-up state.
 """
 
 from __future__ import annotations
@@ -267,13 +277,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         service.snapshot(state_dir)
+    stream = None
+    if args.wal or args.watch:
+        from .service.stream import (
+            DeltaBatcher,
+            StreamStack,
+            WriteAheadLog,
+            make_source,
+            replay_wal,
+        )
+
+        wal = None
+        if args.wal:
+            wal = WriteAheadLog(state_dir / "wal.ndjson")
+            replayed = replay_wal(service, wal, max_batch=args.max_batch)
+            if replayed:
+                print(
+                    f"replayed {replayed} un-snapshotted WAL records "
+                    f"(now at offset {service.state.wal_offset})",
+                    file=sys.stderr,
+                )
+        # The --snapshot-every policy is installed by build_server as
+        # the batcher's on_batch_applied hook (once per applied batch).
+        batcher = DeltaBatcher(
+            service,
+            wal=wal,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            max_lag=args.max_lag_ms / 1000.0,
+        )
+        sources = [make_source(batcher, path) for path in args.watch]
+        for source in sources:
+            print(f"streaming deltas from {source.source_id}", file=sys.stderr)
+        stream = StreamStack(batcher=batcher, wal=wal, sources=sources)
     return run_server(
         service,
         args.host,
         args.port,
         state_dir=state_dir,
         snapshot_every=args.snapshot_every,
+        stream=stream,
     )
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .service import AlignmentService, load_state
+    from .service.stream import WriteAheadLog, replay_wal
+
+    state = load_state(args.state_dir)
+    service = AlignmentService.from_state(state)
+    wal = WriteAheadLog(args.wal, read_only=True)
+    before = state.wal_offset
+    print(
+        f"state version {state.version} at WAL offset {before}; "
+        f"log holds {wal.offset} records",
+        file=sys.stderr,
+    )
+    replayed = replay_wal(service, wal, max_batch=args.max_batch)
+    print(
+        f"replayed {replayed} records "
+        f"(offsets {before + 1}..{service.state.wal_offset})"
+        if replayed
+        else "nothing to replay: snapshot already covers the log",
+        file=sys.stderr,
+    )
+    if replayed and not args.no_snapshot:
+        path = service.snapshot(args.state_dir)
+        print(f"caught-up state saved to {path}", file=sys.stderr)
+    return 0
 
 
 def add_parallel_options(subparser: argparse.ArgumentParser) -> None:
@@ -385,11 +456,49 @@ def build_parser() -> argparse.ArgumentParser:
                               help="listen port (0 binds an ephemeral port)")
     serve_parser.add_argument("--snapshot-every", type=int, default=1,
                               help="snapshot state after every Nth delta "
-                                   "(0: only on shutdown or POST /snapshot)")
+                                   "(0: only on shutdown or POST /snapshot; "
+                                   "the natural choice with --wal)")
     serve_parser.add_argument("--left-name", default=None)
     serve_parser.add_argument("--right-name", default=None)
+    serve_parser.add_argument("--watch", action="append", default=[],
+                              metavar="PATH",
+                              help="stream deltas from PATH into the ingest "
+                                   "queue: an existing directory is treated "
+                                   "as a spool of NDJSON files, anything "
+                                   "else is tailed as an append-only NDJSON "
+                                   "file (may not exist yet); repeatable")
+    serve_parser.add_argument("--wal", action="store_true",
+                              help="write-ahead-log every accepted delta to "
+                                   "STATE_DIR/wal.ndjson (fsync'd before "
+                                   "application) and replay the "
+                                   "un-snapshotted suffix on startup")
+    serve_parser.add_argument("--max-batch", type=int, default=32,
+                              help="most queued deltas the batcher coalesces "
+                                   "into one warm pass (default 32)")
+    serve_parser.add_argument("--max-lag-ms", type=float, default=50.0,
+                              help="longest a queued delta waits before its "
+                                   "batch is flushed regardless of size "
+                                   "(default 50)")
+    serve_parser.add_argument("--max-queue", type=int, default=256,
+                              help="admission bound: deltas beyond this many "
+                                   "queued are rejected with 429 + "
+                                   "Retry-After (default 256)")
     add_model_options(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
+
+    replay_parser = commands.add_parser(
+        "replay",
+        help="offline recovery: reapply a serve WAL's un-snapshotted "
+             "suffix onto the newest snapshot",
+    )
+    replay_parser.add_argument("wal", help="WAL file written by serve --wal")
+    replay_parser.add_argument("--state-dir", required=True,
+                               help="state directory holding the snapshots")
+    replay_parser.add_argument("--max-batch", type=int, default=256,
+                               help="records coalesced per replayed batch")
+    replay_parser.add_argument("--no-snapshot", action="store_true",
+                               help="do not snapshot the caught-up state")
+    replay_parser.set_defaults(handler=cmd_replay)
     return parser
 
 

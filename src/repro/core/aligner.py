@@ -225,7 +225,11 @@ class ParisAligner:
         previous_store = store
         previous_assignment = store.maximal_assignment()
         assignment_history: list = []
-        snapshots = []
+        snapshots: List[IterationSnapshot] = []
+        # Running full assignments behind the snapshot delta chain
+        # (IterationSnapshot.capture diffs against these).
+        snap_prev12: Dict[Resource, Tuple[Resource, float]] = {}
+        snap_prev21: Dict[Resource, Tuple[Resource, float]] = {}
         converged = False
         for iteration in range(1, config.max_iterations + 1):
             started = time.perf_counter()
@@ -264,7 +268,7 @@ class ParisAligner:
             duration = time.perf_counter() - started
             if config.keep_snapshots:
                 snapshots.append(
-                    IterationSnapshot(
+                    IterationSnapshot.capture(
                         index=iteration,
                         duration_seconds=duration,
                         change_fraction=change,
@@ -273,8 +277,12 @@ class ParisAligner:
                         assignment21=assignment21,
                         relations12=rel12,
                         relations21=rel21,
+                        previous=snapshots[-1] if snapshots else None,
+                        previous12=snap_prev12,
+                        previous21=snap_prev21,
                     )
                 )
+                snap_prev12, snap_prev21 = assignment12, assignment21
             if config.score_stationarity:
                 # Numeric stationarity replaces both the assignment
                 # criterion and cycle detection (warm-start reference
@@ -452,6 +460,14 @@ class ParisAligner:
         else:
             view_store = working
         snapshots: List[IterationSnapshot] = []
+        # Snapshot chain base: the pre-delta assignments.  Each pass's
+        # snapshot then stores only its assignment delta, so a resident
+        # service with keep_snapshots on pays O(frontier) per pass, not
+        # O(matched) copies.
+        snap_prev12: Dict[Resource, Tuple[Resource, float]] = {}
+        snap_prev21: Dict[Resource, Tuple[Resource, float]] = {}
+        if config.keep_snapshots:
+            snap_prev12, snap_prev21 = current_assignments(maintainer, working)
         previous_log: Optional[Dict[Tuple[Resource, Resource], Tuple[float, float]]] = None
         # Members whose view rows moved at all (any non-zero change):
         # the exact invalidation set of the class-row caches.
@@ -557,7 +573,7 @@ class ParisAligner:
             if config.keep_snapshots:
                 assignment12, assignment21 = current_assignments(maintainer, working)
                 snapshots.append(
-                    IterationSnapshot(
+                    IterationSnapshot.capture(
                         index=iteration,
                         duration_seconds=duration,
                         change_fraction=None,
@@ -568,8 +584,12 @@ class ParisAligner:
                         # place on later passes (and later deltas).
                         relations12=rel12_cache.matrix.copy(),
                         relations21=rel21_cache.matrix.copy(),
+                        previous=snapshots[-1] if snapshots else None,
+                        previous12=snap_prev12,
+                        previous21=snap_prev21,
                     )
                 )
+                snap_prev12, snap_prev21 = assignment12, assignment21
             if max_change <= tolerance:
                 converged = True
                 break

@@ -10,6 +10,17 @@ An :class:`AlignmentResult` bundles everything Section 6 evaluates:
 * per-iteration snapshots carrying the maximal assignment and relation
   matrices of each iteration, which is what the per-iteration rows of
   Tables 3 and 5 are computed from.
+
+Snapshots store assignment state *frontier-proportionally*: each
+:class:`IterationSnapshot` holds only the delta of the maximal
+assignments against the previous pass (the chain head additionally
+carries the assignments the run started from), and the
+``assignment12``/``assignment21`` properties reconstruct the full
+per-pass assignment by replaying the chain.  A cold run starts from
+empty assignments, so its first snapshot's delta is the full
+first-pass assignment — same cost as before — while a warm-start run
+(whose passes move only a small dirty frontier) stores O(changed)
+entries per pass instead of O(matched) copies.
 """
 
 from __future__ import annotations
@@ -24,10 +35,49 @@ from .store import EquivalenceStore
 #: Maximal assignment: instance → (best counterpart, probability).
 Assignment = Dict[Resource, Tuple[Resource, float]]
 
+#: One pass's change to a maximal assignment: instance → its new
+#: (counterpart, probability), or ``None`` when the instance dropped
+#: out of the assignment entirely.
+AssignmentDelta = Dict[Resource, Optional[Tuple[Resource, float]]]
+
+
+def assignment_delta(previous: Assignment, current: Assignment) -> AssignmentDelta:
+    """The delta that turns ``previous`` into ``current``.
+
+    Inverse of :func:`apply_assignment_delta`:
+    ``apply_assignment_delta(dict(previous), assignment_delta(previous,
+    current)) == current`` for any two assignments.
+    """
+    delta: AssignmentDelta = {}
+    for entity, match in current.items():
+        if previous.get(entity) != match:
+            delta[entity] = match
+    for entity in previous:
+        if entity not in current:
+            delta[entity] = None
+    return delta
+
+
+def apply_assignment_delta(assignment: Assignment, delta: AssignmentDelta) -> Assignment:
+    """Apply one pass's delta to ``assignment`` in place (and return it)."""
+    for entity, match in delta.items():
+        if match is None:
+            assignment.pop(entity, None)
+        else:
+            assignment[entity] = match
+    return assignment
+
 
 @dataclass
 class IterationSnapshot:
-    """State captured at the end of one fixpoint iteration."""
+    """State captured at the end of one fixpoint iteration.
+
+    Construct via :meth:`capture` (which computes the assignment deltas
+    from the caller's running full assignments) and read the full
+    per-pass assignments back through the ``assignment12`` /
+    ``assignment21`` properties; the raw delta fields exist for
+    introspection and for tests asserting the O(changed) storage bound.
+    """
 
     #: 1-based iteration number.
     index: int
@@ -39,14 +89,93 @@ class IterationSnapshot:
     change_fraction: Optional[float]
     #: Number of stored positive equivalences after this iteration.
     num_equivalences: int
-    #: Maximal assignment, left ontology → right ontology.
-    assignment12: Assignment
-    #: Maximal assignment, right ontology → left ontology.
-    assignment21: Assignment
+    #: Changes of the left → right maximal assignment relative to the
+    #: previous pass (or to ``base12`` on the chain head).
+    assignment12_delta: AssignmentDelta
+    #: Changes of the right → left maximal assignment.
+    assignment21_delta: AssignmentDelta
     #: Relation inclusions left ⊆ right computed in this iteration.
     relations12: SubsumptionMatrix[Relation]
     #: Relation inclusions right ⊆ left computed in this iteration.
     relations21: SubsumptionMatrix[Relation]
+    #: The previous pass's snapshot (``None`` on the chain head).
+    previous: Optional["IterationSnapshot"] = field(default=None, repr=False)
+    #: Assignments the chain starts from; only read on the head
+    #: (empty for cold runs, the pre-delta assignment for warm runs).
+    base12: Assignment = field(default_factory=dict, repr=False)
+    base21: Assignment = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def capture(
+        cls,
+        *,
+        index: int,
+        duration_seconds: float,
+        change_fraction: Optional[float],
+        num_equivalences: int,
+        assignment12: Assignment,
+        assignment21: Assignment,
+        relations12: SubsumptionMatrix[Relation],
+        relations21: SubsumptionMatrix[Relation],
+        previous: Optional["IterationSnapshot"],
+        previous12: Assignment,
+        previous21: Assignment,
+    ) -> "IterationSnapshot":
+        """Snapshot one pass, storing only its assignment changes.
+
+        ``previous12``/``previous21`` are the full assignments that
+        ``previous`` reconstructs to — the fixpoint loops track them
+        anyway for their convergence criteria, so capturing never has
+        to replay the chain.  When ``previous`` is ``None`` they become
+        the chain's base (copied, so later caller mutation cannot skew
+        reconstruction).
+        """
+        return cls(
+            index=index,
+            duration_seconds=duration_seconds,
+            change_fraction=change_fraction,
+            num_equivalences=num_equivalences,
+            assignment12_delta=assignment_delta(previous12, assignment12),
+            assignment21_delta=assignment_delta(previous21, assignment21),
+            relations12=relations12,
+            relations21=relations21,
+            previous=previous,
+            base12=dict(previous12) if previous is None else {},
+            base21=dict(previous21) if previous is None else {},
+        )
+
+    def _reconstruct(self, forward: bool) -> Assignment:
+        chain: List["IterationSnapshot"] = []
+        node: Optional["IterationSnapshot"] = self
+        while node is not None:
+            chain.append(node)
+            node = node.previous
+        chain.reverse()
+        head = chain[0]
+        assignment = dict(head.base12 if forward else head.base21)
+        for snapshot in chain:
+            apply_assignment_delta(
+                assignment,
+                snapshot.assignment12_delta if forward else snapshot.assignment21_delta,
+            )
+        return assignment
+
+    @property
+    def assignment12(self) -> Assignment:
+        """Maximal assignment, left ontology → right ontology.
+
+        Reconstructed by replaying the delta chain on *every* access —
+        O(matched + changes), not a stored dict — so callers that read
+        it repeatedly (e.g. inside per-entity loops) should hoist it
+        into a local first.
+        """
+        return self._reconstruct(forward=True)
+
+    @property
+    def assignment21(self) -> Assignment:
+        """Maximal assignment, right ontology → left ontology (same
+        access cost caveat as :attr:`assignment12`)."""
+        return self._reconstruct(forward=False)
 
 
 @dataclass

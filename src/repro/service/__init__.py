@@ -16,16 +16,31 @@ package turns the batch reproduction into a long-running service:
     drives :meth:`repro.core.aligner.ParisAligner.warm_align` per delta.
 ``repro.service.server``
     A stdlib ``ThreadingHTTPServer`` front-end (``POST /delta``,
-    ``GET /pair/<x>/<x'>``, ``GET /alignment``, ``GET /healthz``),
-    wired into the CLI as ``repro serve``.
+    ``GET /pair/<x>/<x'>``, ``GET /alignment``, ``GET /healthz``,
+    ``GET /stats``), wired into the CLI as ``repro serve``.
+``repro.service.stream``
+    Streaming ingestion in front of the engine — source → WAL →
+    batcher → engine: NDJSON file tailers and spool directories feed
+    the same bounded queue as ``POST /delta``; accepted deltas are
+    write-ahead-logged (fsync'd) before application and snapshots
+    record the absorbed WAL offset, so a restart replays exactly the
+    un-snapshotted suffix; the coalescing batcher merges queued deltas
+    (:func:`~repro.service.delta.compose_deltas`) so one warm pass
+    absorbs many small writes; admission control rejects overload with
+    429 + ``Retry-After`` and per-source sequence numbers make
+    redelivery idempotent.
 
-Guarantee: after each delta, the served scores equal a cold
+Guarantees: after each delta, the served scores equal a cold
 ``score_stationarity`` realignment of the updated ontologies within
 1e-9 (enforced by ``tests/test_warm_start.py`` and the
-``benchmarks/test_microbench_incremental.py`` latency bench).
+``benchmarks/test_microbench_incremental.py`` latency bench); a delta
+stream ingested through watch-file/WAL/batcher produces scores equal
+within 1e-9 to the same deltas applied one-by-one via ``POST /delta``,
+and a crash mid-batch followed by snapshot + WAL replay reaches that
+same state (``tests/test_stream.py``).
 """
 
-from .delta import Delta, DeltaEffect, apply_delta, validate_delta
+from .delta import Delta, DeltaEffect, apply_delta, compose_deltas, validate_delta
 from .engine import AlignmentService, DeltaReport
 from .state import AlignmentState, latest_version, load_state, save_state
 
@@ -33,6 +48,7 @@ __all__ = [
     "Delta",
     "DeltaEffect",
     "apply_delta",
+    "compose_deltas",
     "validate_delta",
     "AlignmentService",
     "DeltaReport",

@@ -99,6 +99,10 @@ class AlignmentService:
         #: snapshotting — a corrupted mix.  Restart from the last
         #: snapshot to recover.
         self.poisoned: Optional[str] = None
+        #: Cumulative work counters across this process's lifetime
+        #: (reset on restart; exposed via :meth:`stats` / ``GET /stats``).
+        self.deltas_applied = 0
+        self.total_pairs_touched = 0
         self.aligner = ParisAligner(state.ontology1, state.ontology2, state.config)
         config = state.config
         # Resident restricted-view maintainer: built once (O(store)) at
@@ -199,7 +203,7 @@ class AlignmentService:
                 f"failure ({self.poisoned}); restart from the last snapshot"
             )
 
-    def apply_delta(self, delta: Delta) -> DeltaReport:
+    def apply_delta(self, delta: Delta, wal_offset: Optional[int] = None) -> DeltaReport:
         """Absorb a delta batch and warm-start the fixpoint over it.
 
         Validation failures (bad triples) raise ``ValueError`` before
@@ -208,6 +212,11 @@ class AlignmentService:
         in-memory structures may be inconsistent, so every later call
         fails fast instead of silently serving — or snapshotting — a
         corrupted state.
+
+        ``wal_offset`` is the write-ahead-log offset of the last record
+        this batch covers (the streaming batcher passes it); it is
+        recorded on the state only once the batch fully applied, so a
+        snapshot never claims WAL records whose effects it might miss.
         """
         with self.lock:
             self._check_consistent()
@@ -216,10 +225,15 @@ class AlignmentService:
             # service still healthy.
             validate_delta(delta)
             try:
-                return self._apply_delta_locked(delta)
+                report = self._apply_delta_locked(delta)
             except BaseException as error:
                 self.poisoned = repr(error)
                 raise
+            self.deltas_applied += 1
+            self.total_pairs_touched += report.pairs_touched
+            if wal_offset is not None:
+                self.state.wal_offset = wal_offset
+            return report
 
     def _apply_delta_locked(self, delta: Delta) -> DeltaReport:
         state = self.state
@@ -415,6 +429,24 @@ class AlignmentService:
                 "instance_pairs": len(state.store),
                 "matched_left": len(self._assignment12),
                 "matched_right": len(self._assignment21),
+            }
+
+    def stats(self) -> Dict[str, object]:
+        """Work/ingestion counters for monitoring (``GET /stats``).
+
+        Deliberately *not* guarded by the fail-stop check: operators
+        need the counters most while diagnosing a poisoned engine.
+        """
+        with self.lock:
+            state = self.state
+            return {
+                "status": "ok" if self.poisoned is None else "inconsistent",
+                "version": state.version,
+                "wal_offset": state.wal_offset,
+                "deltas_applied": self.deltas_applied,
+                "pairs_touched_total": self.total_pairs_touched,
+                "instance_pairs": len(state.store),
+                "converged": state.converged,
             }
 
     def snapshot(self, directory: Union[str, Path]) -> Path:

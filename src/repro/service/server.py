@@ -3,11 +3,20 @@
 A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentService`:
 
 * ``GET  /healthz``                  — liveness + state summary
+* ``GET  /stats``                    — ingestion/work counters (queue depth,
+  WAL offsets, cumulative ``pairs_touched``)
 * ``GET  /pair/<left>/<right>``      — one pair's probability (URL-quoted names)
 * ``GET  /alignment?threshold=0.5``  — maximal assignment (``format=tsv`` for TSV)
 * ``POST /delta``                    — apply a JSON delta batch (see
   :meth:`repro.service.delta.Delta.from_json`), warm-start the fixpoint,
-  snapshot the new state if a state directory is configured
+  snapshot the new state if a state directory is configured.  With a
+  streaming batcher attached the delta goes through the shared ingest
+  queue instead (same queue as the ``--watch`` sources): it is WAL'd,
+  coalesced with its neighbours, and the response carries its *batch's*
+  report.  Optional ``?source=<id>&seq=<n>`` query parameters tag the
+  delta for idempotent redelivery (a duplicate gets ``{"duplicate":
+  true}``), and a full queue answers ``429`` with a ``Retry-After``
+  header.
 * ``POST /snapshot``                 — force a snapshot
 
 Concurrency: request handlers run on one thread each; the engine
@@ -15,8 +24,9 @@ serializes mutation and reads behind its own lock, so a long warm pass
 never corrupts a concurrent query (it just waits).
 
 ``run_server`` adds the process plumbing for ``repro serve``: SIGTERM /
-SIGINT trigger a final snapshot and a clean exit, which is what the CI
-service-smoke job asserts.
+SIGINT stop the streaming sources, drain the ingest queue, take a final
+snapshot and exit cleanly, which is what the CI service-smoke job
+asserts.
 """
 
 from __future__ import annotations
@@ -32,7 +42,19 @@ from urllib.parse import parse_qs, unquote, urlparse
 
 from .delta import Delta
 from .engine import AlignmentService
+from .stream import QueueFullError, StreamStack
 from ..io.alignment_io import render_assignment_rows
+
+
+def _should_snapshot(report, snapshot_every: int) -> bool:
+    """The one snapshot policy, shared by the synchronous POST path
+    and the streaming batcher's per-batch hook: snapshot versions that
+    actually changed something, every ``snapshot_every``-th version."""
+    return (
+        snapshot_every > 0
+        and report.applied_add + report.applied_remove > 0
+        and report.version % snapshot_every == 0
+    )
 
 
 class AlignmentRequestHandler(BaseHTTPRequestHandler):
@@ -85,6 +107,13 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         parts = [unquote(part) for part in url.path.split("/") if part]
         if parts == ["healthz"]:
             self._send_json(self.service.health())
+            return
+        if parts == ["stats"]:
+            payload = self.service.stats()
+            stream = self.server.stream  # type: ignore[attr-defined]
+            if stream is not None:
+                payload["ingest"] = stream.stats()
+            self._send_json(payload)
             return
         if len(parts) == 3 and parts[0] == "pair":
             self._send_json(self.service.pair(parts[1], parts[2]))
@@ -143,14 +172,41 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         if length <= 0 or length > self.MAX_BODY:
             self._error(400, "delta body must be non-empty JSON")
             return
+        query = parse_qs(url.query)
+        source = query.get("source", ["http"])[0]
+        try:
+            seq = int(query["seq"][0]) if "seq" in query else None
+        except ValueError:
+            self._error(400, "seq must be an integer")
+            return
+        stream = self.server.stream  # type: ignore[attr-defined]
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
             delta = Delta.from_json(payload)
-            # apply_delta validates the whole batch before mutating, so
-            # a rejected delta leaves the live state untouched.
-            report = self.service.apply_delta(delta)
+            if stream is not None:
+                # Shared ingest queue: WAL'd, coalesced, admission-
+                # controlled; the response is the composed batch's
+                # report (None = idempotently dropped duplicate).
+                report = stream.batcher.submit(delta, source=source, seq=seq, wait=True)
+                if report is None:
+                    self._send_json({"duplicate": True, "source": source, "seq": seq})
+                    return
+            else:
+                # apply_delta validates the whole batch before
+                # mutating, so a rejected delta leaves the live state
+                # untouched.
+                report = self.service.apply_delta(delta)
         except (ValueError, UnicodeDecodeError) as error:
             self._error(400, f"bad delta: {error}")
+            return
+        except QueueFullError as error:
+            body = json.dumps({"error": str(error)}).encode("utf-8")
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", f"{error.retry_after:g}")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         except RuntimeError as error:
             # Engine fail-stopped (this or an earlier delta died
@@ -166,10 +222,13 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         snapshot_every = self.server.snapshot_every  # type: ignore[attr-defined]
         payload = report.to_json()
         if (
-            state_dir is not None
-            and snapshot_every > 0
-            and report.applied_add + report.applied_remove > 0
-            and report.version % snapshot_every == 0
+            # With a streaming batcher the snapshot policy runs once
+            # per applied batch in the batcher's on_batch_applied hook;
+            # snapshotting here would repeat it for every HTTP waiter
+            # that shared the batch.
+            stream is None
+            and state_dir is not None
+            and _should_snapshot(report, snapshot_every)
         ):
             try:
                 self.service.snapshot(state_dir)
@@ -187,6 +246,7 @@ def build_server(
     state_dir: Optional[Union[str, Path]] = None,
     verbose: bool = False,
     snapshot_every: int = 1,
+    stream: Optional[StreamStack] = None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server.
 
@@ -194,14 +254,34 @@ def build_server(
     ``server.server_address`` (the in-process tests do).
     ``snapshot_every=N`` snapshots after every Nth version (a full
     state pickle is O(corpus), so large deployments raise this or set
-    0 to snapshot only on shutdown / ``POST /snapshot``).
+    0 to snapshot only on shutdown / ``POST /snapshot`` — with a WAL
+    attached, 0 is the natural choice: durability comes from the log).
+    ``stream`` routes ``POST /delta`` through the streaming batcher's
+    shared queue instead of applying synchronously (the caller starts
+    and stops the stack); the ``snapshot_every`` policy then runs once
+    per applied *batch* via the batcher's ``on_batch_applied`` hook —
+    installed here unless the caller already set one — instead of in
+    the request handler, where every HTTP waiter sharing a batch would
+    repeat it.
     """
     server = ThreadingHTTPServer((host, port), AlignmentRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.state_dir = Path(state_dir) if state_dir is not None else None  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.snapshot_every = snapshot_every  # type: ignore[attr-defined]
+    server.stream = stream  # type: ignore[attr-defined]
     server.daemon_threads = True
+    if (
+        stream is not None
+        and state_dir is not None
+        and snapshot_every > 0
+        and stream.batcher.on_batch_applied is None
+    ):
+        def _snapshot_policy(report, _every=snapshot_every):
+            if _should_snapshot(report, _every):
+                service.snapshot(state_dir)
+
+        stream.batcher.on_batch_applied = _snapshot_policy
     return server
 
 
@@ -212,8 +292,14 @@ def run_server(
     state_dir: Optional[Union[str, Path]] = None,
     verbose: bool = True,
     snapshot_every: int = 1,
+    stream: Optional[StreamStack] = None,
 ) -> int:
     """Serve until SIGTERM/SIGINT; snapshot on the way out.
+
+    With a :class:`~repro.service.stream.StreamStack`, its sources and
+    batcher run for the server's lifetime; shutdown stops the sources,
+    drains the queue through the engine, and only then snapshots — so
+    the final snapshot's WAL offset covers everything ingested.
 
     Returns the process exit code (0 on a clean, signalled shutdown).
     """
@@ -224,6 +310,7 @@ def run_server(
         state_dir=state_dir,
         verbose=verbose,
         snapshot_every=snapshot_every,
+        stream=stream,
     )
     actual_host, actual_port = server.server_address[:2]
     print(
@@ -242,12 +329,18 @@ def run_server(
     previous_handlers = {
         sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
     }
+    if stream is not None:
+        stream.start()
     try:
         server.serve_forever()
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
         server.server_close()
+        if stream is not None:
+            # Sources stop, the queue drains through the engine, the
+            # WAL closes — before the snapshot records the offset.
+            stream.stop()
         if state_dir is not None:
             path = service.snapshot(state_dir)
             print(f"state saved to {path}", file=sys.stderr, flush=True)

@@ -58,6 +58,19 @@ class AlignmentState:
     classes12: SubsumptionMatrix
     classes21: SubsumptionMatrix
     converged: bool
+    #: Offset of the last write-ahead-log record this state absorbed
+    #: (see :mod:`repro.service.stream.wal`; 0 = none).  A snapshot
+    #: carrying this lets a restart replay exactly the un-snapshotted
+    #: WAL suffix: records ``wal_offset + 1 ..`` are reapplied, records
+    #: at or below it are already inside the pickled stores.
+    wal_offset: int = 0
+
+    def __setstate__(self, state: dict) -> None:
+        # Snapshots pickled before the WAL existed restore without the
+        # offset; default it instead of breaking resume.
+        self.__dict__.update(state)
+        if "wal_offset" not in state:
+            self.wal_offset = 0
 
     @classmethod
     def from_result(

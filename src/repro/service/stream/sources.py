@@ -1,0 +1,350 @@
+"""Streaming delta sources: NDJSON file tailer and spool directory.
+
+Both sources feed :meth:`repro.service.stream.batcher.DeltaBatcher.submit`
+— the same queue ``POST /delta`` enqueues into — from a polling thread
+(stdlib only; no inotify dependency).
+
+Line format (shared): one JSON object per line, either a bare delta in
+the ``POST /delta`` wire form (``{"left": {...}, "right": {...}}``) or
+an envelope ``{"delta": {...}, "seq": 7}`` carrying an explicit
+sequence number.  Lines without an explicit ``seq`` get their 1-based
+line/record index as sequence number automatically, so a restarted
+process that re-reads the file from the start redelivers idempotently
+(the batcher drops already-ingested sequence numbers, recovered from
+the WAL).  Implicit and explicit sequence numbers live in separate
+per-source namespaces, so the two forms can be mixed in one file
+without an envelope's large ``seq`` swallowing later bare lines.
+
+* :class:`NdjsonFileTailer` tails one append-only file: it remembers
+  its byte position, consumes only complete (newline-terminated)
+  lines, and survives the file not existing yet.  On back-pressure
+  (:class:`~repro.service.stream.batcher.QueueFullError`) it stops
+  advancing and retries the same line on the next poll.  Rotation —
+  an inode change (rename + recreate) or in-place shrinking — makes
+  the tailer re-read from the top while its record counter keeps
+  running, so the new file's lines get fresh implicit sequence
+  numbers.  Rotation hand-off is the *writer's* contract: rotate only
+  once the tailer caught up (``GET /stats`` shows the source's
+  ingested count / the applied WAL offset) — lines still unread in
+  the renamed-away file are not followed, as with any polling tailer.
+  Writers that rotate *and* restart the service should use explicit
+  ``seq`` envelopes (the implicit numbering is only restart-stable
+  for append-only files); writers that cannot honor either contract
+  should hand whole files to a spool directory instead, whose
+  rename-to-``.done`` protocol is loss-free per file.
+* :class:`SpoolDirectorySource` watches a directory for NDJSON files
+  (``*.json`` / ``*.ndjson``), ingests each completely, then renames
+  it to ``<name>.done``.  Writers must place files atomically (write
+  to a temp name, then rename into the directory).  A file that hits
+  back-pressure midway is retried wholesale on a later poll; its
+  already-ingested lines are dropped as duplicates by their sequence
+  numbers, which live in a namespace keyed on the file's name *and
+  inode* — so a later file reusing a processed name is new data, not
+  a redelivery.
+
+Malformed lines — undecodable JSON as well as decodable deltas the
+engine would reject (:func:`~repro.service.delta.validate_delta`) —
+are counted (``decode_errors`` in :meth:`stats`) and skipped, so one
+bad record cannot wedge the stream behind it or kill the source
+thread.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..delta import Delta
+from .batcher import DeltaBatcher, QueueFullError
+
+#: Spool file suffixes considered ingestible.
+SPOOL_SUFFIXES = (".json", ".ndjson")
+
+#: Suffix a fully ingested spool file is renamed to.
+SPOOL_DONE_SUFFIX = ".done"
+
+
+def decode_stream_line(line: str) -> Tuple[Optional[int], Delta]:
+    """Decode one NDJSON line into ``(explicit seq or None, delta)``."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("stream record must be a JSON object")
+    if "delta" in payload:
+        unknown = set(payload) - {"delta", "seq", "source"}
+        if unknown:
+            raise ValueError(f"unknown stream record keys: {sorted(unknown)}")
+        seq = payload.get("seq")
+        if seq is not None and not isinstance(seq, int):
+            raise ValueError(f"non-integer seq {seq!r}")
+        return seq, Delta.from_json(payload["delta"])
+    return None, Delta.from_json(payload)
+
+
+class _PollingSource:
+    """Base: a daemon thread calling :meth:`_poll` until stopped."""
+
+    def __init__(self, batcher: DeltaBatcher, poll_interval: float = 0.1) -> None:
+        self.batcher = batcher
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.ingested = 0
+        self.decode_errors = 0
+
+    #: Identifier used as the batcher's per-source sequence namespace.
+    source_id: str = ""
+
+    def start(self) -> "_PollingSource":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"repro-source-{self.source_id}", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._poll()
+            except QueueFullError:
+                pass  # back-pressure: nothing advanced, retry later
+            except OSError as error:  # pragma: no cover - environment races
+                print(f"stream source {self.source_id}: {error}", file=sys.stderr)
+            self._stop.wait(self.poll_interval)
+
+    def _poll(self) -> None:
+        raise NotImplementedError
+
+    def _submit(
+        self,
+        delta: Delta,
+        record_number: int,
+        seq: Optional[int],
+        source: Optional[str] = None,
+    ) -> None:
+        """Admit one record under the right sequence namespace.
+
+        Implicit sequence numbers (the running record count) and
+        explicit ``seq`` envelopes live in *separate* namespaces: in a
+        file mixing both forms, one large explicit seq must not raise
+        the high-water mark that later bare lines (numbered 1, 2, …)
+        are deduplicated against.
+        """
+        base = source if source is not None else self.source_id
+        if seq is None:
+            self.batcher.submit(delta, source=base, seq=record_number)
+        else:
+            self.batcher.submit(delta, source=base + "#explicit", seq=seq)
+
+    def _skip_bad_line(self, error: Exception, where: str) -> None:
+        self.decode_errors += 1
+        print(
+            f"stream source {self.source_id}: skipping bad record at {where}: {error}",
+            file=sys.stderr,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "source": self.source_id,
+            "ingested": self.ingested,
+            "decode_errors": self.decode_errors,
+        }
+
+
+class NdjsonFileTailer(_PollingSource):
+    """Tail one append-only NDJSON file of deltas (module docstring)."""
+
+    #: Bytes read per chunk: bounds the memory of one poll even when
+    #: the tailer starts behind a huge backlog (the chunk loop keeps
+    #: consuming until it catches up; a single over-long line widens
+    #: the window geometrically just for that read).
+    READ_CHUNK = 1 << 20
+
+    def __init__(
+        self,
+        batcher: DeltaBatcher,
+        path: Union[str, Path],
+        poll_interval: float = 0.1,
+    ) -> None:
+        super().__init__(batcher, poll_interval)
+        self.path = Path(path)
+        # The full resolved path, not the basename: two watched files
+        # that happen to share a name (repeatable --watch) must not
+        # share a sequence-dedup namespace.
+        self.source_id = f"file:{self.path.resolve()}"
+        self._position = 0
+        self._inode: Optional[int] = None
+        #: Running count of consumed records — also the implicit
+        #: sequence number, so it keeps counting across rotations.
+        self._record_number = 0
+
+    def _poll(self) -> None:
+        try:
+            status = self.path.stat()
+        except FileNotFoundError:
+            return
+        if self._inode is None:
+            self._inode = status.st_ino
+        if status.st_ino != self._inode or status.st_size < self._position:
+            # Rotated: either the path now names a different file
+            # (rename + recreate — the inode changed, regardless of
+            # how large the new file already grew) or the same file
+            # was truncated in place.  Re-read from the top, but keep
+            # the running record counter — the rotated file's lines
+            # are *new* data and must get sequence numbers above the
+            # already-ingested high-water mark, not collide with (and
+            # be deduplicated against) the old file's.  Note the
+            # counter lives in this process: a writer that rotates
+            # *and* wants redelivery across tailer restarts should
+            # carry explicit ``seq`` envelopes instead of relying on
+            # the implicit line numbering (which is only
+            # restart-stable for append-only files).
+            print(
+                f"stream source {self.source_id}: file was rotated "
+                f"(inode {self._inode} -> {status.st_ino}, "
+                f"position {self._position} -> size {status.st_size}); "
+                "re-reading from the top",
+                file=sys.stderr,
+            )
+            self._inode = status.st_ino
+            self._position = 0
+        while status.st_size > self._position and not self._stop.is_set():
+            chunk = self._read_chunk()
+            if not self._consume_chunk(chunk):
+                return
+
+    def _read_chunk(self) -> bytes:
+        """One bounded read from the current position; the window
+        widens geometrically only when a single line outgrows it
+        (otherwise the consume loop could never advance)."""
+        window = self.READ_CHUNK
+        while True:
+            with self.path.open("rb") as stream:
+                stream.seek(self._position)
+                chunk = stream.read(window)
+            if b"\n" in chunk or len(chunk) < window:
+                return chunk
+            window *= 2
+
+    def _consume_chunk(self, chunk: bytes) -> bool:
+        """Submit the chunk's complete lines; True while progressing.
+
+        A chunk ending mid-line is normal while working through a
+        backlog — the poll loop re-reads from the advanced position.
+        False (stop polling for now) only when *no* line completed:
+        :meth:`_read_chunk` widens until a newline or EOF, so zero
+        progress means the file currently ends in a partial line —
+        wait for the writer to finish it.
+        """
+        position = 0
+        while not self._stop.is_set():
+            end = chunk.find(b"\n", position)
+            if end < 0:
+                return position > 0
+            line = chunk[position : end + 1]
+            record_number = self._record_number + 1
+            if line.strip():
+                try:
+                    seq, delta = decode_stream_line(line.decode("utf-8"))
+                    # QueueFullError (a RuntimeError) propagates
+                    # *before* the position advances, so the line is
+                    # retried next poll; a ValueError — undecodable
+                    # JSON above, or a decodable delta that fails
+                    # validate_delta inside submit — skips just this
+                    # line instead of killing the source thread.
+                    self._submit(delta, record_number, seq)
+                    self.ingested += 1
+                except (ValueError, KeyError, UnicodeDecodeError) as error:
+                    self._skip_bad_line(error, f"{self.path}:record {record_number}")
+            self._record_number = record_number
+            position = end + 1
+            self._position += len(line)
+        return False
+
+
+class SpoolDirectorySource(_PollingSource):
+    """Ingest whole NDJSON files dropped into a directory (docstring)."""
+
+    def __init__(
+        self,
+        batcher: DeltaBatcher,
+        directory: Union[str, Path],
+        poll_interval: float = 0.25,
+    ) -> None:
+        super().__init__(batcher, poll_interval)
+        self.directory = Path(directory)
+        # Full resolved path for the same non-collision reason as the
+        # file tailer's source id.
+        self.source_id = f"spool:{self.directory.resolve()}"
+        self.files_done = 0
+
+    def _spool_files(self):
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if path.is_file() and path.suffix.lower() in SPOOL_SUFFIXES
+        )
+
+    def _ingest_file(self, path: Path) -> None:
+        # The sequence namespace is keyed on the file's *incarnation*
+        # (name + inode), not the name alone: a writer reusing a spool
+        # filename later must get a fresh namespace, or the batcher's
+        # WAL-recovered high-water mark would drop the new file's
+        # lines as duplicates.  The inode is stable for the file's
+        # lifetime, so back-pressure retries and restarts mid-file
+        # still deduplicate correctly.
+        source = f"{self.source_id}/{path.name}@{path.stat().st_ino}"
+        # Bytes in, decoded per line: one undecodable line (bad UTF-8
+        # included) must skip, not kill the source thread on the read.
+        lines = path.read_bytes().splitlines()
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                seq, delta = decode_stream_line(line.decode("utf-8"))
+                # A QueueFullError here aborts the file un-renamed; the
+                # retry resubmits every line and the per-file sequence
+                # numbers drop the ones that already made it in.  A
+                # ValueError — undecodable line, or a delta that fails
+                # validate_delta inside submit — skips just this line.
+                self._submit(delta, line_number, seq, source=source)
+                self.ingested += 1
+            except (ValueError, KeyError, UnicodeDecodeError) as error:
+                self._skip_bad_line(error, f"{path}:{line_number}")
+                continue
+        path.rename(path.with_name(path.name + SPOOL_DONE_SUFFIX))
+        self.files_done += 1
+
+    def _poll(self) -> None:
+        for path in self._spool_files():
+            if self._stop.is_set():
+                return
+            self._ingest_file(path)
+
+    def stats(self) -> Dict[str, object]:
+        payload = super().stats()
+        payload["files_done"] = self.files_done
+        return payload
+
+
+def make_source(
+    batcher: DeltaBatcher, path: Union[str, Path], poll_interval: float = 0.1
+) -> _PollingSource:
+    """Pick the right source for ``--watch PATH``: an existing
+    directory gets the spool treatment, anything else is tailed as an
+    append-only NDJSON file (created later is fine)."""
+    target = Path(path)
+    if target.is_dir():
+        return SpoolDirectorySource(batcher, target, poll_interval=max(poll_interval, 0.25))
+    return NdjsonFileTailer(batcher, target, poll_interval=poll_interval)

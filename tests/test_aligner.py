@@ -208,6 +208,93 @@ class TestSnapshots:
             assert snapshot.duration_seconds >= 0
             assert snapshot.num_equivalences >= 0
 
+    def test_capture_reconstructs_old_behaviour_exactly(self):
+        """Equality against the old full-copy behaviour: a chain built
+        from known full assignments must hand back exactly those
+        assignments through the reconstruction properties."""
+        from repro.core.matrix import SubsumptionMatrix
+        from repro.core.result import IterationSnapshot
+
+        a, b, c = Resource("a"), Resource("b"), Resource("c")
+        x, y = Resource("x"), Resource("y")
+        passes = [
+            ({a: (x, 0.5)}, {x: (a, 0.5)}),
+            ({a: (y, 0.8), b: (x, 0.4)}, {x: (b, 0.4), y: (a, 0.8)}),
+            ({b: (x, 0.4), c: (y, 0.9)}, {x: (b, 0.4), y: (c, 0.9)}),  # a dropped
+        ]
+        snapshots = []
+        previous12, previous21 = {}, {}
+        for index, (assignment12, assignment21) in enumerate(passes, start=1):
+            snapshots.append(
+                IterationSnapshot.capture(
+                    index=index,
+                    duration_seconds=0.0,
+                    change_fraction=None,
+                    num_equivalences=len(assignment12),
+                    assignment12=assignment12,
+                    assignment21=assignment21,
+                    relations12=SubsumptionMatrix(),
+                    relations21=SubsumptionMatrix(),
+                    previous=snapshots[-1] if snapshots else None,
+                    previous12=previous12,
+                    previous21=previous21,
+                )
+            )
+            previous12, previous21 = assignment12, assignment21
+        for snapshot, (assignment12, assignment21) in zip(snapshots, passes):
+            assert snapshot.assignment12 == assignment12
+            assert snapshot.assignment21 == assignment21
+        # The storage really is the delta, not a copy: the unchanged
+        # entry (b → x) of pass 3 is not in its delta.
+        assert b not in snapshots[2].assignment12_delta
+        assert snapshots[2].assignment12_delta[a] is None  # drop recorded
+
+    def test_capture_from_nonempty_base(self):
+        """A warm chain starts from the pre-delta assignment: the head
+        carries it as base and reconstruction includes it."""
+        from repro.core.matrix import SubsumptionMatrix
+        from repro.core.result import IterationSnapshot
+
+        base12 = {Resource("a"): (Resource("x"), 0.7)}
+        base21 = {Resource("x"): (Resource("a"), 0.7)}
+        current12 = {**base12, Resource("b"): (Resource("y"), 0.6)}
+        current21 = {**base21, Resource("y"): (Resource("b"), 0.6)}
+        head = IterationSnapshot.capture(
+            index=1,
+            duration_seconds=0.0,
+            change_fraction=None,
+            num_equivalences=2,
+            assignment12=current12,
+            assignment21=current21,
+            relations12=SubsumptionMatrix(),
+            relations21=SubsumptionMatrix(),
+            previous=None,
+            previous12=base12,
+            previous21=base21,
+        )
+        assert head.assignment12 == current12
+        assert head.assignment21 == current21
+        # Only the new entry is in the delta; the base entry is not.
+        assert list(head.assignment12_delta) == [Resource("b")]
+
+    def test_cold_run_snapshot_chain_is_consistent(self, tiny_pair):
+        """Reconstruction agrees with everything the loop computed from
+        the live assignments: the recorded change fractions and the
+        final result's assignments."""
+        from repro.core.store import EquivalenceStore
+
+        left, right = tiny_pair
+        result = align(left, right)
+        assert len(result.iterations) >= 2
+        assert result.iterations[-1].assignment12 == result.assignment12
+        assert result.iterations[-1].assignment21 == result.assignment21
+        for earlier, later in zip(result.iterations, result.iterations[1:]):
+            assert later.change_fraction == pytest.approx(
+                EquivalenceStore.assignment_change(
+                    earlier.assignment12, later.assignment12
+                )
+            )
+
     def test_theta_invariance_of_final_assignment(self, tiny_pair):
         """Section 6.3: the choice of θ does not affect the result."""
         left, right = tiny_pair

@@ -225,6 +225,76 @@ class TestParallelOptionsWiring:
         with pytest.raises(SystemExit):
             main(["serve", "--state-dir", str(tmp_path / "empty")])
 
+    def test_serve_streaming_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "l.nt", "r.nt", "--state-dir", "state",
+                "--wal",
+                "--watch", "deltas.ndjson",
+                "--watch", "spool-dir",
+                "--max-batch", "64",
+                "--max-lag-ms", "25",
+                "--max-queue", "512",
+            ]
+        )
+        assert args.wal is True
+        assert args.watch == ["deltas.ndjson", "spool-dir"]
+        assert args.max_batch == 64
+        assert args.max_lag_ms == 25.0
+        assert args.max_queue == 512
+
+    def test_serve_streaming_defaults_are_off(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "l.nt", "r.nt", "--state-dir", "state"]
+        )
+        assert args.wal is False and args.watch == []
+        assert args.max_batch == 32
+        assert args.max_lag_ms == 50.0
+        assert args.max_queue == 256
+
+    def test_replay_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["replay", "state/wal.ndjson", "--state-dir", "state", "--no-snapshot"]
+        )
+        assert args.wal == "state/wal.ndjson"
+        assert args.state_dir == "state"
+        assert args.no_snapshot is True
+        assert args.handler.__name__ == "cmd_replay"
+
+    def test_replay_catches_up_a_stale_snapshot(self, tmp_path):
+        """End-to-end offline recovery: snapshot + WAL suffix →
+        caught-up snapshot whose scores match the full stream."""
+        from repro.core.config import ParisConfig
+        from repro.datasets.incremental import family_addition, family_pair
+        from repro.service import AlignmentService, Delta, load_state
+        from repro.service.stream import WriteAheadLog
+
+        left, right = family_pair(4)
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        service.snapshot(tmp_path)
+        wal = WriteAheadLog(tmp_path / "wal.ndjson")
+        add1, add2 = family_addition(4, 1)
+        wal.append(Delta(add1=tuple(add1), add2=tuple(add2)), "writer", 1)
+        wal.close()
+        assert main(
+            ["replay", str(tmp_path / "wal.ndjson"), "--state-dir", str(tmp_path)]
+        ) == 0
+        caught_up = load_state(tmp_path)
+        assert caught_up.wal_offset == 1
+        resumed = AlignmentService.from_state(caught_up)
+        assert resumed.pair("p4a", "q4a")["probability"] > 0.9
+        # Idempotent: a second replay finds nothing to do.
+        assert main(
+            ["replay", str(tmp_path / "wal.ndjson"), "--state-dir", str(tmp_path)]
+        ) == 0
+        assert load_state(tmp_path).version == caught_up.version
+
 
 class TestCliMultiAndExplain:
     @pytest.fixture()

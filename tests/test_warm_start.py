@@ -161,6 +161,43 @@ class TestFamilyFixtureEquality:
         service._rel12.matrix.clear_sub(next(iter(before))[0])
         assert {(a, b): p for a, b, p in first_pass.relations12.items()} == before
 
+    def test_warm_snapshots_store_frontier_sized_deltas(self, service):
+        """Warm-pass snapshots chain off the pre-delta assignment and
+        store only per-pass assignment *deltas* (O(frontier), not
+        O(matched) copies), while still reconstructing the full
+        assignments exactly."""
+        from repro.service.delta import apply_delta as apply_raw
+
+        add1, add2 = family_addition(self.BASE, 1)
+        state = service.state
+        pre12 = dict(service._assignment12)
+        effect = apply_raw(state.ontology1, state.ontology2, Delta(
+            add1=tuple(add1), add2=tuple(add2)
+        ))
+        dirty, seed1, seed2, _full = service._invalidate(effect, 1e-12)
+        result = service.aligner.warm_align(
+            state.store,
+            service._rel12,
+            service._rel21,
+            dirty_instances=dirty,
+            seed_nodes1=seed1,
+            seed_nodes2=seed2,
+            delta_statements1=effect.statements1,
+            delta_statements2=effect.statements2,
+        )
+        assert result.iterations
+        matched = len(result.assignment12)
+        assert matched > 100  # the base corpus is large...
+        head = result.iterations[0]
+        assert head.previous is None and head.base12 == pre12
+        for snapshot in result.iterations:
+            # ...but each pass's stored delta is frontier-sized.
+            assert len(snapshot.assignment12_delta) <= len(dirty) + 3
+            assert len(snapshot.assignment12_delta) < matched // 10
+        # Reconstruction still yields the full per-pass assignments.
+        assert result.iterations[-1].assignment12 == result.assignment12
+        assert result.iterations[-1].assignment21 == result.assignment21
+
 
 class TestFamilyFixtureWithClasses:
     """The class-enabled family fixture: the delta-aware class cache
