@@ -1,0 +1,391 @@
+"""Micro-benchmark: aggregate read throughput under concurrent writes.
+
+The replication subsystem's headline number: a fleet of **3 read
+replica processes** tailing the primary's WAL must serve **≥ 2× the
+aggregate HTTP reads/second** of a single node, while the same write
+load runs concurrently:
+
+* the single-node path is ``repro serve --wal`` as-is: every
+  ``GET /pair`` is handled in the write process and waits on the one
+  engine lock whenever a warm pass is absorbing a delta — under
+  back-to-back writes the lock is held almost continuously;
+* the replicated path sends the same writes to the same primary, while
+  reads go to 3 ``repro replica`` processes.  A replica coalesces its
+  whole backlog into one warm pass per poll (fewer, shorter lock
+  holds), its reads never compete with the primary's write work for a
+  lock or an interpreter, and a reader blocked on one replica's apply
+  does not stall the other two.
+
+Both paths boot the same corpus from the same CLI, apply the same
+deltas, and count reads only while their writer is running; rounds
+alternate and the best round counts per path.  The wall-clock ratio is
+machine-dependent twice over: shared runners stall (the in-test
+assertion is skipped under ``BENCH_RELAX_WALLCLOCK=1``, the CI
+bench-track mode), and the scale-out claim itself needs a core per
+process — on fewer than :data:`MIN_CORES_FOR_SPEEDUP` cores
+replication strictly adds CPU for the same logical writes, so the
+curve is recorded without a floor (the same policy as the parallel
+microbench's core gate).  On capable machines the JSON ``floor`` gates
+the best-of-rounds value regardless of baseline.  The *work* metrics —
+records replicated, replica count — are deterministic and
+baseline-gated by ``benchmarks/compare_baseline.py``.  Replica
+equivalence is asserted each round (every replica's full alignment
+equals the primary's within 1e-9 once caught up), so the throughput
+cannot be bought with wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from helpers import save_artifact, save_bench_json
+from repro.datasets.incremental import family_addition, family_pair
+from repro.rdf import ntriples
+from repro.service import Delta
+
+#: Families in the base corpus (3 instances, 8 facts each).
+BASE_FAMILIES = 150
+
+#: Families per delta (bigger deltas → longer warm passes → the engine
+#: lock is what single-node readers actually contend with).
+DELTA_FAMILIES = 16
+
+#: Deltas POSTed during each measured window.
+WRITES = 30
+
+#: Alternating measurement rounds per path; the best round counts.
+ROUNDS = 2
+
+#: Read replica processes (and reader threads — one per replica in the
+#: replicated path, the same number against the single node).
+REPLICAS = 3
+
+#: Required aggregate read-throughput advantage of 3 replicas.
+MIN_SPEEDUP = 2.0
+
+#: The claim is about scale-out: the primary and every replica process
+#: need a core of their own before aggregate throughput can exceed the
+#: single node (on fewer cores, replication strictly *adds* CPU work
+#: for the same logical writes — the curve is recorded but the ratio
+#: is a scheduling artifact, exactly as in the parallel microbench).
+MIN_CORES_FOR_SPEEDUP = REPLICAS + 1
+
+#: Required score equality of every replica against the primary.
+SCORE_TOLERANCE = 1e-9
+
+#: First listen port; the bench uses PORT .. PORT+1+REPLICAS.
+PORT = int(os.environ.get("REPLICA_BENCH_PORT", "18790"))
+
+
+def get_json(url: str, timeout: float = 30.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.load(response)
+
+
+def wait_for(url: str, seconds: float = 120.0):
+    deadline = time.monotonic() + seconds
+    while True:
+        try:
+            return get_json(url, timeout=2)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def post_json(url: str, payload: dict, timeout: float = 300.0):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def spawn(argv: list) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=os.environ.copy(),
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def terminate(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hung child
+            process.kill()
+            process.wait(timeout=10)
+
+
+def round_deltas(round_index: int) -> list:
+    """The same write workload for both paths of one round."""
+    deltas = []
+    base = BASE_FAMILIES + round_index * WRITES * DELTA_FAMILIES
+    for step in range(WRITES):
+        add1, add2 = family_addition(base + step * DELTA_FAMILIES, DELTA_FAMILIES)
+        deltas.append(Delta(add1=tuple(add1), add2=tuple(add2)))
+    return deltas
+
+
+def measure_round(primary_url: str, read_urls: list, deltas: list) -> float:
+    """POST the deltas back-to-back while reader threads hammer
+    ``GET /pair`` on ``read_urls``; returns aggregate reads/second
+    during the write window."""
+    stop = threading.Event()
+    go = threading.Barrier(len(read_urls) + 1)
+    counts = [0] * len(read_urls)
+
+    def reader(index: int, url: str) -> None:
+        target = url + "/pair/p0a/q0a"
+        go.wait()
+        reads = 0
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(target, timeout=30) as response:
+                    response.read()
+                reads += 1
+            except (urllib.error.URLError, OSError):  # pragma: no cover
+                pass  # mid-window hiccups just cost the round reads
+        counts[index] = reads
+
+    threads = [
+        threading.Thread(target=reader, args=(index, url), daemon=True)
+        for index, url in enumerate(read_urls)
+    ]
+    for thread in threads:
+        thread.start()
+    go.wait()
+    started = time.perf_counter()
+    for delta in deltas:
+        post_json(primary_url + "/delta", delta.to_json())
+    elapsed = time.perf_counter() - started
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+    return sum(counts) / elapsed
+
+
+def await_catch_up(primary_url: str, replica_urls: list, seconds: float = 300.0):
+    head = get_json(primary_url + "/stats")["wal_offset"]
+    deadline = time.monotonic() + seconds
+    for url in replica_urls:
+        while get_json(url + "/stats")["wal_offset"] < head:
+            assert time.monotonic() < deadline, f"{url} never caught up to {head}"
+            time.sleep(0.2)
+    return head
+
+
+def alignment_map(url: str) -> dict:
+    payload = get_json(url + "/alignment?threshold=0.001")
+    return {
+        (pair["left"], pair["right"]): pair["probability"]
+        for pair in payload["pairs"]
+    }
+
+
+def assert_alignments_match(primary_url: str, replica_urls: list) -> float:
+    reference = alignment_map(primary_url)
+    worst = 0.0
+    for url in replica_urls:
+        candidate = alignment_map(url)
+        assert candidate.keys() == reference.keys()
+        for key, probability in reference.items():
+            difference = abs(candidate[key] - probability)
+            worst = max(worst, difference)
+            assert difference <= SCORE_TOLERANCE, (key, difference)
+    return worst
+
+
+def serve_args(work: Path, state_dir: Path, port: int) -> list:
+    return [
+        "serve",
+        str(work / "left.nt"),
+        str(work / "right.nt"),
+        "--state-dir", str(state_dir),
+        "--port", str(port),
+        "--wal",
+        "--wal-segment-bytes", str(1 << 16),
+        "--max-lag-ms", "1",
+        "--snapshot-every", "0",
+    ]
+
+
+def test_replica_read_throughput_vs_single_node(tmp_path):
+    left, right = family_pair(BASE_FAMILIES)
+    ntriples.write_ntriples(left, tmp_path / "left.nt")
+    ntriples.write_ntriples(right, tmp_path / "right.nt")
+
+    single_rates = []
+    replicated_rates = []
+    records_replicated = 0
+    worst_difference = 0.0
+
+    # Path A — single node: reads and writes share one process.
+    single_url = f"http://127.0.0.1:{PORT}"
+    single = spawn(serve_args(tmp_path, tmp_path / "single-state", PORT))
+    try:
+        wait_for(single_url + "/healthz")
+        for round_index in range(ROUNDS):
+            single_rates.append(
+                measure_round(
+                    single_url, [single_url] * REPLICAS, round_deltas(round_index)
+                )
+            )
+    finally:
+        terminate(single)
+
+    # Path B — the same writes into a fresh primary, reads across 3
+    # replica processes tailing its WAL on shared storage.
+    primary_port = PORT + 1
+    primary_url = f"http://127.0.0.1:{primary_port}"
+    primary_state = tmp_path / "primary-state"
+    processes = [spawn(serve_args(tmp_path, primary_state, primary_port))]
+    replica_urls = [
+        f"http://127.0.0.1:{primary_port + 1 + index}" for index in range(REPLICAS)
+    ]
+    try:
+        wait_for(primary_url + "/healthz")
+        for index, url in enumerate(replica_urls):
+            processes.append(
+                spawn(
+                    [
+                        "replica", str(primary_state),
+                        "--port", str(primary_port + 1 + index),
+                        "--poll-ms", "20",
+                        "--replica-batch", "4096",
+                    ]
+                )
+            )
+        for url in replica_urls:
+            wait_for(url + "/healthz")
+        for round_index in range(ROUNDS):
+            replicated_rates.append(
+                measure_round(primary_url, replica_urls, round_deltas(round_index))
+            )
+            head = await_catch_up(primary_url, replica_urls)
+            records_replicated += REPLICAS * WRITES
+            assert head == (round_index + 1) * WRITES
+        worst_difference = assert_alignments_match(primary_url, replica_urls)
+    finally:
+        for process in processes:
+            terminate(process)
+
+    single_rate = max(single_rates)
+    replicated_rate = max(replicated_rates)
+    speedup = replicated_rate / single_rate
+    cores = os.cpu_count() or 1
+
+    rows = [
+        f"(cpu cores: {cores})",
+        f"base corpus:      {BASE_FAMILIES} families x 2 sides "
+        f"({8 * BASE_FAMILIES * 2} triples)",
+        f"write load:       {WRITES} deltas x {DELTA_FAMILIES} families per "
+        f"round ({DELTA_FAMILIES * 8 * 2} triples each), "
+        f"{ROUNDS} rounds per path",
+        f"readers:          {REPLICAS} HTTP reader threads",
+        f"single node:      {single_rate:8.0f} reads/s best of "
+        f"{[f'{rate:.0f}' for rate in single_rates]}",
+        f"3 replicas:       {replicated_rate:8.0f} reads/s best of "
+        f"{[f'{rate:.0f}' for rate in replicated_rates]}",
+        f"aggregate gain:   {speedup:8.1f} x",
+        f"records shipped:  {records_replicated} "
+        f"({REPLICAS} replicas x {WRITES} writes x {ROUNDS} rounds)",
+        f"max score diff:   {worst_difference:.3e} "
+        f"(tolerance {SCORE_TOLERANCE:.0e})",
+    ]
+    save_artifact("microbench_replica", "\n".join(rows))
+    save_bench_json(
+        "replica",
+        {
+            # Deterministic metrics: gated against the committed
+            # baseline by benchmarks/compare_baseline.py (CI bench-track).
+            "replicas": {"value": REPLICAS},
+            "records_replicated": {"value": records_replicated},
+            # Wall-clock metrics: machine-dependent.  The acceptance
+            # floor on the best-of-rounds speedup applies only on a
+            # quiet machine with a core per process: below the core
+            # floor the ratio is a scheduling artifact, and under
+            # BENCH_RELAX_WALLCLOCK (CI bench-track on shared runners)
+            # the repo's standing policy is to record wall-clock
+            # curves, never gate on them (see the parallel bench).
+            "read_speedup": {
+                "value": speedup,
+                "higher_is_better": True,
+                "informational": True,
+                **(
+                    {"floor": MIN_SPEEDUP}
+                    if cores >= MIN_CORES_FOR_SPEEDUP
+                    and os.environ.get("BENCH_RELAX_WALLCLOCK") != "1"
+                    else {}
+                ),
+            },
+            "single_reads_per_sec": {
+                "value": single_rate,
+                "higher_is_better": True,
+                "informational": True,
+            },
+            "replicated_reads_per_sec": {
+                "value": replicated_rate,
+                "higher_is_better": True,
+                "informational": True,
+            },
+        },
+    )
+
+    assert records_replicated == REPLICAS * WRITES * ROUNDS
+    if os.environ.get("BENCH_RELAX_WALLCLOCK") == "1":
+        # bench-track mode: record the curve + JSON artifact, but skip
+        # the in-test wall-clock assertion — shared CI runners stall
+        # unpredictably (same policy as the parallel and stream
+        # benches); on machines meeting the core floor, the JSON floor
+        # still gates the best-of-rounds value.
+        return
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected {REPLICAS} replicas to serve >= {MIN_SPEEDUP}x the "
+            f"single node's aggregate reads/s under concurrent writes, got "
+            f"{speedup:.1f}x ({single_rate:.0f} vs {replicated_rate:.0f} reads/s)"
+        )
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= {MIN_CORES_FOR_SPEEDUP} cores "
+            f"(one per process), machine has {cores}; curve recorded"
+        )
+
+
+def test_replica_smoke(tmp_path):
+    """CI smoke: tiny corpus, one in-process replica, equality through
+    the segmented WAL."""
+    from repro.core.config import ParisConfig
+    from repro.service import AlignmentService
+    from repro.service.replica import ReplicaNode
+    from repro.service.stream import WriteAheadLog
+
+    left, right = family_pair(10)
+    primary = AlignmentService.cold_start(left, right, ParisConfig())
+    state_dir = tmp_path / "state"
+    primary.snapshot(state_dir)
+    wal = WriteAheadLog(state_dir / "wal.ndjson", segment_bytes=1024)
+    for sequence, delta in enumerate(round_deltas(0)[:2], start=1):
+        offset = wal.append(delta, "bench", sequence)
+        primary.apply_delta(delta, wal_offset=offset)
+    replica = ReplicaNode(state_dir, batch=4)
+    replica.catch_up(primary.state.wal_offset)
+    difference = replica.service.state.store.max_difference(primary.state.store)
+    assert difference <= SCORE_TOLERANCE
+    wal.close()

@@ -1,0 +1,249 @@
+"""End-to-end demo of multi-replica serving.
+
+Boots the full replication topology as subprocesses — a primary
+(``repro serve --wal --wal-segment-bytes``), two read replicas
+(``repro replica``: one tailing the shared state directory, one log
+shipping over HTTP), and the read router (``repro route``) — then
+exercises the whole contract from the outside: a write POSTed to the
+*router* lands on the primary, both replicas converge to it (polled
+via their ``/stats`` WAL offsets), bounded-staleness reads
+(``?min_offset=``) are honored, a SIGKILLed replica is ejected while
+reads keep flowing, and after a clean shutdown ``repro wal compact``
+shrinks the log without breaking a fresh replica bootstrap.  The CI
+service-smoke job runs this script verbatim and asserts its exit code.
+
+Run with::
+
+    PYTHONPATH=src python examples/replica_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.datasets.incremental import family_addition, family_pair
+from repro.rdf import ntriples
+from repro.service.delta import Delta
+
+BASE_FAMILIES = 30
+WRITES = 4
+PORT = int(os.environ.get("REPLICA_DEMO_PORT", "8780"))
+
+
+def wait_for(url: str, seconds: float = 120.0) -> dict:
+    deadline = time.monotonic() + seconds
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=2) as response:
+                return json.load(response)
+        except (urllib.error.URLError, ConnectionError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.3)
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.load(response)
+
+
+def family_delta(index: int) -> Delta:
+    add_left, add_right = family_addition(index, 1)
+    return Delta(add1=tuple(add_left), add2=tuple(add_right))
+
+
+def spawn(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv], env=os.environ.copy()
+    )
+
+
+def main() -> int:
+    primary_url = f"http://127.0.0.1:{PORT}"
+    replica_urls = [f"http://127.0.0.1:{PORT + 1}", f"http://127.0.0.1:{PORT + 2}"]
+    router_url = f"http://127.0.0.1:{PORT + 3}"
+    with tempfile.TemporaryDirectory(prefix="repro-replica-demo-") as workdir:
+        work = Path(workdir)
+        left, right = family_pair(BASE_FAMILIES)
+        ntriples.write_ntriples(left, work / "left.nt")
+        ntriples.write_ntriples(right, work / "right.nt")
+        state_dir = work / "state"
+
+        primary = spawn(
+            "serve", str(work / "left.nt"), str(work / "right.nt"),
+            "--state-dir", str(state_dir),
+            "--port", str(PORT),
+            "--wal",
+            "--wal-segment-bytes", "2048",
+            "--wal-group-commit-ms", "2",
+            "--max-lag-ms", "20",
+            "--snapshot-every", "0",
+        )
+        replicas = []
+        router = None
+        try:
+            health = wait_for(primary_url + "/healthz")
+            print("primary up:", health["role"], health["status"])
+            assert health["role"] == "primary" and health["matched_left"] > 0
+
+            # Replica 1 tails the shared state directory; replica 2
+            # bootstraps and ships the log over HTTP — both transports
+            # converge to the same engine state.
+            replicas.append(
+                spawn(
+                    "replica", str(state_dir),
+                    "--port", str(PORT + 1),
+                    "--state-dir", str(work / "replica1-state"),
+                    "--poll-ms", "20",
+                )
+            )
+            replicas.append(
+                spawn(
+                    "replica", primary_url,
+                    "--port", str(PORT + 2),
+                    "--poll-ms", "20",
+                )
+            )
+            for url in replica_urls:
+                health = wait_for(url + "/healthz")
+                assert health["role"] == "replica", health
+            print("replicas up (file tail + http log shipping)")
+
+            router = spawn(
+                "route",
+                "--primary", primary_url,
+                "--replica", replica_urls[0],
+                "--replica", replica_urls[1],
+                "--port", str(PORT + 3),
+                "--check-interval-ms", "200",
+            )
+            health = wait_for(router_url + "/healthz")
+            assert health["role"] == "router", health
+            deadline = time.monotonic() + 60
+            while wait_for(router_url + "/healthz")["replicas_healthy"] < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.2)
+            print("router up, both replicas in rotation")
+
+            # Writes go through the router and land on the primary.
+            for step in range(WRITES):
+                report = post_json(
+                    router_url + f"/delta?source=demo&seq={step + 1}",
+                    family_delta(BASE_FAMILIES + step).to_json(),
+                )
+                assert report["converged"], report
+            primary_offset = wait_for(primary_url + "/stats")["wal_offset"]
+            assert primary_offset == WRITES
+            print(f"wrote {WRITES} deltas through the router")
+
+            # Both replicas converge to the primary's WAL offset.
+            deadline = time.monotonic() + 60
+            for url in replica_urls:
+                while True:
+                    stats = wait_for(url + "/stats")
+                    if stats["wal_offset"] >= WRITES:
+                        break
+                    assert time.monotonic() < deadline, stats
+                    time.sleep(0.2)
+            print("both replicas caught up to offset", WRITES)
+
+            # Bounded-staleness read through the router: only a replica
+            # at the write's offset may answer.
+            pair = wait_for(
+                router_url
+                + f"/pair/p{BASE_FAMILIES}a/q{BASE_FAMILIES}a?min_offset={WRITES}"
+            )
+            assert pair["probability"] > 0.9, pair
+            print("read-your-writes via ?min_offset OK")
+
+            # The write volume rotated the WAL into sealed segments
+            # (no snapshot has covered them yet: --snapshot-every 0).
+            live_wal_files = list(state_dir.glob("wal*.ndjson"))
+            live_size = sum(path.stat().st_size for path in live_wal_files)
+            assert len(live_wal_files) > 1, "expected sealed WAL segments"
+            print(
+                f"live WAL: {len(live_wal_files)} segment files, "
+                f"{live_size} bytes"
+            )
+
+            # Kill one replica outright; the router ejects it and keeps
+            # serving reads from the survivor.
+            replicas[1].kill()
+            replicas[1].wait(timeout=30)
+            deadline = time.monotonic() + 60
+            while wait_for(router_url + "/healthz")["replicas_healthy"] != 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.2)
+            for step in range(WRITES):
+                name = BASE_FAMILIES + step
+                pair = wait_for(router_url + f"/pair/p{name}a/q{name}a")
+                assert pair["probability"] > 0.9, pair
+            print("replica killed; reads still served")
+        finally:
+            # Replica 2 was SIGKILLed on purpose above; everything else
+            # must exit 0 on SIGTERM.  Guard every index so a failure
+            # before a process was spawned reports the root cause, not
+            # an IndexError from teardown.
+            survivors = [p for p in (router, *replicas[:1], primary) if p is not None]
+            for process in (router, *replicas, primary):
+                if process is not None and process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            codes = [process.wait(timeout=60) for process in survivors]
+        assert codes == [0] * len(survivors) and len(codes) == 3, (
+            f"expected 3 clean shutdowns, got {codes}"
+        )
+
+        # The shutdown snapshot covers the whole WAL, and the serve
+        # process compacts automatically after snapshotting: the sealed
+        # segments are already gone and the log shrank on disk.
+        size_after = sum(
+            path.stat().st_size for path in state_dir.glob("wal*.ndjson")
+        )
+        assert size_after < live_size, (live_size, size_after)
+        assert len(list(state_dir.glob("wal-*.ndjson"))) == 0
+        print(f"auto-compaction at shutdown: {live_size} -> {size_after} bytes")
+
+        # The offline tool is idempotent over the already-compacted log.
+        compact = subprocess.run(
+            [sys.executable, "-m", "repro", "wal", "compact",
+             "--state-dir", str(state_dir)],
+            env=os.environ.copy(),
+        )
+        assert compact.returncode == 0
+        print("offline `repro wal compact` OK (idempotent)")
+
+        # ...and a fresh replica still bootstraps from what remains.
+        fresh = spawn(
+            "replica", str(state_dir), "--port", str(PORT + 4), "--poll-ms", "20"
+        )
+        try:
+            fresh_url = f"http://127.0.0.1:{PORT + 4}"
+            stats = wait_for(fresh_url + "/stats")
+            assert stats["wal_offset"] == WRITES, stats
+            name = BASE_FAMILIES + WRITES - 1
+            pair = wait_for(f"{fresh_url}/pair/p{name}a/q{name}a")
+            assert pair["probability"] > 0.9, pair
+            print("fresh bootstrap after compaction OK")
+        finally:
+            fresh.send_signal(signal.SIGTERM)
+            assert fresh.wait(timeout=60) == 0
+    print("replica demo OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

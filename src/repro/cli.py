@@ -7,8 +7,13 @@
     python -m repro demo {person,restaurant,kb,movies}
     python -m repro convert input.nt output.tsv
     python -m repro serve left.nt right.nt --state-dir dir --port 8765 \
-        [--wal] [--watch deltas.ndjson] [--max-batch 32] [--max-lag-ms 50]
+        [--wal] [--watch deltas.ndjson] [--max-batch 32] [--max-lag-ms 50] \
+        [--wal-segment-bytes 16777216] [--wal-group-commit-ms 5]
     python -m repro replay dir/wal.ndjson --state-dir dir
+    python -m repro replica http://primary:8765 --port 8766 --state-dir rep1
+    python -m repro route --primary http://primary:8765 \
+        --replica http://rep1:8766 --replica http://rep2:8767 --port 8800
+    python -m repro wal compact --state-dir dir
 
 ``align`` loads two ontologies (N-Triples or TSV, by extension), runs
 PARIS and writes the full result (instances/relations/classes) plus an
@@ -27,6 +32,16 @@ merges queued writes so one warm pass absorbs many of them.  ``replay``
 is the matching offline recovery tool: it reapplies a WAL's
 un-snapshotted suffix onto the newest snapshot and snapshots the
 caught-up state.
+
+``replica`` and ``route`` scale *reads* out (:mod:`repro.service.replica`):
+a replica bootstraps from the primary's snapshot (shared state
+directory, or over HTTP) and tails its WAL — the replication log — to
+converge to the primary's scores; the router fans ``GET /pair`` /
+``GET /alignment`` across replicas, forwards writes to the primary and
+honors bounded-staleness reads (``?min_offset=`` / ``?max_lag_ms=``).
+``wal compact`` reclaims sealed WAL segments a durable snapshot
+already covers (the serve process also compacts automatically after
+each snapshot when ``--wal-segment-bytes`` is set).
 """
 
 from __future__ import annotations
@@ -289,7 +304,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         wal = None
         if args.wal:
-            wal = WriteAheadLog(state_dir / "wal.ndjson")
+            wal = WriteAheadLog(
+                state_dir / "wal.ndjson",
+                segment_bytes=args.wal_segment_bytes,
+                group_commit=args.wal_group_commit_ms / 1000.0,
+            )
             replayed = replay_wal(service, wal, max_batch=args.max_batch)
             if replayed:
                 print(
@@ -344,6 +363,112 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if replayed and not args.no_snapshot:
         path = service.snapshot(args.state_dir)
         print(f"caught-up state saved to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_replica(args: argparse.Namespace) -> int:
+    from .service.replica import ReplicaNode
+    from .service.server import build_server
+
+    overrides = {
+        "workers": args.workers,
+        "shard_size": args.shard_size,
+        "parallel_backend": args.parallel_backend,
+    }
+    replica = ReplicaNode(
+        args.source,
+        state_dir=args.state_dir,
+        poll_interval=args.poll_ms / 1000.0,
+        batch=args.replica_batch,
+        snapshot_every=args.snapshot_every,
+        config_overrides=overrides,
+    )
+    print(
+        f"replica bootstrapped at WAL offset {replica.applied_offset} "
+        f"from {replica.follower.source_id}",
+        file=sys.stderr,
+    )
+    server = build_server(
+        None,
+        args.host,
+        args.port,
+        state_dir=args.state_dir,
+        replica=replica,
+    )
+    from .service.server import serve_until_signalled
+
+    actual_host, actual_port = server.server_address[:2]
+    print(
+        f"serving read replica on http://{actual_host}:{actual_port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    replica.start()
+    try:
+        serve_until_signalled(server)
+    finally:
+        replica.stop()
+        try:
+            path = replica.snapshot()
+        except RuntimeError as error:
+            # Poisoned engine: leave the last good snapshot in place.
+            print(f"not snapshotting replica state: {error}", file=sys.stderr)
+            path = None
+        if path is not None:
+            print(f"replica state saved to {path}", file=sys.stderr, flush=True)
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from .service.replica import ReadRouter, build_router_server
+
+    router = ReadRouter(
+        args.primary,
+        args.replica,
+        check_interval=args.check_interval_ms / 1000.0,
+        retry_after=args.retry_after,
+    )
+    server = build_router_server(router, args.host, args.port)
+    from .service.server import serve_until_signalled
+
+    actual_host, actual_port = server.server_address[:2]
+    print(
+        f"routing reads across {len(args.replica)} replica(s), writes to "
+        f"{args.primary}, on http://{actual_host}:{actual_port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    router.start()
+    try:
+        serve_until_signalled(server)
+    finally:
+        router.stop()
+    return 0
+
+
+def cmd_wal_compact(args: argparse.Namespace) -> int:
+    from .service import latest_version, load_state
+    from .service.stream import WriteAheadLog
+
+    state_dir = Path(args.state_dir)
+    version = latest_version(state_dir)
+    if version is None:
+        raise SystemExit(f"error: no snapshot under {state_dir} to compact against")
+    covered = load_state(state_dir, version).wal_offset
+    wal_path = Path(args.wal) if args.wal else state_dir / "wal.ndjson"
+    # Read-only: compaction only unlinks covered sealed segments, and a
+    # writer-mode open here would truncate a live primary's in-flight
+    # tail and republish its durable marker — never safe from outside.
+    wal = WriteAheadLog(wal_path, read_only=True)
+    before = wal.size_bytes()
+    reclaimed, deleted = wal.compact(covered)
+    wal.close()
+    print(
+        f"snapshot version {version} covers WAL offset {covered}; "
+        f"deleted {len(deleted)} sealed segment(s), reclaimed {reclaimed} bytes "
+        f"({before} -> {wal.size_bytes()} on disk)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -483,8 +608,88 @@ def build_parser() -> argparse.ArgumentParser:
                               help="admission bound: deltas beyond this many "
                                    "queued are rejected with 429 + "
                                    "Retry-After (default 256)")
+    serve_parser.add_argument("--wal-segment-bytes", type=int,
+                              default=16 * 1024 * 1024,
+                              help="rotate the WAL into sealed segment files "
+                                   "once the active one holds this many bytes "
+                                   "(default 16 MiB; 0: never rotate); "
+                                   "enables automatic compaction of "
+                                   "snapshot-covered segments and bounds "
+                                   "what replicas re-read per poll")
+    serve_parser.add_argument("--wal-group-commit-ms", type=float, default=0.0,
+                              help="group-commit window: an fsync leader "
+                                   "waits this long for concurrent writers "
+                                   "to join its fsync (0: sync immediately; "
+                                   "per-delta ack-after-fsync is preserved "
+                                   "either way)")
     add_model_options(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
+
+    replica_parser = commands.add_parser(
+        "replica",
+        help="run a read replica: bootstrap from the primary's snapshot, "
+             "tail its WAL, serve GET /pair and GET /alignment",
+    )
+    replica_parser.add_argument("source",
+                                help="the primary: an http(s):// base URL "
+                                     "(log shipping via GET /wal) or its "
+                                     "state directory on shared storage")
+    replica_parser.add_argument("--state-dir", default=None,
+                                help="the replica's OWN snapshot directory "
+                                     "(crash resume; never the primary's)")
+    replica_parser.add_argument("--host", default="127.0.0.1")
+    replica_parser.add_argument("--port", type=int, default=8766,
+                                help="listen port (0 binds an ephemeral port)")
+    replica_parser.add_argument("--poll-ms", type=float, default=50.0,
+                                help="WAL tail poll interval (default 50)")
+    replica_parser.add_argument("--replica-batch", type=int, default=256,
+                                help="most WAL records coalesced into one "
+                                     "warm pass per poll (default 256)")
+    replica_parser.add_argument("--snapshot-every", type=int, default=0,
+                                help="snapshot the replica's own state every "
+                                     "Nth applied batch (0: only on shutdown; "
+                                     "needs --state-dir)")
+    add_parallel_options(replica_parser)
+    replica_parser.set_defaults(handler=cmd_replica)
+
+    route_parser = commands.add_parser(
+        "route",
+        help="run the read router: fan reads across replicas, forward "
+             "writes to the primary, honor bounded-staleness reads",
+    )
+    route_parser.add_argument("--primary", required=True,
+                              help="the primary's base URL (all writes go here)")
+    route_parser.add_argument("--replica", action="append", default=[],
+                              metavar="URL",
+                              help="a read replica's base URL; repeatable "
+                                   "(none: all reads fall back to the primary)")
+    route_parser.add_argument("--host", default="127.0.0.1")
+    route_parser.add_argument("--port", type=int, default=8800,
+                              help="listen port (0 binds an ephemeral port)")
+    route_parser.add_argument("--check-interval-ms", type=float, default=1000.0,
+                              help="health/offset probe interval (default 1000)")
+    route_parser.add_argument("--retry-after", type=float, default=1.0,
+                              help="Retry-After seconds on 503 when no "
+                                   "replica satisfies a staleness bound")
+    route_parser.set_defaults(handler=cmd_route)
+
+    wal_parser = commands.add_parser(
+        "wal", help="write-ahead-log maintenance (see: repro wal compact -h)"
+    )
+    wal_commands = wal_parser.add_subparsers(dest="wal_command", required=True)
+    compact_parser = wal_commands.add_parser(
+        "compact",
+        help="delete sealed WAL segments the newest snapshot covers "
+             "(run against a stopped primary; a live serve process "
+             "compacts automatically after each snapshot)",
+    )
+    compact_parser.add_argument("--state-dir", required=True,
+                                help="state directory holding snapshots "
+                                     "and the WAL")
+    compact_parser.add_argument("--wal", default=None,
+                                help="active WAL segment path (default: "
+                                     "STATE_DIR/wal.ndjson)")
+    compact_parser.set_defaults(handler=cmd_wal_compact)
 
     replay_parser = commands.add_parser(
         "replay",

@@ -22,13 +22,27 @@ package turns the batch reproduction into a long-running service:
     Streaming ingestion in front of the engine — source → WAL →
     batcher → engine: NDJSON file tailers and spool directories feed
     the same bounded queue as ``POST /delta``; accepted deltas are
-    write-ahead-logged (fsync'd) before application and snapshots
-    record the absorbed WAL offset, so a restart replays exactly the
-    un-snapshotted suffix; the coalescing batcher merges queued deltas
+    write-ahead-logged (fsync'd, optionally group-committed) before
+    application and snapshots record the absorbed WAL offset, so a
+    restart replays exactly the un-snapshotted suffix; the coalescing
+    batcher merges queued deltas
     (:func:`~repro.service.delta.compose_deltas`) so one warm pass
     absorbs many small writes; admission control rejects overload with
     429 + ``Retry-After`` and per-source sequence numbers make
-    redelivery idempotent.
+    redelivery idempotent.  The WAL rotates into sealed segment files
+    (``--wal-segment-bytes``) and compaction drops segments a durable
+    snapshot covers, so the log's disk footprint is bounded.
+``repro.service.replica``
+    Multi-replica serving over that WAL — it doubles as the
+    replication log: one primary ingests writes, N read replicas
+    bootstrap from its snapshot and tail the WAL (shared files or the
+    ``GET /wal`` log-shipping endpoint) into their own engines, and a
+    read router (``repro route``) fans ``GET /pair`` /
+    ``GET /alignment`` across healthy replicas, forwards writes to the
+    primary, and honors bounded-staleness reads (``?min_offset=`` /
+    ``?max_lag_ms=``, 503 + ``Retry-After`` when no replica is fresh
+    enough).  See that package's docstring for the architecture
+    diagram and the staleness contract.
 
 Guarantees: after each delta, the served scores equal a cold
 ``score_stationarity`` realignment of the updated ontologies within
@@ -37,7 +51,9 @@ Guarantees: after each delta, the served scores equal a cold
 stream ingested through watch-file/WAL/batcher produces scores equal
 within 1e-9 to the same deltas applied one-by-one via ``POST /delta``,
 and a crash mid-batch followed by snapshot + WAL replay reaches that
-same state (``tests/test_stream.py``).
+same state (``tests/test_stream.py``); every replica at WAL offset K
+serves scores equal within 1e-9 to the primary at offset K, across
+crash resume and WAL compaction (``tests/test_replica.py``).
 """
 
 from .delta import Delta, DeltaEffect, apply_delta, compose_deltas, validate_delta

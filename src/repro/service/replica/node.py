@@ -1,0 +1,275 @@
+"""A read replica: snapshot bootstrap + WAL tailing into its own engine.
+
+:class:`ReplicaNode` owns a full :class:`~repro.service.engine.AlignmentService`
+— the same engine the primary runs — and keeps it converged to the
+primary by applying the primary's WAL records:
+
+1. **Bootstrap.**  Load the newest state the replica can reach: its
+   *own* snapshot directory first (crash resume — a replica killed
+   mid-apply restarts from its own snapshot and replays only the WAL
+   suffix beyond it), otherwise the primary's newest snapshot (read
+   directly from the shared state directory, or fetched over
+   ``GET /snapshot/latest``).  The snapshot's ``wal_offset`` is the
+   tail position.
+2. **Tail.**  A poll thread fetches records beyond the applied offset
+   through a :mod:`follower <repro.service.replica.follower>`,
+   coalesces each fetch (:func:`~repro.service.delta.compose_deltas` —
+   the same composition the primary's batcher applies, so one warm
+   pass absorbs a whole backlog) and applies it with the batch's last
+   WAL offset.  Because the warm fixpoint converges to numeric
+   stationarity on the *final* graphs, a replica at WAL offset K
+   scores equal (within 1e-9) to the primary at offset K no matter how
+   the records were chopped into batches.
+3. **Re-bootstrap.**  When the primary compacted records the replica
+   still needed (:class:`~repro.service.stream.wal.WalGapError`), the
+   replica re-runs step 1 from the primary's newer snapshot — which by
+   the compaction rule covers everything that was dropped.
+
+Staleness accounting: ``lag_ms`` is the time since the replica last
+*verified* it was caught up to the source log's head (0 at every poll
+that finds nothing new).  With a healthy poll loop it stays around the
+poll interval; a dead or backlogged replica's lag grows without bound,
+which is what the router's ``?max_lag_ms=`` bounded-staleness reads
+key off.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+from urllib.request import urlopen
+
+from ..delta import compose_deltas
+from ..engine import AlignmentService
+from ..state import AlignmentState, latest_version, load_state, load_state_bytes
+from ..stream.wal import WalGapError
+from .follower import make_follower
+
+
+def _fetch_primary_snapshot(primary_url: str, timeout: float = 120.0) -> AlignmentState:
+    url = primary_url.rstrip("/") + "/snapshot/latest"
+    with urlopen(url, timeout=timeout) as response:
+        data = response.read()
+    return load_state_bytes(data, origin=url)
+
+
+def bootstrap_state(
+    source: Union[str, Path], state_dir: Optional[Union[str, Path]] = None
+) -> AlignmentState:
+    """Newest reachable state: own ``state_dir`` snapshot if present
+    (crash resume), else the primary's (shared dir or HTTP)."""
+    if state_dir is not None:
+        directory = Path(state_dir)
+        if directory.is_dir() and latest_version(directory) is not None:
+            return load_state(directory)
+    text = str(source)
+    if text.startswith("http://") or text.startswith("https://"):
+        return _fetch_primary_snapshot(text)
+    path = Path(source)
+    if path.is_file() or path.suffix == ".ndjson":
+        # The source may name the WAL file itself (make_follower
+        # accepts either form); the snapshots live next to it.
+        path = path.parent
+    return load_state(path)
+
+
+class ReplicaNode:
+    """One read replica (engine + follower + poll thread).
+
+    Parameters
+    ----------
+    source:
+        The primary: an ``http(s)://`` base URL (log shipping) or the
+        primary's state directory on shared storage.
+    state_dir:
+        The replica's *own* snapshot directory (optional).  Used for
+        crash resume and written every ``snapshot_every`` applied
+        batches; never the primary's directory — a replica must not
+        write where the primary snapshots.
+    poll_interval:
+        Seconds between tail polls.
+    batch:
+        Most WAL records fetched (and coalesced into one warm pass)
+        per poll.
+    config_overrides:
+        Runtime-only config fields to replace on the bootstrapped
+        state (the CLI passes the parallel knobs, as ``repro serve``
+        does on resume — model knobs always come from the snapshot).
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path],
+        state_dir: Optional[Union[str, Path]] = None,
+        poll_interval: float = 0.05,
+        batch: int = 256,
+        snapshot_every: int = 0,
+        config_overrides: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.source = source
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.poll_interval = poll_interval
+        self.batch = batch
+        self.snapshot_every = snapshot_every
+        self.config_overrides = dict(config_overrides or {})
+        self.follower = make_follower(source)
+        self.service = self._build_service(bootstrap_state(source, self.state_dir))
+        self.bootstrapped_at_offset = self.applied_offset
+        self.records_applied = 0
+        self.batches_applied = 0
+        self.rebootstraps = 0
+        self.last_error: Optional[str] = None
+        self._source_offset = self.applied_offset
+        #: Monotonic time of the last poll that verified this replica
+        #: caught up to the source log's head — None until the first
+        #: one, so a freshly bootstrapped replica with an unknown
+        #: backlog never reports a bounded lag it has not earned.
+        self._caught_up_at: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def _build_service(self, state: AlignmentState) -> AlignmentService:
+        if self.config_overrides:
+            state.config = replace(state.config, **self.config_overrides)
+        return AlignmentService.from_state(state)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_offset(self) -> int:
+        return self.service.state.wal_offset
+
+    def start(self) -> "ReplicaNode":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-replica-tail", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=120)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.poll_once()
+                self.last_error = None
+            except WalGapError as gap:
+                print(
+                    f"replica: WAL suffix compacted away ({gap}); "
+                    "re-bootstrapping from the primary's snapshot",
+                    file=sys.stderr,
+                )
+                try:
+                    self._rebootstrap()
+                except Exception as error:  # noqa: BLE001 - retried next poll
+                    self.last_error = repr(error)
+            except Exception as error:  # noqa: BLE001 - retried next poll
+                # Transient (primary restarting, shared FS hiccup):
+                # recorded for /stats, retried on the next poll.  A
+                # poisoned engine fail-stops below us and keeps
+                # surfacing here rather than serving inconsistency.
+                self.last_error = repr(error)
+            self._stop.wait(self.poll_interval)
+
+    def poll_once(self) -> int:
+        """One tail step: fetch → coalesce → apply.  Returns the
+        number of records applied (tests drive this directly for
+        deterministic replication)."""
+        fetch = self.follower.fetch(self.applied_offset, limit=self.batch)
+        if fetch.records:
+            composed = compose_deltas(record.delta for record in fetch.records)
+            self.service.apply_delta(composed, wal_offset=fetch.records[-1].offset)
+            self.records_applied += len(fetch.records)
+            self.batches_applied += 1
+            if (
+                self.state_dir is not None
+                and self.snapshot_every > 0
+                and self.batches_applied % self.snapshot_every == 0
+            ):
+                # Through the engine, not save_state directly: its
+                # fail-stop check refuses to persist a poisoned state
+                # the replica would otherwise resume from and serve.
+                self.service.snapshot(self.state_dir)
+        with self._lock:
+            self._source_offset = max(fetch.source_offset, self.applied_offset)
+            if self.applied_offset >= self._source_offset:
+                self._caught_up_at = time.monotonic()
+        return len(fetch.records)
+
+    def catch_up(self, target_offset: int, timeout: float = 120.0) -> None:
+        """Apply until ``target_offset`` is reached (tests/bootstrap)."""
+        deadline = time.monotonic() + timeout
+        while self.applied_offset < target_offset:
+            if self.poll_once() == 0:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"replica stuck at offset {self.applied_offset}, "
+                        f"wanted {target_offset}"
+                    )
+                time.sleep(0.01)
+
+    def _rebootstrap(self) -> None:
+        """Reload from the newest primary snapshot after a WAL gap.
+
+        The compaction rule only drops segments a durable snapshot
+        covers, so the snapshot we fetch here is always at or beyond
+        the gap.  The engine object is swapped whole; the HTTP handler
+        resolves the service through this node per request, so readers
+        move to the new engine on their next call.
+        """
+        state = bootstrap_state(self.source, state_dir=None)
+        if state.wal_offset < self.applied_offset:
+            # Shared-storage race: LATEST may trail what we already
+            # applied.  Keep the fresher in-memory engine.
+            return
+        self.service = self._build_service(state)
+        self.rebootstraps += 1
+        if self.state_dir is not None:
+            self.service.snapshot(self.state_dir)
+
+    def snapshot(self) -> Optional[Path]:
+        """Persist the replica's own resume point (``None`` without a
+        state dir).  Raises ``RuntimeError`` when the engine fail-
+        stopped — a poisoned state must never become the snapshot a
+        restart resumes from."""
+        if self.state_dir is None:
+            return None
+        return self.service.snapshot(self.state_dir)
+
+    # ------------------------------------------------------------------
+
+    def lag_ms(self) -> Optional[float]:
+        """Milliseconds since the replica last *verified* itself caught
+        up to the source log's head; ``None`` until it has done so at
+        least once (an unverified replica must not look fresh to the
+        router's ``?max_lag_ms=`` bound)."""
+        with self._lock:
+            if self._caught_up_at is None:
+                return None
+            return (time.monotonic() - self._caught_up_at) * 1000.0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            source_offset = self._source_offset
+        return {
+            "source": self.follower.source_id,
+            "applied_offset": self.applied_offset,
+            "source_offset": source_offset,
+            "behind": max(0, source_offset - self.applied_offset),
+            "lag_ms": self.lag_ms(),
+            "records_applied": self.records_applied,
+            "batches_applied": self.batches_applied,
+            "rebootstraps": self.rebootstraps,
+            "bootstrapped_at_offset": self.bootstrapped_at_offset,
+            "last_error": self.last_error,
+        }

@@ -1,0 +1,431 @@
+"""Read router: one front door over a primary and N read replicas.
+
+``repro route --primary URL --replica URL ...`` runs this stdlib HTTP
+proxy:
+
+* **Reads** (``GET /pair/...``, ``GET /alignment``) fan out across the
+  healthy replicas round-robin; when none is healthy they fall back to
+  the primary, so a dead replica fleet degrades to single-node service
+  instead of an outage.
+* **Writes** (any ``POST``) are forwarded to the primary verbatim —
+  status, body and ``Retry-After`` come back unchanged, so admission
+  control (429) and validation errors (400) look the same through the
+  router as against the primary.
+* **Bounded staleness**: a read may carry ``?min_offset=K`` (serve
+  only from a replica whose applied WAL offset is at least K — e.g.
+  the offset a write report returned, for read-your-writes) and/or
+  ``?max_lag_ms=M`` (serve only from a replica that verified itself
+  caught up within the last M milliseconds).  Constrained reads are
+  answered by replicas only; when none qualifies the router answers
+  ``503`` with a ``Retry-After`` header instead of silently serving
+  stale data.  Offsets and lags come from each replica's
+  ``GET /stats`` (cached briefly; refreshed on demand when a cached
+  value fails a constraint).
+* **Health**: a background thread polls every target's ``GET /stats``;
+  a failed poll (or a failed forwarded read) ejects the replica from
+  rotation, a succeeding poll readmits it.  ``GET /healthz`` /
+  ``GET /stats`` on the router itself report per-target health,
+  offsets and routing counters.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+
+class _Target:
+    """One backend (primary or replica) and its cached probe state."""
+
+    def __init__(self, url: str, is_primary: bool = False) -> None:
+        self.url = url.rstrip("/")
+        self.is_primary = is_primary
+        self.healthy = True
+        self.stats: Dict[str, object] = {}
+        self.stats_at = 0.0
+        self.served = 0
+        self.failures = 0
+        self.lock = threading.Lock()
+
+    def probe(self, timeout: float) -> bool:
+        """Refresh the cached ``/stats``; flips :attr:`healthy`."""
+        try:
+            with urllib.request.urlopen(self.url + "/stats", timeout=timeout) as resp:
+                stats = json.load(resp)
+        except (urllib.error.URLError, OSError, ValueError):
+            with self.lock:
+                self.healthy = False
+                self.failures += 1
+            return False
+        with self.lock:
+            self.stats = stats
+            self.stats_at = time.monotonic()
+            self.healthy = True
+        return True
+
+    def wal_offset(self) -> int:
+        with self.lock:
+            return int(self.stats.get("wal_offset", -1))
+
+    def lag_ms(self) -> Optional[float]:
+        """Replication lag *as of now*: the replica's reported lag plus
+        the age of the sample it came from.  ``None`` (no sample yet,
+        or a replica that never verified the log head) means the
+        staleness is unknown — the eligibility check treats it as
+        unbounded."""
+        with self.lock:
+            if not self.stats:
+                return None
+            replication = self.stats.get("replication")
+            if isinstance(replication, dict):
+                reported = replication.get("lag_ms")
+                if reported is None:
+                    return None
+                reported = float(reported)
+            else:
+                reported = 0.0  # the primary is its own head
+            age_ms = (time.monotonic() - self.stats_at) * 1000.0
+        return reported + age_ms
+
+    def snapshot(self) -> Dict[str, object]:
+        with self.lock:
+            payload: Dict[str, object] = {
+                "url": self.url,
+                "healthy": self.healthy,
+                "served": self.served,
+                "failures": self.failures,
+            }
+            if self.stats:
+                payload["wal_offset"] = self.stats.get("wal_offset")
+                replication = self.stats.get("replication")
+                if isinstance(replication, dict):
+                    payload["lag_ms"] = replication.get("lag_ms")
+        return payload
+
+
+class ReadRouter:
+    """Routing state shared by the handler threads (module docstring)."""
+
+    def __init__(
+        self,
+        primary_url: str,
+        replica_urls: List[str],
+        check_interval: float = 1.0,
+        stats_ttl: float = 0.25,
+        retry_after: float = 1.0,
+        request_timeout: float = 120.0,
+        probe_timeout: float = 5.0,
+        refresh_timeout: float = 1.0,
+    ) -> None:
+        self.primary = _Target(primary_url, is_primary=True)
+        self.replicas = [_Target(url) for url in replica_urls]
+        self.check_interval = check_interval
+        self.stats_ttl = stats_ttl
+        self.retry_after = retry_after
+        self.request_timeout = request_timeout
+        self.probe_timeout = probe_timeout
+        self.refresh_timeout = min(refresh_timeout, probe_timeout)
+        self.reads_routed = 0
+        self.writes_forwarded = 0
+        self.rejected_stale = 0
+        self.primary_fallbacks = 0
+        self._rr = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- health ---------------------------------------------------------
+
+    def start(self) -> "ReadRouter":
+        self.probe_all()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._health_loop, name="repro-router-health", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def probe_all(self) -> None:
+        for target in (self.primary, *self.replicas):
+            target.probe(self.probe_timeout)
+
+    def _health_loop(self) -> None:
+        while not self._stop.is_set():
+            self._stop.wait(self.check_interval)
+            if self._stop.is_set():
+                return
+            self.probe_all()
+
+    # -- candidate selection -------------------------------------------
+
+    def _satisfies(
+        self, target: _Target, min_offset: Optional[int], max_lag_ms: Optional[float]
+    ) -> bool:
+        if min_offset is not None and target.wal_offset() < min_offset:
+            return False
+        if max_lag_ms is not None:
+            lag = target.lag_ms()
+            if lag is None or lag > max_lag_ms:
+                return False
+        return True
+
+    def _eligible(
+        self,
+        target: _Target,
+        min_offset: Optional[int],
+        max_lag_ms: Optional[float],
+        refresh: bool,
+    ) -> bool:
+        if not target.healthy:
+            return False
+        if min_offset is None and max_lag_ms is None:
+            return True
+        if self._satisfies(target, min_offset, max_lag_ms):
+            return True
+        # One on-demand refresh per target, with a short timeout: a
+        # constrained read exists to answer quickly and honestly, so a
+        # wedged replica must cost it about a second, not the full
+        # background probe budget twice over.
+        stale_sample = time.monotonic() - target.stats_at > self.stats_ttl
+        if refresh and stale_sample and target.probe(self.refresh_timeout):
+            return self._satisfies(target, min_offset, max_lag_ms)
+        return False
+
+    def pick_read_targets(
+        self, min_offset: Optional[int], max_lag_ms: Optional[float]
+    ) -> List[_Target]:
+        """Replicas to try for one read, in round-robin order.
+
+        Unconstrained reads with zero healthy replicas fall back to the
+        primary; constrained reads never do — the staleness contract is
+        answered honestly with a 503 by the caller instead.
+        """
+        constrained = min_offset is not None or max_lag_ms is not None
+        candidates = [
+            replica
+            for replica in self.replicas
+            if self._eligible(replica, min_offset, max_lag_ms, refresh=constrained)
+        ]
+        if candidates:
+            with self._lock:
+                start = self._rr
+                self._rr += 1
+            return candidates[start % len(candidates) :] + candidates[: start % len(candidates)]
+        if not constrained and self.primary.healthy:
+            # Zero healthy replicas: degrade to single-node service.
+            # (The handler counts primary_fallbacks when the forward
+            # actually succeeds, and appends the primary as the last
+            # resort for replicas that died since the last probe.)
+            return [self.primary]
+        return []
+
+    def stats_payload(self) -> Dict[str, object]:
+        return {
+            "role": "router",
+            "reads_routed": self.reads_routed,
+            "writes_forwarded": self.writes_forwarded,
+            "rejected_stale": self.rejected_stale,
+            "primary_fallbacks": self.primary_fallbacks,
+            "primary": self.primary.snapshot(),
+            "replicas": [replica.snapshot() for replica in self.replicas],
+        }
+
+    def health_payload(self) -> Dict[str, object]:
+        healthy_replicas = sum(1 for replica in self.replicas if replica.healthy)
+        status = "ok" if (self.primary.healthy or healthy_replicas) else "degraded"
+        return {
+            "status": status,
+            "role": "router",
+            "primary_healthy": self.primary.healthy,
+            "replicas": len(self.replicas),
+            "replicas_healthy": healthy_replicas,
+        }
+
+
+class RouterRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-route/1.0"
+    MAX_BODY = 64 * 1024 * 1024
+
+    @property
+    def router(self) -> ReadRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write("route: %s\n" % (format % args))
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send_json(self, payload: object, status: int = 200, retry_after=None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _relay(self, status: int, headers, body: bytes, target_url: str) -> None:
+        self.send_response(status)
+        # X-Wal-Offset / X-State-Version make forwarded /wal and
+        # /snapshot/latest responses usable by a replica pointed at the
+        # router instead of the primary (chained replication).
+        for name in ("Content-Type", "Retry-After", "X-Wal-Offset", "X-State-Version"):
+            value = headers.get(name)
+            if value is not None:
+                self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Served-By", target_url)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _forward(
+        self, target: _Target, method: str, path_query: str, body: Optional[bytes]
+    ) -> Optional[Tuple[int, object, bytes]]:
+        """One proxied request; None means the target is unreachable."""
+        request = urllib.request.Request(
+            target.url + path_query,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.router.request_timeout
+            ) as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as error:
+            # An HTTP-level error is a *backend answer* (400/404/429/
+            # 503…), not a router failure: relay it untouched.
+            return error.code, error.headers, error.read()
+        except (urllib.error.URLError, OSError):
+            with target.lock:
+                target.healthy = False
+                target.failures += 1
+            return None
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._send_json(self.router.health_payload())
+            return
+        if parts == ["stats"]:
+            self._send_json(self.router.stats_payload())
+            return
+        if parts and parts[0] in ("pair", "alignment"):
+            self._route_read(url)
+            return
+        # Everything else (e.g. /wal for a chained replica) is the
+        # primary's business.
+        result = self._forward(self.router.primary, "GET", self.path, None)
+        if result is None:
+            self._send_json(
+                {"error": "primary unreachable"},
+                status=502,
+                retry_after=self.router.retry_after,
+            )
+            return
+        self._relay(*result, self.router.primary.url)
+
+    def _route_read(self, url) -> None:
+        router = self.router
+        query = parse_qs(url.query)
+        try:
+            min_offset = int(query["min_offset"][0]) if "min_offset" in query else None
+            max_lag_ms = (
+                float(query["max_lag_ms"][0]) if "max_lag_ms" in query else None
+            )
+        except ValueError:
+            self._send_json(
+                {"error": "min_offset must be an integer, max_lag_ms a number"},
+                status=400,
+            )
+            return
+        constrained = min_offset is not None or max_lag_ms is not None
+        targets = router.pick_read_targets(min_offset, max_lag_ms)
+        if not constrained and router.primary not in targets:
+            # Replicas that die between health probes are discovered at
+            # forward time; an unconstrained read must still degrade to
+            # the primary rather than 503 while it is healthy.
+            targets.append(router.primary)
+        for target in targets:
+            result = self._forward(target, "GET", self.path, None)
+            if result is None:
+                continue  # ejected; try the next candidate
+            with router._lock:
+                router.reads_routed += 1
+                if target.is_primary:
+                    router.primary_fallbacks += 1
+            with target.lock:
+                target.served += 1
+            self._relay(*result, target.url)
+            return
+        if constrained:
+            with router._lock:
+                router.rejected_stale += 1
+            self._send_json(
+                {
+                    "error": "no replica satisfies the staleness bound",
+                    "min_offset": min_offset,
+                    "max_lag_ms": max_lag_ms,
+                },
+                status=503,
+                retry_after=router.retry_after,
+            )
+            return
+        self._send_json(
+            {"error": "no healthy backend for reads"},
+            status=503,
+            retry_after=router.retry_after,
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        router = self.router
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json({"error": "bad Content-Length"}, status=400)
+            return
+        if length < 0 or length > self.MAX_BODY:
+            self._send_json({"error": "body too large"}, status=400)
+            return
+        body = self.rfile.read(length) if length else None
+        result = self._forward(router.primary, "POST", self.path, body)
+        if result is None:
+            self._send_json(
+                {"error": "primary unreachable; write not applied"},
+                status=502,
+                retry_after=router.retry_after,
+            )
+            return
+        with router._lock:
+            router.writes_forwarded += 1
+        self._relay(*result, router.primary.url)
+
+
+def build_router_server(
+    router: ReadRouter, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the router's HTTP server."""
+    server = ThreadingHTTPServer((host, port), RouterRequestHandler)
+    server.router = router  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

@@ -4,9 +4,20 @@ A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentServi
 
 * ``GET  /healthz``                  — liveness + state summary
 * ``GET  /stats``                    — ingestion/work counters (queue depth,
-  WAL offsets, cumulative ``pairs_touched``)
+  WAL offsets, cumulative ``pairs_touched``).  Always carries an
+  ``ingest`` sub-payload: without a stream stack it reports a zero
+  queue and the engine's WAL offset, so routers and monitors read one
+  shape whether or not ``--watch``/``--wal`` are on.  A replica server
+  adds a ``replication`` sub-payload (applied/source offsets,
+  ``lag_ms``).
 * ``GET  /pair/<left>/<right>``      — one pair's probability (URL-quoted names)
 * ``GET  /alignment?threshold=0.5``  — maximal assignment (``format=tsv`` for TSV)
+* ``GET  /wal?from=K&limit=N``       — log shipping for replicas without
+  shared storage: NDJSON WAL records beyond offset K, capped at the
+  durable offset, primary's head in ``X-Wal-Offset``; ``410`` when the
+  suffix was compacted away (re-bootstrap from a snapshot)
+* ``GET  /snapshot/latest``          — the newest snapshot file verbatim
+  (replica bootstrap; pickle, trusted-cluster only)
 * ``POST /delta``                    — apply a JSON delta batch (see
   :meth:`repro.service.delta.Delta.from_json`), warm-start the fixpoint,
   snapshot the new state if a state directory is configured.  With a
@@ -18,6 +29,12 @@ A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentServi
   true}``), and a full queue answers ``429`` with a ``Retry-After``
   header.
 * ``POST /snapshot``                 — force a snapshot
+
+A server built with a :class:`~repro.service.replica.ReplicaNode` is a
+*read replica*: every ``POST`` answers ``403`` pointing writers at the
+primary, and the engine is resolved through the node per request so a
+re-bootstrap (after WAL compaction outran the replica) swaps it
+atomically under the readers.
 
 Concurrency: request handlers run on one thread each; the engine
 serializes mutation and reads behind its own lock, so a long warm pass
@@ -66,6 +83,11 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
 
     @property
     def service(self) -> AlignmentService:
+        replica = self.server.replica  # type: ignore[attr-defined]
+        if replica is not None:
+            # Resolved per request: a re-bootstrap after a WAL gap
+            # swaps the replica's engine, and readers must follow it.
+            return replica.service
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -74,21 +96,29 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers -------------------------------------------------------
 
-    def _send_json(self, payload: object, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_bytes(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int = 200,
+        headers: Optional[dict] = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(
+        self, payload: object, status: int = 200, headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(body, "application/json", status, headers)
+
     def _send_text(self, text: str, status: int = 200) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "text/plain; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_bytes(text.encode("utf-8"), "text/plain; charset=utf-8", status)
 
     def _error(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
@@ -105,15 +135,36 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
     def _route_get(self) -> None:
         url = urlparse(self.path)
         parts = [unquote(part) for part in url.path.split("/") if part]
+        replica = self.server.replica  # type: ignore[attr-defined]
         if parts == ["healthz"]:
-            self._send_json(self.service.health())
+            payload = self.service.health()
+            payload["role"] = "replica" if replica is not None else "primary"
+            self._send_json(payload)
             return
         if parts == ["stats"]:
             payload = self.service.stats()
+            payload["role"] = "replica" if replica is not None else "primary"
             stream = self.server.stream  # type: ignore[attr-defined]
             if stream is not None:
                 payload["ingest"] = stream.stats()
+            else:
+                # No stream stack: report the same shape with a zero
+                # queue and the engine's own WAL offset, so routers and
+                # monitors never special-case plain servers.
+                payload["ingest"] = {
+                    "queue_depth": 0,
+                    "streaming": False,
+                    "wal_appended": payload["wal_offset"],
+                }
+            if replica is not None:
+                payload["replication"] = replica.stats()
             self._send_json(payload)
+            return
+        if parts == ["wal"]:
+            self._route_get_wal(url)
+            return
+        if parts == ["snapshot", "latest"]:
+            self._route_get_snapshot()
             return
         if len(parts) == 3 and parts[0] == "pair":
             self._send_json(self.service.pair(parts[1], parts[2]))
@@ -141,7 +192,74 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
             return
         self._error(404, f"no such resource: {url.path}")
 
+    def _route_get_wal(self, url) -> None:
+        """Log shipping: NDJSON WAL records for replica catch-up."""
+        from .stream.wal import WalCorruptionError, WalGapError
+
+        stream = self.server.stream  # type: ignore[attr-defined]
+        wal = stream.wal if stream is not None else None
+        if wal is None:
+            self._error(404, "server runs without a write-ahead log")
+            return
+        query = parse_qs(url.query)
+        try:
+            after = int(query.get("from", ["0"])[0])
+            limit = int(query.get("limit", ["1000"])[0])
+        except ValueError:
+            self._error(400, "from and limit must be integers")
+            return
+        limit = max(1, min(limit, 10_000))
+        # Never ship past the durable offset: a record the primary has
+        # not fsync'd could vanish in a crash, and a replica that
+        # applied it would be ahead of the log it must converge to.
+        durable = wal.durable_offset
+        if after >= durable:
+            # The caught-up steady state, O(1): no decode of the log
+            # 20x/sec per replica just to ship an empty page.
+            self._send_bytes(
+                b"", "application/x-ndjson", headers={"X-Wal-Offset": str(durable)}
+            )
+            return
+        lines = []
+        try:
+            for record in wal.replay(after_offset=after):
+                if record.offset > durable or len(lines) >= limit:
+                    break
+                lines.append(json.dumps(record.to_json(), sort_keys=True))
+        except WalGapError as gap:
+            self._send_json({"error": str(gap), "oldest": gap.oldest}, status=410)
+            return
+        except WalCorruptionError as error:
+            # Never ship from a log we cannot decode — and never let
+            # the exception tear the connection down without a status.
+            self._error(500, f"write-ahead log is corrupt: {error}")
+            return
+        body = ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+        self._send_bytes(
+            body, "application/x-ndjson", headers={"X-Wal-Offset": str(durable)}
+        )
+
+    def _route_get_snapshot(self) -> None:
+        """Serve the newest snapshot file for replica bootstrap."""
+        from .state import latest_version, snapshot_path
+
+        state_dir = self.server.state_dir  # type: ignore[attr-defined]
+        path = snapshot_path(state_dir) if state_dir is not None else None
+        if path is None:
+            self._error(404, "no snapshot available yet")
+            return
+        self._send_bytes(
+            path.read_bytes(),
+            "application/octet-stream",
+            headers={"X-State-Version": str(latest_version(state_dir))},
+        )
+
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.server.replica is not None:  # type: ignore[attr-defined]
+            # Read replica: its state is a function of the primary's
+            # WAL; accepting a local write would fork it.
+            self._error(403, "read-only replica; send writes to the primary")
+            return
         try:
             self._route_post()
         except RuntimeError as error:
@@ -154,12 +272,21 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
             if state_dir is None:
                 self._error(409, "server runs without a state directory")
                 return
+            # Captured before the snapshot: the ingest thread may apply
+            # further batches while we persist, and compaction must
+            # never outrun what this snapshot actually covers.
+            covered = self.service.state.wal_offset
             try:
                 path = self.service.snapshot(state_dir)
             except OSError as error:
                 self._error(500, f"snapshot failed: {error}")
                 return
-            self._send_json({"snapshot": str(path)})
+            reclaimed = maybe_compact_wal(
+                self.service,
+                self.server.stream,  # type: ignore[attr-defined]
+                covered=covered,
+            )
+            self._send_json({"snapshot": str(path), "wal_bytes_compacted": reclaimed})
             return
         if url.path != "/delta":
             self._error(404, f"no such resource: {url.path}")
@@ -200,13 +327,11 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
             self._error(400, f"bad delta: {error}")
             return
         except QueueFullError as error:
-            body = json.dumps({"error": str(error)}).encode("utf-8")
-            self.send_response(429)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Retry-After", f"{error.retry_after:g}")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            self._send_json(
+                {"error": str(error)},
+                status=429,
+                headers={"Retry-After": f"{error.retry_after:g}"},
+            )
             return
         except RuntimeError as error:
             # Engine fail-stopped (this or an earlier delta died
@@ -239,14 +364,40 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         self._send_json(payload)
 
 
-def build_server(
+def maybe_compact_wal(
     service: AlignmentService,
+    stream: Optional[StreamStack],
+    covered: Optional[int] = None,
+) -> int:
+    """Auto-compaction trigger: after a snapshot made ``wal_offset``
+    durable, sealed WAL segments at or below it are dead weight.  Only
+    fires on a segmented log (``--wal-segment-bytes``); returns the
+    bytes reclaimed.
+
+    ``covered`` must be an offset some *persisted* snapshot covers.
+    Callers racing the ingest thread (``POST /snapshot``) capture it
+    *before* snapshotting — the snapshot can only cover more, so the
+    compaction stays conservative; reading ``state.wal_offset`` after
+    the snapshot could see a newer offset no snapshot has persisted
+    yet and delete segments a crash-restart still needs."""
+    wal = stream.wal if stream is not None else None
+    if wal is None or not wal.segment_bytes:
+        return 0
+    if covered is None:
+        covered = service.state.wal_offset
+    reclaimed, _deleted = wal.compact(covered)
+    return reclaimed
+
+
+def build_server(
+    service: Optional[AlignmentService],
     host: str = "127.0.0.1",
     port: int = 0,
     state_dir: Optional[Union[str, Path]] = None,
     verbose: bool = False,
     snapshot_every: int = 1,
     stream: Optional[StreamStack] = None,
+    replica=None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server.
 
@@ -262,14 +413,21 @@ def build_server(
     per applied *batch* via the batcher's ``on_batch_applied`` hook —
     installed here unless the caller already set one — instead of in
     the request handler, where every HTTP waiter sharing a batch would
-    repeat it.
+    repeat it.  Each policy snapshot also triggers WAL compaction
+    (:func:`maybe_compact_wal`) on a segmented log.
+    ``replica`` (a :class:`~repro.service.replica.ReplicaNode`) makes
+    this a read-only replica server: the engine is resolved through
+    the node per request and every ``POST`` answers 403.
     """
+    if replica is not None and service is None:
+        service = replica.service
     server = ThreadingHTTPServer((host, port), AlignmentRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.state_dir = Path(state_dir) if state_dir is not None else None  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.snapshot_every = snapshot_every  # type: ignore[attr-defined]
     server.stream = stream  # type: ignore[attr-defined]
+    server.replica = replica  # type: ignore[attr-defined]
     server.daemon_threads = True
     if (
         stream is not None
@@ -279,10 +437,38 @@ def build_server(
     ):
         def _snapshot_policy(report, _every=snapshot_every):
             if _should_snapshot(report, _every):
+                covered = service.state.wal_offset
                 service.snapshot(state_dir)
+                maybe_compact_wal(service, stream, covered=covered)
 
         stream.batcher.on_batch_applied = _snapshot_policy
     return server
+
+
+def serve_until_signalled(server: ThreadingHTTPServer) -> None:
+    """Serve until SIGTERM/SIGINT, then restore handlers and close.
+
+    The one implementation of the signal dance every long-running
+    ``repro`` process (``serve``, ``replica``, ``route``) shares:
+    handlers are installed around ``serve_forever``, ``shutdown`` runs
+    off the serving thread (it would deadlock on it), and the previous
+    handlers are restored before the socket closes.
+    """
+
+    def _shutdown(signum, _frame) -> None:
+        print(f"received signal {signum}, shutting down", file=sys.stderr, flush=True)
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {
+        sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        server.server_close()
 
 
 def run_server(
@@ -321,22 +507,11 @@ def run_server(
         flush=True,
     )
 
-    def _shutdown(signum, _frame) -> None:
-        print(f"received signal {signum}, shutting down", file=sys.stderr, flush=True)
-        # shutdown() must not run on the serve_forever thread.
-        threading.Thread(target=server.shutdown, daemon=True).start()
-
-    previous_handlers = {
-        sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
-    }
     if stream is not None:
         stream.start()
     try:
-        server.serve_forever()
+        serve_until_signalled(server)
     finally:
-        for sig, handler in previous_handlers.items():
-            signal.signal(sig, handler)
-        server.server_close()
         if stream is not None:
             # Sources stop, the queue drains through the engine, the
             # WAL closes — before the snapshot records the offset.
@@ -344,4 +519,11 @@ def run_server(
         if state_dir is not None:
             path = service.snapshot(state_dir)
             print(f"state saved to {path}", file=sys.stderr, flush=True)
+            reclaimed = maybe_compact_wal(service, stream)
+            if reclaimed:
+                print(
+                    f"compacted {reclaimed} bytes of covered WAL segments",
+                    file=sys.stderr,
+                    flush=True,
+                )
     return 0

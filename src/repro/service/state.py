@@ -165,13 +165,32 @@ def load_state(
         if version is None:
             raise FileNotFoundError(f"no alignment state under {directory}")
     path = _state_path(directory, version)
-    with path.open("rb") as stream:
-        payload = pickle.load(stream)
+    return load_state_bytes(path.read_bytes(), origin=str(path))
+
+
+def load_state_bytes(data: bytes, origin: str = "<bytes>") -> AlignmentState:
+    """Decode a snapshot payload (one ``state-*.pkl`` file's bytes).
+
+    The replica bootstrap path: a replica without shared storage
+    fetches the primary's newest snapshot over ``GET /snapshot/latest``
+    and decodes it here — same format checks as :func:`load_state`.
+    Pickle is only safe within a trusted cluster; the replication
+    endpoints assume primary and replicas share an operator.
+    """
+    payload = pickle.loads(data)
     if not isinstance(payload, dict) or payload.get("format") != STATE_FORMAT:
-        raise ValueError(
-            f"{path} is not a format-{STATE_FORMAT} alignment state"
-        )
+        raise ValueError(f"{origin} is not a format-{STATE_FORMAT} alignment state")
     state = payload["state"]
     if not isinstance(state, AlignmentState):
-        raise ValueError(f"{path} does not contain an AlignmentState")
+        raise ValueError(f"{origin} does not contain an AlignmentState")
     return state
+
+
+def snapshot_path(directory: Union[str, Path]) -> Optional[Path]:
+    """Path of the newest snapshot file (None when the dir is empty)."""
+    directory = Path(directory)
+    version = latest_version(directory)
+    if version is None:
+        return None
+    path = _state_path(directory, version)
+    return path if path.exists() else None

@@ -13,9 +13,15 @@ package puts a streaming ingestion pipeline in front of the engine:
     ``POST /delta``.
 ``repro.service.stream.wal``
     Durability: every *accepted* delta is appended (fsync'd) to a
-    write-ahead log before application; snapshots record the WAL
-    offset they absorbed, so a restart replays exactly the
-    un-snapshotted suffix (:func:`replay_wal`).
+    segmented write-ahead log before application; snapshots record the
+    WAL offset they absorbed, so a restart replays exactly the
+    un-snapshotted suffix (:func:`replay_wal`).  Group commit
+    (``--wal-group-commit-ms``) lets concurrent writers share one
+    fsync at unchanged per-delta durability; segment rotation
+    (``--wal-segment-bytes``) plus compaction (``repro wal compact``,
+    or automatically after each snapshot) bound the log's disk
+    footprint.  The WAL doubles as the replication log read replicas
+    tail (:mod:`repro.service.replica`).
 ``repro.service.stream.batcher``
     Coalescing + admission control: queued deltas are merged
     (:func:`repro.service.delta.compose_deltas` — add/remove of the
@@ -52,7 +58,7 @@ from .sources import (
     decode_stream_line,
     make_source,
 )
-from .wal import WalCorruptionError, WalRecord, WriteAheadLog, replay_wal
+from .wal import WalCorruptionError, WalGapError, WalRecord, WriteAheadLog, replay_wal
 
 
 @dataclass
@@ -98,6 +104,7 @@ __all__ = [
     "make_source",
     "StreamStack",
     "WalCorruptionError",
+    "WalGapError",
     "WalRecord",
     "WriteAheadLog",
     "replay_wal",

@@ -156,36 +156,60 @@ class DeltaBatcher:
         batch's failure, if any).
         """
         validate_delta(delta)
+        offset = None
+        duplicate = False
         with self._ready:
             if self._closed:
                 raise RuntimeError("delta batcher is closed")
             if seq is not None:
                 last = self._last_seqs.get(source)
-                if last is not None and seq <= last:
-                    self.duplicates += 1
-                    return None
-            # Pending = queued + popped-but-still-applying: the bound
-            # measures the same thing stats() reports as queue_depth.
-            depth = len(self._queue) + self._in_flight
-            if depth >= self.max_queue:
-                self.rejected += 1
-                raise QueueFullError(depth, self.retry_after)
-            # Durability point: after this append returns, the delta
+                duplicate = last is not None and seq <= last
+            if duplicate:
+                self.duplicates += 1
+            else:
+                # Pending = queued + popped-but-still-applying: the
+                # bound measures what stats() reports as queue_depth.
+                depth = len(self._queue) + self._in_flight
+                if depth >= self.max_queue:
+                    self.rejected += 1
+                    raise QueueFullError(depth, self.retry_after)
+                # Buffered append under the queue lock keeps WAL order
+                # == application order; the fsync happens below,
+                # outside the lock, so concurrent writers can share
+                # one group commit.
+                offset = (
+                    self.wal.append(delta, source, seq, sync=False)
+                    if self.wal is not None
+                    else None
+                )
+                if seq is not None and self.wal is not None:
+                    # With a WAL the delta is durable the moment it is
+                    # admitted: a redelivery may be acked as duplicate
+                    # even if this batch later fails, because restart
+                    # replays it from the log.  Without a WAL the mark
+                    # only moves after a successful apply (see _apply)
+                    # — otherwise a failed batch + retry would be
+                    # acked as "duplicate" and the delta silently lost.
+                    self._last_seqs[source] = seq
+                pending = _Pending(delta, offset, time.monotonic(), source, seq)
+                self._queue.append(pending)
+                self.accepted += 1
+                self._ready.notify_all()
+        if duplicate:
+            if self.wal is not None:
+                # The original record may still be buffered (its
+                # submitter is inside its group fsync): acking the
+                # duplicate promises durability, so join the fsync
+                # before answering.
+                self.wal.sync()
+            return None
+        if offset is not None:
+            # Durability point: after this sync returns, the delta
             # survives a crash (replayed from the WAL on restart).
-            offset = self.wal.append(delta, source, seq) if self.wal is not None else None
-            if seq is not None and self.wal is not None:
-                # With a WAL the delta is durable the moment it is
-                # admitted: a redelivery may be acked as duplicate even
-                # if this batch later fails, because restart replays it
-                # from the log.  Without a WAL the mark only moves
-                # after a successful apply (see _apply) — otherwise a
-                # failed batch + retry would be acked as "duplicate"
-                # and the delta silently lost.
-                self._last_seqs[source] = seq
-            pending = _Pending(delta, offset, time.monotonic(), source, seq)
-            self._queue.append(pending)
-            self.accepted += 1
-            self._ready.notify_all()
+            # Concurrent submitters share the leader's fsync (see
+            # WriteAheadLog.sync), so per-delta ack-after-fsync costs
+            # one group commit, not one fsync each.
+            self.wal.sync(offset)
         if not wait:
             return None
         if not pending.done.wait(timeout):
@@ -263,6 +287,14 @@ class DeltaBatcher:
         composed = compose_deltas(pending.delta for pending in batch)
         wal_offset = batch[-1].wal_offset
         try:
+            if wal_offset is not None:
+                # Never apply records an fsync has not covered: a crash
+                # after apply + snapshot but before the fsync would
+                # leave a snapshot claiming WAL offsets the log does
+                # not hold.  Inside the try: an fsync failure must
+                # reach the batch's waiters as an error, not kill the
+                # flush loop and hand them a success-shaped None.
+                self.wal.sync(wal_offset)
             report = self.service.apply_delta(composed, wal_offset=wal_offset)
         except BaseException as error:  # noqa: BLE001 - forwarded to waiters
             # The engine poisoned itself if mutation had started; every

@@ -267,6 +267,98 @@ class TestParallelOptionsWiring:
         assert args.no_snapshot is True
         assert args.handler.__name__ == "cmd_replay"
 
+    def test_serve_wal_lifecycle_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "l.nt", "r.nt", "--state-dir", "state", "--wal",
+                "--wal-segment-bytes", "65536",
+                "--wal-group-commit-ms", "5",
+            ]
+        )
+        assert args.wal_segment_bytes == 65536
+        assert args.wal_group_commit_ms == 5.0
+        defaults = build_parser().parse_args(
+            ["serve", "l.nt", "r.nt", "--state-dir", "state"]
+        )
+        # Segmented by default: rotation bounds what a tailing replica
+        # re-reads per poll and lets compaction reclaim covered history.
+        assert defaults.wal_segment_bytes == 16 * 1024 * 1024
+        assert defaults.wal_group_commit_ms == 0.0
+
+    def test_replica_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "replica", "http://primary:8765",
+                "--state-dir", "rep1", "--port", "0",
+                "--poll-ms", "20", "--replica-batch", "64",
+                "--snapshot-every", "5", "--workers", "2",
+            ]
+        )
+        assert args.source == "http://primary:8765"
+        assert args.state_dir == "rep1"
+        assert args.poll_ms == 20.0
+        assert args.replica_batch == 64
+        assert args.snapshot_every == 5
+        assert args.workers == 2
+        assert args.handler.__name__ == "cmd_replica"
+        defaults = build_parser().parse_args(["replica", "statedir"])
+        assert defaults.state_dir is None and defaults.port == 8766
+
+    def test_route_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "route", "--primary", "http://p:8765",
+                "--replica", "http://r1:8766", "--replica", "http://r2:8767",
+                "--port", "0", "--check-interval-ms", "250",
+            ]
+        )
+        assert args.primary == "http://p:8765"
+        assert args.replica == ["http://r1:8766", "http://r2:8767"]
+        assert args.check_interval_ms == 250.0
+        assert args.handler.__name__ == "cmd_route"
+
+    def test_wal_compact_parser_and_run(self, tmp_path):
+        from repro.cli import build_parser
+        from repro.core.config import ParisConfig
+        from repro.datasets.incremental import family_addition, family_pair
+        from repro.service import AlignmentService, Delta
+        from repro.service.stream import WriteAheadLog
+
+        args = build_parser().parse_args(["wal", "compact", "--state-dir", "state"])
+        assert args.state_dir == "state"
+        assert args.handler.__name__ == "cmd_wal_compact"
+
+        # End to end: rotated WAL + covering snapshot → segments gone.
+        left, right = family_pair(4)
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        wal = WriteAheadLog(tmp_path / "wal.ndjson", segment_bytes=400)
+        for step in range(3):
+            add1, add2 = family_addition(4 + step, 1)
+            delta = Delta(add1=tuple(add1), add2=tuple(add2))
+            service.apply_delta(delta, wal_offset=wal.append(delta, "w", step + 1))
+        wal.close()
+        service.snapshot(tmp_path)
+        assert WriteAheadLog(tmp_path / "wal.ndjson", read_only=True).sealed_segments()
+        size_before = sum(
+            path.stat().st_size for path in tmp_path.glob("wal*.ndjson")
+        )
+        assert main(["wal", "compact", "--state-dir", str(tmp_path)]) == 0
+        assert not WriteAheadLog(
+            tmp_path / "wal.ndjson", read_only=True
+        ).sealed_segments()
+        size_after = sum(path.stat().st_size for path in tmp_path.glob("wal*.ndjson"))
+        assert size_after < size_before
+        # The remaining log still replays onto the snapshot cleanly.
+        assert main(
+            ["replay", str(tmp_path / "wal.ndjson"), "--state-dir", str(tmp_path)]
+        ) == 0
+
     def test_replay_catches_up_a_stale_snapshot(self, tmp_path):
         """End-to-end offline recovery: snapshot + WAL suffix →
         caught-up snapshot whose scores match the full stream."""

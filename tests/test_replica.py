@@ -1,0 +1,629 @@
+"""Multi-replica serving: followers, replica nodes, router, endpoints.
+
+Covers the replication subsystem bottom-up: the WAL followers (file
+tail and HTTP log shipping), the replica node (bootstrap, tailing,
+crash resume, re-bootstrap after compaction), the read router (fan-out,
+write forwarding, bounded staleness, ejection) and the primary's
+``GET /wal`` / ``GET /snapshot/latest`` endpoints — plus the headline
+guarantee: a replica at WAL offset K scores equal (1e-9) to the
+primary at offset K and to a cold realign of the same graphs, for
+random delta streams, across crash resume and compaction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aligner import align
+from repro.core.config import ParisConfig
+from repro.datasets.incremental import family_addition, family_pair, family_removal
+from repro.service import AlignmentService, Delta, load_state
+from repro.service.replica import (
+    FileWalFollower,
+    HttpWalFollower,
+    ReadRouter,
+    ReplicaNode,
+    build_router_server,
+    make_follower,
+)
+from repro.service.server import build_server
+from repro.service.state import load_state_bytes
+from repro.service.stream import (
+    DeltaBatcher,
+    StreamStack,
+    WalGapError,
+    WriteAheadLog,
+)
+
+TOLERANCE = 1e-9
+
+
+def family_delta(start: int, count: int = 1) -> Delta:
+    add1, add2 = family_addition(start, count)
+    return Delta(add1=tuple(add1), add2=tuple(add2))
+
+
+def assert_stores_match(first, second, tolerance=TOLERANCE):
+    mismatches = list(first.diff(second, tolerance))
+    assert not mismatches, mismatches[:5]
+    for left, right, probability in second.items():
+        assert first.equals_of_right(right)[left] == pytest.approx(
+            probability, abs=tolerance
+        )
+
+
+def wait_until(condition, seconds=60.0):
+    deadline = time.monotonic() + seconds
+    while not condition():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.05)
+
+
+def make_primary(tmp_path, base=6, segment_bytes=0):
+    """A snapshotted primary + WAL, the fixture every replica needs."""
+    left, right = family_pair(base)
+    primary = AlignmentService.cold_start(left, right, ParisConfig())
+    state_dir = tmp_path / "state"
+    primary.snapshot(state_dir)
+    wal = WriteAheadLog(state_dir / "wal.ndjson", segment_bytes=segment_bytes)
+    return primary, state_dir, wal
+
+
+def write_through(primary, wal, delta, seq):
+    """The primary's write path: durable WAL append, then apply."""
+    offset = wal.append(delta, "writer", seq)
+    primary.apply_delta(delta, wal_offset=offset)
+    return offset
+
+
+# ----------------------------------------------------------------------
+# followers
+# ----------------------------------------------------------------------
+
+
+class TestFollowers:
+    def test_file_follower_tails_and_reports_head(self, tmp_path):
+        primary, state_dir, wal = make_primary(tmp_path)
+        for step in range(3):
+            write_through(primary, wal, family_delta(6 + step), step + 1)
+        follower = FileWalFollower(state_dir / "wal.ndjson")
+        fetch = follower.fetch(0, limit=2)
+        assert [record.offset for record in fetch.records] == [1, 2]
+        # A full-limit (backlogged) fetch must report the log's true
+        # head, not its own last record — the replica's lag accounting
+        # (and the router's ?max_lag_ms= contract) depend on it.
+        assert fetch.source_offset == 3
+        fetch = follower.fetch(2, limit=10)
+        assert [record.offset for record in fetch.records] == [3]
+        assert fetch.source_offset == 3
+        assert follower.fetch(3, limit=10) == ([], 3)
+        wal.close()
+
+    def test_file_follower_never_reads_past_the_durable_marker(self, tmp_path):
+        """A group-committing primary's buffered appends reach the
+        shared file before their fsync; the follower must cap at the
+        published durable marker or a primary crash could leave a
+        replica ahead of the log it converges to."""
+        primary, state_dir, wal = make_primary(tmp_path)
+        write_through(primary, wal, family_delta(6), 1)  # fsync'd, marker at 1
+        offset = wal.append(family_delta(7), "w", 2, sync=False)
+        wal._stream.flush()  # the line is in the file, the fsync is not
+        follower = FileWalFollower(state_dir / "wal.ndjson")
+        fetch = follower.fetch(0, limit=10)
+        assert [record.offset for record in fetch.records] == [1]
+        assert fetch.source_offset == 1  # undurable tail is invisible
+        wal.sync(offset)
+        fetch = follower.fetch(1, limit=10)
+        assert [record.offset for record in fetch.records] == [2]
+        assert fetch.source_offset == 2
+        wal.close()
+
+    def test_replica_source_may_name_the_wal_file(self, tmp_path):
+        """Every source form make_follower accepts must also
+        bootstrap: a WAL-file path finds the snapshots next to it."""
+        primary, state_dir, wal = make_primary(tmp_path)
+        write_through(primary, wal, family_delta(6), 1)
+        replica = ReplicaNode(state_dir / "wal.ndjson")
+        replica.catch_up(1)
+        assert_stores_match(replica.service.state.store, primary.state.store)
+        wal.close()
+
+    def test_make_follower_dispatch(self, tmp_path):
+        assert isinstance(make_follower("http://127.0.0.1:1/x"), HttpWalFollower)
+        follower = make_follower(tmp_path)  # a directory → its wal.ndjson
+        assert isinstance(follower, FileWalFollower)
+        assert follower.path == tmp_path / "wal.ndjson"
+        assert isinstance(make_follower(tmp_path / "wal.ndjson"), FileWalFollower)
+
+    def test_file_follower_sees_rotation_and_compaction(self, tmp_path):
+        primary, state_dir, wal = make_primary(tmp_path, segment_bytes=512)
+        follower = FileWalFollower(state_dir / "wal.ndjson")
+        for step in range(4):
+            write_through(primary, wal, family_delta(6 + step), step + 1)
+        assert len(wal.sealed_segments()) >= 1
+        fetch = follower.fetch(0, limit=100)
+        assert [record.offset for record in fetch.records] == [1, 2, 3, 4]
+        # Compact everything a snapshot covers; a fresh suffix fetch
+        # works, an out-of-retention fetch raises the gap error.
+        primary.snapshot(state_dir)
+        wal.compact(primary.state.wal_offset)
+        assert follower.fetch(4, limit=10).records == []
+        with pytest.raises(WalGapError):
+            follower.fetch(0, limit=10)
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# the headline guarantee
+# ----------------------------------------------------------------------
+
+
+class TestReplicaEquivalence:
+    """For random delta streams, a replica that bootstrapped from the
+    primary's snapshot and tailed its WAL scores equal (1e-9) to the
+    primary — at an intermediate offset K and at the head — and the
+    head state equals a cold realign of the final graphs.  Both store
+    directions are asserted (``assert_stores_match`` checks the 1→2
+    diff and every 2→1 row)."""
+
+    BASE = 5
+
+    @staticmethod
+    def _delta_stream(seed: int, num_ops: int) -> list:
+        import random
+
+        rng = random.Random(seed)
+        deltas = []
+        next_new = TestReplicaEquivalence.BASE
+        for _ in range(num_ops):
+            kind = rng.choice(("add_family", "remove_marriage", "readd_marriage"))
+            if kind == "add_family":
+                add1, add2 = family_addition(next_new, 1)
+                deltas.append(Delta(add1=tuple(add1), add2=tuple(add2)))
+                next_new += 1
+            else:
+                index = rng.randrange(0, TestReplicaEquivalence.BASE)
+                rem1, rem2 = family_removal([index])
+                if kind == "remove_marriage":
+                    deltas.append(Delta(remove1=tuple(rem1), remove2=tuple(rem2)))
+                else:
+                    deltas.append(Delta(add1=tuple(rem1), add2=tuple(rem2)))
+        return deltas
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_ops=st.integers(min_value=2, max_value=6),
+        replica_batch=st.integers(min_value=1, max_value=4),
+    )
+    def test_replica_equals_primary_at_equal_offset(
+        self, tmp_path_factory, seed, num_ops, replica_batch
+    ):
+        tmp_path = tmp_path_factory.mktemp("replica-prop")
+        deltas = self._delta_stream(seed, num_ops)
+        primary, state_dir, wal = make_primary(
+            tmp_path, base=self.BASE, segment_bytes=700
+        )
+        # A mid-stream reference: a twin primary stopped at offset K.
+        mid = (num_ops + 1) // 2
+        left, right = family_pair(self.BASE)
+        twin = AlignmentService.cold_start(left, right, ParisConfig())
+        for sequence, delta in enumerate(deltas, start=1):
+            write_through(primary, wal, delta, sequence)
+            if sequence <= mid:
+                twin.apply_delta(delta)
+        replica = ReplicaNode(state_dir, batch=replica_batch)
+        # ...equal at offset K (the replica pauses there)...
+        while replica.applied_offset < mid:
+            replica.poll_once()
+            if replica.applied_offset >= mid:
+                break
+        # batch sizing may overshoot mid; only compare when it landed
+        # exactly (coarse batches are compared at the head below).
+        if replica.applied_offset == mid:
+            assert_stores_match(replica.service.state.store, twin.state.store)
+        # ...and equal at the head, where the cold realign also holds.
+        replica.catch_up(len(deltas))
+        assert replica.applied_offset == primary.state.wal_offset
+        assert_stores_match(replica.service.state.store, primary.state.store)
+        cold = align(
+            primary.state.ontology1,
+            primary.state.ontology2,
+            ParisConfig(score_stationarity=True),
+        )
+        assert_stores_match(replica.service.state.store, cold.instances)
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# failure modes
+# ----------------------------------------------------------------------
+
+
+class TestReplicaFailureModes:
+    def test_crash_resume_from_own_snapshot_plus_wal_suffix(self, tmp_path):
+        """A replica killed mid-apply restarts from its *own* snapshot
+        and replays only the WAL suffix beyond it."""
+        primary, state_dir, wal = make_primary(tmp_path)
+        for step in range(3):
+            write_through(primary, wal, family_delta(6 + step), step + 1)
+        own_dir = tmp_path / "replica-state"
+        replica = ReplicaNode(state_dir, state_dir=own_dir, batch=1, snapshot_every=1)
+        replica.poll_once()  # applies record 1, snapshots its own state
+        assert replica.applied_offset == 1
+        assert load_state(own_dir).wal_offset == 1
+        del replica  # the "kill": nothing beyond the snapshot survives
+
+        resumed = ReplicaNode(state_dir, state_dir=own_dir, batch=1, snapshot_every=1)
+        # Bootstrapped from its own snapshot (offset 1), not the
+        # primary's (offset 0) — the suffix is 2 records, not 3.
+        assert resumed.bootstrapped_at_offset == 1
+        resumed.catch_up(3)
+        assert_stores_match(resumed.service.state.store, primary.state.store)
+        wal.close()
+
+    def test_wal_gap_triggers_rebootstrap(self, tmp_path):
+        """A replica that fell behind compaction re-bootstraps from the
+        primary's covering snapshot and converges anyway."""
+        primary, state_dir, wal = make_primary(tmp_path, segment_bytes=400)
+        for step in range(4):
+            write_through(primary, wal, family_delta(6 + step), step + 1)
+        # The lagging replica bootstrapped at offset 0...
+        replica = ReplicaNode(state_dir, batch=2)
+        assert replica.applied_offset == 0
+        # ...and the primary snapshots + compacts past it.
+        primary.snapshot(state_dir)
+        reclaimed, _deleted = wal.compact(primary.state.wal_offset)
+        assert reclaimed > 0
+        with pytest.raises(WalGapError):
+            replica.poll_once()
+        replica.start()
+        try:
+            wait_until(lambda: replica.applied_offset == 4)
+        finally:
+            replica.stop()
+        assert replica.rebootstraps == 1
+        assert replica.last_error is None
+        assert_stores_match(replica.service.state.store, primary.state.store)
+        wal.close()
+
+    def test_fresh_bootstrap_after_compaction(self, tmp_path):
+        """Acceptance: after compaction shrinks the log, a *fresh*
+        replica (snapshot + remaining segments) reaches the primary."""
+        primary, state_dir, wal = make_primary(tmp_path, segment_bytes=400)
+        for step in range(3):
+            write_through(primary, wal, family_delta(6 + step), step + 1)
+        primary.snapshot(state_dir)  # covers offset 3
+        write_through(primary, wal, family_delta(9), 4)  # suffix beyond it
+        before = wal.size_bytes()
+        reclaimed, _deleted = wal.compact(3)
+        assert reclaimed > 0 and wal.size_bytes() < before
+        replica = ReplicaNode(state_dir)
+        assert replica.bootstrapped_at_offset == 3
+        replica.catch_up(4)
+        assert_stores_match(replica.service.state.store, primary.state.store)
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface: primary endpoints, replica server, router
+# ----------------------------------------------------------------------
+
+
+def url_of(server, path=""):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(url_of(server, path), timeout=30) as response:
+        return json.load(response), response.headers
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        url_of(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+def serve(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestPrimaryReplicationEndpoints:
+    @pytest.fixture()
+    def stack(self, tmp_path):
+        primary, state_dir, wal = make_primary(tmp_path, segment_bytes=600)
+        batcher = DeltaBatcher(primary, wal=wal, max_batch=8, max_lag=0.02)
+        stream = StreamStack(batcher=batcher, wal=wal).start()
+        server = build_server(
+            primary, "127.0.0.1", 0, state_dir=state_dir,
+            stream=stream, snapshot_every=0,
+        )
+        thread = serve(server)
+        yield server, primary, state_dir, wal
+        server.shutdown()
+        server.server_close()
+        stream.stop()
+        thread.join(timeout=10)
+
+    def test_get_wal_ships_ndjson_records(self, stack):
+        server, primary, _state_dir, wal = stack
+        for step in range(3):
+            post_json(server, "/delta", family_delta(6 + step).to_json())
+        with urllib.request.urlopen(url_of(server, "/wal?from=1"), timeout=30) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            assert int(resp.headers["X-Wal-Offset"]) == 3
+            lines = resp.read().decode("utf-8").splitlines()
+        offsets = [json.loads(line)["offset"] for line in lines]
+        assert offsets == [2, 3]
+        # limit caps the page; the header still advertises the head.
+        with urllib.request.urlopen(
+            url_of(server, "/wal?from=0&limit=1"), timeout=30
+        ) as resp:
+            assert int(resp.headers["X-Wal-Offset"]) == 3
+            assert len(resp.read().decode("utf-8").splitlines()) == 1
+
+    def test_get_wal_410_after_compaction(self, stack):
+        server, primary, state_dir, wal = stack
+        for step in range(4):
+            post_json(server, "/delta", family_delta(6 + step).to_json())
+        compacted = post_json(server, "/snapshot", {})
+        assert compacted["wal_bytes_compacted"] > 0
+        with pytest.raises(urllib.error.HTTPError) as error:
+            get_json(server, "/wal?from=0")
+        assert error.value.code == 410
+        detail = json.load(error.value)
+        assert detail["oldest"] > 1
+
+    def test_get_snapshot_latest_bootstraps_a_state(self, stack):
+        server, primary, _state_dir, _wal = stack
+        post_json(server, "/delta", family_delta(6).to_json())
+        post_json(server, "/snapshot", {})
+        with urllib.request.urlopen(
+            url_of(server, "/snapshot/latest"), timeout=30
+        ) as resp:
+            assert resp.headers["X-State-Version"] == "1"
+            data = resp.read()
+        state = load_state_bytes(data)
+        assert state.version == 1 and state.wal_offset == 1
+        assert_stores_match(state.store, primary.state.store)
+
+    def test_http_replica_end_to_end(self, stack):
+        server, primary, _state_dir, _wal = stack
+        for step in range(3):
+            post_json(server, "/delta", family_delta(6 + step).to_json())
+        post_json(server, "/snapshot", {})
+        replica = ReplicaNode(url_of(server), batch=2)
+        post_json(server, "/delta", family_delta(9).to_json())  # beyond bootstrap
+        replica.catch_up(4)
+        assert_stores_match(replica.service.state.store, primary.state.store)
+
+    def test_get_wal_404_without_wal(self, tmp_path):
+        left, right = family_pair(3)
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        server = build_server(service, "127.0.0.1", 0)
+        thread = serve(server)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as error:
+                get_json(server, "/wal?from=0")
+            assert error.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as error:
+                get_json(server, "/snapshot/latest")
+            assert error.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestReplicaServer:
+    def test_read_only_surface_and_stats(self, tmp_path):
+        primary, state_dir, wal = make_primary(tmp_path)
+        write_through(primary, wal, family_delta(6), 1)
+        replica = ReplicaNode(state_dir, batch=8)
+        replica.catch_up(1)
+        server = build_server(None, "127.0.0.1", 0, replica=replica)
+        thread = serve(server)
+        try:
+            health, _headers = get_json(server, "/healthz")
+            assert health["role"] == "replica" and health["status"] == "ok"
+            stats, _headers = get_json(server, "/stats")
+            assert stats["role"] == "replica"
+            assert stats["wal_offset"] == 1
+            assert stats["replication"]["applied_offset"] == 1
+            assert stats["replication"]["behind"] == 0
+            assert stats["ingest"]["queue_depth"] == 0
+            pair, _headers = get_json(server, "/pair/p6a/q6a")
+            assert pair["probability"] > 0.9
+            with pytest.raises(urllib.error.HTTPError) as error:
+                post_json(server, "/delta", family_delta(7).to_json())
+            assert error.value.code == 403
+            assert "primary" in json.load(error.value)["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            wal.close()
+
+
+class TestReadRouter:
+    @pytest.fixture()
+    def cluster(self, tmp_path):
+        """Primary (with stream+WAL) + two replica servers + router."""
+        primary, state_dir, wal = make_primary(tmp_path)
+        batcher = DeltaBatcher(primary, wal=wal, max_batch=8, max_lag=0.02)
+        stream = StreamStack(batcher=batcher, wal=wal).start()
+        primary_server = build_server(
+            primary, "127.0.0.1", 0, state_dir=state_dir,
+            stream=stream, snapshot_every=0,
+        )
+        replicas = [ReplicaNode(state_dir, batch=8) for _ in range(2)]
+        replica_servers = [
+            build_server(None, "127.0.0.1", 0, replica=replica)
+            for replica in replicas
+        ]
+        router = ReadRouter(
+            url_of(primary_server),
+            [url_of(server) for server in replica_servers],
+            check_interval=0.2,
+            stats_ttl=0.05,
+            retry_after=0.5,
+        )
+        router_server = build_router_server(router)
+        threads = [serve(s) for s in (primary_server, *replica_servers, router_server)]
+        router.start()
+        yield {
+            "primary": primary,
+            "primary_server": primary_server,
+            "replicas": replicas,
+            "replica_servers": replica_servers,
+            "router": router,
+            "router_server": router_server,
+        }
+        router_server.shutdown()
+        router_server.server_close()
+        router.stop()
+        for server in replica_servers:
+            try:
+                server.shutdown()
+                server.server_close()
+            except OSError:  # pragma: no cover - already closed by the test
+                pass
+        for replica in replicas:
+            replica.stop()
+        primary_server.shutdown()
+        primary_server.server_close()
+        stream.stop()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    def test_reads_fan_out_and_writes_forward(self, cluster):
+        router_server = cluster["router_server"]
+        report = post_json(router_server, "/delta", family_delta(6).to_json())
+        assert report["converged"]
+        assert cluster["primary"].state.wal_offset == 1
+        for replica in cluster["replicas"]:
+            replica.catch_up(1)
+        served_by = set()
+        for _ in range(6):
+            pair, headers = get_json(router_server, "/pair/p6a/q6a")
+            assert pair["probability"] > 0.9
+            served_by.add(headers["X-Served-By"])
+        # Round-robin across both replicas; the primary served nothing.
+        assert served_by == {url_of(s) for s in cluster["replica_servers"]}
+        stats, _headers = get_json(router_server, "/stats")
+        assert stats["reads_routed"] == 6
+        assert stats["writes_forwarded"] == 1
+        assert all(entry["served"] > 0 for entry in stats["replicas"])
+
+    def test_min_offset_rejects_stale_replicas(self, cluster):
+        router_server = cluster["router_server"]
+        post_json(router_server, "/delta", family_delta(6).to_json())
+        fresh, stale = cluster["replicas"]
+        fresh.catch_up(1)  # `stale` stays at offset 0
+        cluster["router"].probe_all()
+        for _ in range(4):
+            pair, headers = get_json(router_server, "/pair/p6a/q6a?min_offset=1")
+            assert pair["probability"] > 0.9
+            # Only the caught-up replica may answer.
+            assert headers["X-Served-By"] == url_of(cluster["replica_servers"][0])
+        # An offset nobody reached: honest 503 + Retry-After, never the
+        # primary (constrained reads do not fall back).
+        with pytest.raises(urllib.error.HTTPError) as error:
+            get_json(router_server, "/pair/p6a/q6a?min_offset=99")
+        assert error.value.code == 503
+        assert float(error.value.headers["Retry-After"]) > 0
+        stats, _headers = get_json(router_server, "/stats")
+        assert stats["rejected_stale"] >= 1
+
+    def test_max_lag_ms_bounded_staleness(self, cluster):
+        router_server = cluster["router_server"]
+        post_json(router_server, "/delta", family_delta(6).to_json())
+        for replica in cluster["replicas"]:
+            replica.catch_up(1)
+            replica.start()  # live tailing keeps lag near the poll interval
+        try:
+            cluster["router"].probe_all()
+            pair, _headers = get_json(
+                router_server, "/pair/p6a/q6a?max_lag_ms=30000"
+            )
+            assert pair["probability"] > 0.9
+            # A bound nothing can meet (probe age alone exceeds it).
+            with pytest.raises(urllib.error.HTTPError) as error:
+                get_json(router_server, "/pair/p6a/q6a?max_lag_ms=0")
+            assert error.value.code == 503
+        finally:
+            for replica in cluster["replicas"]:
+                replica.stop()
+
+    def test_dead_replica_is_ejected_and_routed_around(self, cluster):
+        router_server = cluster["router_server"]
+        post_json(router_server, "/delta", family_delta(6).to_json())
+        for replica in cluster["replicas"]:
+            replica.catch_up(1)
+        # Kill one replica server outright.
+        dead = cluster["replica_servers"][1]
+        dead.shutdown()
+        dead.server_close()
+        cluster["router"].probe_all()
+        health, _headers = get_json(router_server, "/healthz")
+        assert health["replicas_healthy"] == 1
+        for _ in range(4):
+            pair, headers = get_json(router_server, "/pair/p6a/q6a")
+            assert pair["probability"] > 0.9
+            assert headers["X-Served-By"] == url_of(cluster["replica_servers"][0])
+
+    def test_all_replicas_dead_falls_back_to_primary(self, cluster):
+        router_server = cluster["router_server"]
+        post_json(router_server, "/delta", family_delta(6).to_json())
+        for server in cluster["replica_servers"]:
+            server.shutdown()
+            server.server_close()
+        cluster["router"].probe_all()
+        pair, headers = get_json(router_server, "/pair/p6a/q6a")
+        assert pair["probability"] > 0.9
+        assert headers["X-Served-By"] == url_of(cluster["primary_server"])
+        stats, _headers = get_json(router_server, "/stats")
+        assert stats["primary_fallbacks"] >= 1
+
+    def test_replicas_dying_between_probes_still_degrade_to_primary(self, cluster):
+        """Forward-time failures (no probe has noticed yet) must not
+        turn an unconstrained read into a 503 while the primary is up."""
+        router_server = cluster["router_server"]
+        post_json(router_server, "/delta", family_delta(6).to_json())
+        # Kill both replicas WITHOUT letting the health loop observe it:
+        # the router still lists them as healthy candidates.
+        for server in cluster["replica_servers"]:
+            server.shutdown()
+            server.server_close()
+        for replica in cluster["router"].replicas:
+            replica.healthy = True
+        pair, headers = get_json(router_server, "/pair/p6a/q6a")
+        assert pair["probability"] > 0.9
+        assert headers["X-Served-By"] == url_of(cluster["primary_server"])
+        # ...and the failed forwards ejected them for the next read.
+        assert all(not replica.healthy for replica in cluster["router"].replicas)
+
+    def test_backend_errors_relay_through(self, cluster):
+        router_server = cluster["router_server"]
+        with pytest.raises(urllib.error.HTTPError) as error:
+            post_json(router_server, "/delta", {"left": {"add": [{"bad": 1}]}})
+        assert error.value.code == 400  # the primary's validation answer
+        with pytest.raises(urllib.error.HTTPError) as error:
+            get_json(router_server, "/pair/p6a/q6a?min_offset=notanumber")
+        assert error.value.code == 400  # the router's own validation

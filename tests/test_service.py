@@ -466,6 +466,28 @@ class TestHttpServer:
     def test_healthz(self, server):
         health = self.get_json(server, "/healthz")
         assert health["status"] == "ok" and health["version"] == 0
+        assert health["role"] == "primary"
+
+    def test_stats_without_stream_stack(self, server, tmp_path):
+        """A server running without --watch/--wal still reports a full
+        /stats payload: engine counters, the state's WAL offset and a
+        zero queue depth — one shape for routers and monitors."""
+        stats = self.get_json(server, "/stats")
+        assert stats["role"] == "primary"
+        assert stats["wal_offset"] == 0
+        assert stats["deltas_applied"] == 0
+        assert stats["ingest"] == {
+            "queue_depth": 0,
+            "streaming": False,
+            "wal_appended": 0,
+        }
+        add1, add2 = family_addition(5, 1)
+        self.post_json(
+            server, "/delta", Delta(add1=tuple(add1), add2=tuple(add2)).to_json()
+        )
+        stats = self.get_json(server, "/stats")
+        assert stats["deltas_applied"] == 1
+        assert stats["pairs_touched_total"] > 0
 
     def test_delta_then_pair(self, server, tmp_path):
         add1, add2 = family_addition(5, 1)
