@@ -57,13 +57,19 @@ from .incremental import (
 from .literal_index import LiteralIndex
 from .matrix import SubsumptionMatrix
 from .parallel import (
+    SHARDS_PER_WORKER,
+    WorkerPool,
+    even_ranges,
     parallel_instance_equivalence_pass,
     parallel_score_instances,
+    parallel_subclass_pass,
     parallel_subrelation_pass,
 )
 from .result import AlignmentResult, IterationSnapshot
 from .store import EquivalenceStore
 from .subclasses import IncrementalClassPass, subclass_pass
+from .subrelations import apply_relation_scores
+from .vectorized import HAVE_NUMPY, VectorizedKernel
 from .view import EquivalenceView
 
 #: Warm passes without a new minimum per-pass change before the loop
@@ -71,6 +77,16 @@ from .view import EquivalenceView
 #: converging run improves its minimum (near-)every pass, so the window
 #: only triggers on genuinely stuck dynamics.
 WARM_STALL_WINDOW = 10
+
+#: A stale vectorized kernel is rebuilt for a warm pass only when the
+#: dirty frontier is at least this large: the rebuild is O(corpus),
+#: while a small frontier is cheaper to score on the dict path (which
+#: is bit-identical, so mixing engines across passes is safe).
+KERNEL_REBUILD_MIN_FRONTIER = 512
+
+#: Minimum warm-pass frontier for which fork-starting (or reusing) the
+#: worker pool beats scoring the frontier in-process with the kernel.
+POOL_MIN_FRONTIER = 1024
 
 
 class ParisAligner:
@@ -113,6 +129,86 @@ class ParisAligner:
         similarity = self.config.literal_similarity
         self.literals2 = LiteralIndex(ontology2, similarity)
         self.literals1 = LiteralIndex(ontology1, similarity)
+        #: Vectorized scoring kernel, built lazily and rebuilt when the
+        #: ontology versions move (see _kernel_for / _warm_kernel).
+        self._kernel: Optional[VectorizedKernel] = None
+        #: Persistent fork-once worker pool; alive for at most one
+        #: align()/warm_align() run (closed in their finally blocks).
+        self._pool: Optional[WorkerPool] = None
+
+    # ------------------------------------------------------------------
+    # engine selection (vectorized kernel + persistent pool)
+    # ------------------------------------------------------------------
+
+    def _kernel_allowed(self) -> bool:
+        config = self.config
+        if config.scoring == "dict" or not HAVE_NUMPY:
+            return False
+        # Eq. 14 reads arbitrary statements per surviving candidate;
+        # the kernel only covers the positive-evidence traversal.
+        return not config.use_negative_evidence
+
+    def _kernel_for(self) -> Optional[VectorizedKernel]:
+        """The current kernel, (re)built if the ontologies moved."""
+        if not self._kernel_allowed():
+            return None
+        kernel = self._kernel
+        if kernel is None or not kernel.fresh():
+            kernel = VectorizedKernel(
+                self.ontology1, self.ontology2, self.fun1, self.fun2, self.literals2
+            )
+            self._kernel = kernel
+        return kernel
+
+    def _warm_kernel(self, frontier_size: int) -> Optional[VectorizedKernel]:
+        """Kernel for a warm pass: never rebuilt for a small frontier
+        (the O(corpus) rebuild would dwarf the frontier's scoring
+        cost); the dict path is bit-identical, so ``None`` is safe."""
+        if not self._kernel_allowed():
+            return None
+        kernel = self._kernel
+        if kernel is not None and kernel.fresh():
+            return kernel
+        if frontier_size < KERNEL_REBUILD_MIN_FRONTIER:
+            return None
+        return self._kernel_for()
+
+    def _ensure_pool(self, kernel: VectorizedKernel) -> Optional[WorkerPool]:
+        """The persistent pool for this run, forked against ``kernel``.
+
+        Returns ``None`` when the configuration does not call for
+        process parallelism (or ``fork`` is unavailable); an existing
+        pool is reused only while its fork image matches the kernel's
+        ontology versions — anything staler is closed and re-forked.
+        """
+        config = self.config
+        if config.workers < 2 or config.parallel_backend != "process":
+            return None
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return None
+        pool = self._pool
+        if pool is not None and pool.versions == kernel.versions:
+            return pool
+        self._close_pool()
+        pool = WorkerPool(
+            config.workers,
+            (self.ontology1, self.ontology2, self.literals2, self.literals1, kernel),
+            versions=kernel.versions,
+        )
+        self._pool = pool
+        return pool
+
+    def _close_pool(self) -> None:
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.close()
+
+    def close(self) -> None:
+        """Release the worker pool (safe to call at any time)."""
+        self._close_pool()
 
     # ------------------------------------------------------------------
 
@@ -135,33 +231,92 @@ class ParisAligner:
         rel12: SubsumptionMatrix[Relation],
         rel21: SubsumptionMatrix[Relation],
     ) -> EquivalenceStore:
-        """One instance pass; the engine itself falls back to the
-        bit-identical sequential path for workers=1."""
+        """One instance pass, routed to the fastest bit-exact engine.
+
+        With the vectorized kernel available the scores come from
+        :meth:`VectorizedKernel.score_ids` — in-process, or sharded
+        over the persistent pool for ``workers > 1`` with the process
+        backend.  Both fill the store in the sequential emission order,
+        so every route is bit-identical to the dict reference pass
+        (which remains the fallback).
+        """
         config = self.config
-        return parallel_instance_equivalence_pass(
-            self.ontology1,
-            self.ontology2,
-            view,
-            self.fun1,
-            self.fun2,
-            rel12,
-            rel21,
-            truncation_threshold=config.theta,
-            use_negative_evidence=config.use_negative_evidence,
-            workers=config.workers,
-            shard_size=config.shard_size,
-            backend=config.parallel_backend,
+        kernel = self._kernel_for()
+        if kernel is None:
+            return parallel_instance_equivalence_pass(
+                self.ontology1,
+                self.ontology2,
+                view,
+                self.fun1,
+                self.fun2,
+                rel12,
+                rel21,
+                truncation_threshold=config.theta,
+                use_negative_evidence=config.use_negative_evidence,
+                workers=config.workers,
+                shard_size=config.shard_size,
+                backend=config.parallel_backend,
+            )
+        prepared = kernel.prepare_pass(view.store, rel12, rel21)
+        store = EquivalenceStore(config.theta)
+        pool = self._ensure_pool(kernel)
+        if pool is not None:
+            payload = {
+                "kind": "instances",
+                "prepared": prepared,
+                "theta": config.theta,
+                "ids": kernel.ordered_ids,
+            }
+            tasks = kernel.task_ranges(
+                kernel.ordered_ids, prepared, config.workers * SHARDS_PER_WORKER
+            )
+            for result in pool.run_pass(payload, tasks):
+                store.update(kernel.entries_for(*result))
+            return store
+        store.update(
+            kernel.entries_for(
+                *kernel.score_ids(kernel.ordered_ids, prepared, config.theta)
+            )
         )
+        return store
 
     def _relation_pass(
         self, view: EquivalenceView, reverse: bool = False
     ) -> SubsumptionMatrix[Relation]:
         """One direction of the relation pass, sharded like the
-        instance pass when ``config.workers > 1``."""
+        instance pass when ``config.workers > 1`` — over the persistent
+        pool when it is live (workers rebuild the view from shipped id
+        arrays instead of re-pickling the ontologies)."""
         config = self.config
         first, second = (
             (self.ontology2, self.ontology1) if reverse else (self.ontology1, self.ontology2)
         )
+        kernel = self._kernel
+        if kernel is not None and kernel.fresh():
+            pool = self._ensure_pool(kernel)
+            if pool is not None:
+                lowered = kernel.lower_store(view.store)
+                if lowered is not None:
+                    relations = first.relations(include_inverses=True)
+                    matrix: SubsumptionMatrix[Relation] = SubsumptionMatrix()
+                    payload = {
+                        "kind": "relations",
+                        "store": lowered,
+                        "threshold": view.store.truncation_threshold,
+                        "reverse": reverse,
+                        "max_pairs": config.max_pairs_per_relation,
+                    }
+                    tasks = even_ranges(
+                        len(relations), config.workers * SHARDS_PER_WORKER
+                    )
+                    for scored in pool.run_pass(payload, tasks):
+                        apply_relation_scores(
+                            matrix,
+                            [(relations[index], row) for index, row in scored],
+                            config.theta,
+                            config.theta,
+                        )
+                    return matrix
         return parallel_subrelation_pass(
             first,
             second,
@@ -173,6 +328,111 @@ class ParisAligner:
             workers=config.workers,
             backend=config.parallel_backend,
         )
+
+    def _class_pass(
+        self, view: EquivalenceView, reverse: bool = False
+    ) -> SubsumptionMatrix[Resource]:
+        """One direction of the Eq. 17 class pass, parallelized like
+        the other passes (pool for the process backend, sharded threads
+        otherwise).  Classes traverse in set order on every route, so
+        the matrix insertion order matches the sequential pass."""
+        config = self.config
+        theta = config.theta
+        first, second = (
+            (self.ontology2, self.ontology1) if reverse else (self.ontology1, self.ontology2)
+        )
+        kernel = self._kernel
+        if kernel is not None and kernel.fresh() and config.workers > 1:
+            pool = self._ensure_pool(kernel)
+            if pool is not None:
+                lowered = kernel.lower_store(view.store)
+                if lowered is not None:
+                    classes = list(first.classes)
+                    matrix: SubsumptionMatrix[Resource] = SubsumptionMatrix()
+                    payload = {
+                        "kind": "classes",
+                        "store": lowered,
+                        "threshold": view.store.truncation_threshold,
+                        "reverse": reverse,
+                        "max_instances": config.max_pairs_per_relation,
+                    }
+                    tasks = even_ranges(len(classes), config.workers * SHARDS_PER_WORKER)
+                    for scored in pool.run_pass(payload, tasks):
+                        for cls, scores in scored:
+                            for cls2, score in scores.items():
+                                if score >= theta:
+                                    matrix.set(cls, cls2, score)
+                    return matrix
+        if config.workers > 1 and config.parallel_backend == "thread":
+            return parallel_subclass_pass(
+                first,
+                second,
+                view,
+                truncation_threshold=theta,
+                max_instances=config.max_pairs_per_relation,
+                reverse=reverse,
+                workers=config.workers,
+                shard_size=config.shard_size,
+            )
+        return subclass_pass(
+            first,
+            second,
+            view,
+            truncation_threshold=theta,
+            max_instances=config.max_pairs_per_relation,
+            reverse=reverse,
+        )
+
+    def _score_frontier(
+        self,
+        ordered_dirty: List[Resource],
+        view: EquivalenceView,
+        rel12: SubsumptionMatrix[Relation],
+        rel21: SubsumptionMatrix[Relation],
+    ) -> List[Tuple[Resource, Resource, float]]:
+        """Score a warm pass's dirty frontier (entries in input order).
+
+        Routes to the kernel when it is fresh (or worth rebuilding),
+        through the pool only for frontiers big enough to amortize the
+        fork; the dict path covers everything else bit-identically.
+        """
+        config = self.config
+        kernel = self._warm_kernel(len(ordered_dirty))
+        if kernel is None:
+            return parallel_score_instances(
+                ordered_dirty,
+                self.ontology1,
+                self.ontology2,
+                view,
+                self.fun1,
+                self.fun2,
+                rel12,
+                rel21,
+                config.theta,
+                config.use_negative_evidence,
+                workers=config.workers,
+                shard_size=config.shard_size,
+                backend=config.parallel_backend,
+            )
+        prepared = kernel.prepare_pass(view.store, rel12, rel21)
+        ids = kernel.ids_for(ordered_dirty)
+        if len(ordered_dirty) >= POOL_MIN_FRONTIER:
+            pool = self._ensure_pool(kernel)
+            if pool is not None:
+                payload = {
+                    "kind": "instances",
+                    "prepared": prepared,
+                    "theta": config.theta,
+                    "ids": ids,
+                }
+                tasks = kernel.task_ranges(
+                    ids, prepared, config.workers * SHARDS_PER_WORKER
+                )
+                entries: List[Tuple[Resource, Resource, float]] = []
+                for result in pool.run_pass(payload, tasks):
+                    entries.extend(kernel.entries_for(*result))
+                return entries
+        return kernel.entries_for(*kernel.score_ids(ids, prepared, config.theta))
 
     def _dampen(
         self, old_store: EquivalenceStore, new_store: EquivalenceStore
@@ -231,6 +491,41 @@ class ParisAligner:
         snap_prev12: Dict[Resource, Tuple[Resource, float]] = {}
         snap_prev21: Dict[Resource, Tuple[Resource, float]] = {}
         converged = False
+        try:
+            return self._align_loop(
+                config,
+                theta,
+                rel12,
+                rel21,
+                store,
+                previous_store,
+                previous_assignment,
+                assignment_history,
+                snapshots,
+                snap_prev12,
+                snap_prev21,
+                converged,
+            )
+        finally:
+            # The pool's fork image is only valid for this run's
+            # ontology state; workers release with the run.
+            self._close_pool()
+
+    def _align_loop(
+        self,
+        config: ParisConfig,
+        theta: float,
+        rel12: SubsumptionMatrix[Relation],
+        rel21: SubsumptionMatrix[Relation],
+        store: EquivalenceStore,
+        previous_store: EquivalenceStore,
+        previous_assignment,
+        assignment_history: list,
+        snapshots: List[IterationSnapshot],
+        snap_prev12: Dict[Resource, Tuple[Resource, float]],
+        snap_prev21: Dict[Resource, Tuple[Resource, float]],
+        converged: bool,
+    ) -> AlignmentResult:
         for iteration in range(1, config.max_iterations + 1):
             started = time.perf_counter()
             view = self._view(store)
@@ -303,21 +598,8 @@ class ParisAligner:
         # (Section 4.3 / 5.1: "In a last step, the equivalences between
         # classes are computed by Equation (17)").
         class_view = self._view(store)
-        classes12 = subclass_pass(
-            self.ontology1,
-            self.ontology2,
-            class_view,
-            truncation_threshold=theta,
-            max_instances=config.max_pairs_per_relation,
-        )
-        classes21 = subclass_pass(
-            self.ontology2,
-            self.ontology1,
-            class_view,
-            truncation_threshold=theta,
-            max_instances=config.max_pairs_per_relation,
-            reverse=True,
-        )
+        classes12 = self._class_pass(class_view)
+        classes21 = self._class_pass(class_view, reverse=True)
         return AlignmentResult(
             left_name=self.ontology1.name,
             right_name=self.ontology2.name,
@@ -346,6 +628,47 @@ class ParisAligner:
         )
 
     def warm_align(
+        self,
+        store: EquivalenceStore,
+        rel12_cache: IncrementalRelationPass,
+        rel21_cache: IncrementalRelationPass,
+        dirty_instances: Iterable[Resource] = (),
+        seed_nodes1: Iterable[Node] = (),
+        seed_nodes2: Iterable[Node] = (),
+        delta_statements1: Iterable[Tuple[Relation, Node, Node]] = (),
+        delta_statements2: Iterable[Tuple[Relation, Node, Node]] = (),
+        view_maintainer: Optional[RestrictedViewMaintainer] = None,
+        class12_cache: Optional[IncrementalClassPass] = None,
+        class21_cache: Optional[IncrementalClassPass] = None,
+        mutate_store: bool = False,
+    ) -> AlignmentResult:
+        """Resume the fixpoint from a previous run's state after a delta.
+
+        Thin lifecycle wrapper: the actual fixpoint lives in
+        :meth:`_warm_align_impl` (see its docstring for the full
+        parameter and convergence semantics); this layer only
+        guarantees that a worker pool forked for a large-frontier pass
+        never outlives the run whose ontology state it inherited.
+        """
+        try:
+            return self._warm_align_impl(
+                store,
+                rel12_cache,
+                rel21_cache,
+                dirty_instances,
+                seed_nodes1,
+                seed_nodes2,
+                delta_statements1,
+                delta_statements2,
+                view_maintainer,
+                class12_cache,
+                class21_cache,
+                mutate_store,
+            )
+        finally:
+            self._close_pool()
+
+    def _warm_align_impl(
         self,
         store: EquivalenceStore,
         rel12_cache: IncrementalRelationPass,
@@ -502,20 +825,8 @@ class ParisAligner:
             if full_pass or len(dirty) >= config.warm_full_pass_fraction * len(instances):
                 dirty |= instances
             ordered_dirty = ordered_instances(dirty)
-            entries = parallel_score_instances(
-                ordered_dirty,
-                self.ontology1,
-                self.ontology2,
-                view,
-                self.fun1,
-                self.fun2,
-                rel12_cache.matrix,
-                rel21_cache.matrix,
-                theta,
-                config.use_negative_evidence,
-                workers=config.workers,
-                shard_size=config.shard_size,
-                backend=config.parallel_backend,
+            entries = self._score_frontier(
+                ordered_dirty, view, rel12_cache.matrix, rel21_cache.matrix
             )
             overlay = working.overlay()
             for x in ordered_dirty:
@@ -614,25 +925,12 @@ class ParisAligner:
             class12_cache.invalidate_members(changed_members1)
             classes12 = class12_cache.matrix(final_view)
         else:
-            classes12 = subclass_pass(
-                self.ontology1,
-                self.ontology2,
-                final_view,
-                truncation_threshold=theta,
-                max_instances=config.max_pairs_per_relation,
-            )
+            classes12 = self._class_pass(final_view)
         if class21_cache is not None:
             class21_cache.invalidate_members(changed_members2)
             classes21 = class21_cache.matrix(final_view)
         else:
-            classes21 = subclass_pass(
-                self.ontology2,
-                self.ontology1,
-                final_view,
-                truncation_threshold=theta,
-                max_instances=config.max_pairs_per_relation,
-                reverse=True,
-            )
+            classes21 = self._class_pass(final_view, reverse=True)
         final_assignment12, final_assignment21 = current_assignments(maintainer, working)
         return AlignmentResult(
             left_name=self.ontology1.name,

@@ -17,6 +17,9 @@ from typing import Optional
 from ..literals import IdentitySimilarity, LiteralSimilarity
 from .functionality import FunctionalityDefinition
 
+#: Eq. 13 scoring engines selectable via ``ParisConfig.scoring``.
+SCORING_MODES = ("auto", "dict", "vectorized")
+
 
 @dataclass
 class ParisConfig:
@@ -90,9 +93,20 @@ class ParisConfig:
         size from the worker count.  Setting it with ``workers=1``
         exercises the shard/merge pipeline in-process.
     parallel_backend:
-        ``"process"`` (default; real multi-core speedup, one state
-        pickle per worker per pass) or ``"thread"`` (shared memory,
-        GIL-bound — useful for testing and small inputs).
+        ``"process"`` (default; real multi-core speedup through the
+        persistent fork-once worker pool) or ``"thread"`` (shared
+        memory, GIL-bound — useful for testing and small inputs).
+    scoring:
+        Which Eq. 13 scoring engine the aligner uses.  ``"auto"``
+        (default) picks the interned-ID vectorized kernel
+        (:mod:`repro.core.vectorized`) whenever numpy is available and
+        negative evidence is off, falling back to the dict reference
+        implementation otherwise; ``"dict"`` forces the reference path;
+        ``"vectorized"`` requires the kernel and raises if numpy is
+        missing.  Both engines produce bit-identical scores (the kernel
+        mirrors the dict path's float operations and fold order —
+        enforced by ``tests/test_vectorized.py``), so this knob trades
+        speed, never results.
     score_stationarity:
         Replace the assignment-change convergence criterion with
         *numeric stationarity*: iterate until no stored probability
@@ -133,6 +147,7 @@ class ParisConfig:
     workers: int = 1
     shard_size: Optional[int] = None
     parallel_backend: str = "process"
+    scoring: str = "auto"
     score_stationarity: bool = False
     warm_tolerance: float = 1e-12
     warm_full_pass_fraction: float = 0.5
@@ -179,3 +194,18 @@ class ParisConfig:
                 f"parallel_backend must be one of {BACKENDS}, "
                 f"got {self.parallel_backend!r}"
             )
+        if self.scoring not in SCORING_MODES:
+            raise ValueError(
+                f"scoring must be one of {SCORING_MODES}, got {self.scoring!r}"
+            )
+        if self.scoring == "vectorized":
+            from .vectorized import HAVE_NUMPY
+
+            if not HAVE_NUMPY:
+                raise ValueError("scoring='vectorized' requires numpy")
+            if self.use_negative_evidence:
+                raise ValueError(
+                    "scoring='vectorized' cannot run negative evidence "
+                    "(Eq. 14 reads arbitrary statements); use scoring='auto' "
+                    "or 'dict'"
+                )

@@ -15,6 +15,20 @@ equivalents ``y'`` (clamped literal matches, or the previous iteration's
 instance equivalences); for each ``y'`` walk the statements
 ``r'(x', y')`` of the second ontology and update the score of ``x'``.
 This costs ``O(n·m²·e)`` rather than the naive ``O(n²·m)``.
+
+This module is the *reference implementation* of the pass: per-instance
+Python dicts, one statement pair at a time, every float operation
+spelled out.  The production path is
+:mod:`repro.core.vectorized`, which interns terms to dense integer IDs
+and evaluates the same three-level traversal as flat numpy array
+programs — bit-identical to this module (the kernel preserves the
+multiplication order and the ``_MIN_FACTOR`` clamp semantics; see its
+docstring for the argument), roughly an order of magnitude faster, and
+cheap to ship across the process boundary of the persistent worker
+pool in :mod:`repro.core.parallel`.  The aligner picks the engine via
+``ParisConfig.scoring``; this module also remains the only engine for
+Eq. 14 negative evidence, which reads arbitrary statements and does
+not vectorize.
 """
 
 from __future__ import annotations

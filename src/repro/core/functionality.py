@@ -19,7 +19,7 @@ and never revised — :class:`FunctionalityOracle` caches them.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Node, Relation
@@ -151,6 +151,15 @@ class FunctionalityOracle:
     def inverse_fun(self, relation: Relation) -> float:
         """Cached global inverse functionality ``fun⁻¹(r) = fun(r⁻)``."""
         return self.fun(relation.inverse)
+
+    def inverse_fun_values(self, relations: "Iterable[Relation]") -> "List[float]":
+        """``fun⁻¹`` for a batch of relations, in input order.
+
+        The vectorized kernel (:mod:`repro.core.vectorized`) calls this
+        once per kernel build to freeze the oracle into a float vector
+        indexed by interned relation id.
+        """
+        return [self.inverse_fun(relation) for relation in relations]
 
     def invalidate(self, relations: "Iterable[Relation]") -> Dict[Relation, Tuple[float, float]]:
         """Recompute the functionalities of ``relations`` (and inverses).

@@ -1,54 +1,64 @@
-"""Sharded parallel instance-equivalence engine (Section 5.1).
+"""Sharded parallel engines for the PARIS passes (Section 5.1).
 
 The paper runs the per-instance equivalence computation "in parallel on
-all available processors": within one iteration, every instance's
-scores depend only on the *previous* iteration's equivalences and on
-per-ontology constants, never on the scores of other instances computed
-in the same iteration.  This module exploits that independence:
+all available processors": within one iteration, every instance's (and
+relation's, and class's) scores depend only on the *previous*
+iteration's equivalences and on per-ontology constants, never on other
+scores of the same iteration.  Two engines exploit that independence:
 
-1. **Partition** — :func:`partition_instances` sorts the instances of
-   the first ontology by name and cuts the sorted list into contiguous
-   shards.  Sorting makes the partition (and hence the merge order)
-   independent of set-iteration order.
-2. **Score** — each worker runs
-   :func:`repro.core.equivalence.score_instances` — the exact code of
-   the sequential pass — on its shard against read-only frozen views
-   (ontologies, previous-iteration :class:`EquivalenceView`,
-   functionality oracles, relation matrices).
-3. **Merge** — shard results are folded into one
-   :class:`EquivalenceStore` *in shard order* via
-   :meth:`EquivalenceStore.update`, regardless of which worker finished
-   first, so the result is deterministic under any scheduling.
+**The per-pass executor functions** (the original engine, kept as the
+reference implementation): :func:`parallel_instance_equivalence_pass`,
+:func:`parallel_score_instances`, :func:`parallel_subrelation_pass` and
+:func:`parallel_subclass_pass` partition the work into deterministic
+contiguous shards, score each shard with the *exact sequential code*
+(:func:`~repro.core.equivalence.score_instances` and friends) on a
+thread or process executor, and merge results in shard order.  Under
+the ``process`` backend they pay one full state pickle per worker per
+pass — which is why the measured "speedup" of the original engine was
+~0.6 on real fixpoints.
+
+**The persistent pool** (:class:`WorkerPool`, owned by
+:class:`~repro.core.aligner.ParisAligner`): workers ``fork`` **once**
+per run and inherit everything heavy read-only through copy-on-write
+memory — the ontologies, the functionality oracles, the literal
+indexes, and the frozen statement arrays of the vectorized kernel
+(:mod:`repro.core.vectorized`).  A pass then broadcasts only its small
+per-pass arrays (candidate CSR + dense relation grids, or a lowered
+view store) and ships each task as a bare ``(lo, hi)`` index range;
+instance results come back as compact ``(x_id, x'_id, score)`` numpy
+arrays.  Nothing re-pickles an ontology, ever.  Tasks are dispatched
+dynamically (a worker gets its next task the moment it returns one) but
+results are merged strictly in task order, so scheduling never affects
+the output.
 
 Equivalence guarantee
 ---------------------
 ``workers=1`` with no explicit shard size short-circuits to
 :func:`instance_equivalence_pass` — bit-identical to the sequential
 engine by construction.  With more workers, every ``(x, x')`` score is
-computed by the same code on the same frozen inputs, and the sequential
-pass traverses instances in the same sorted order the partitioner uses,
-so sequential and sharded runs fill the store in the *same insertion
-order* — which matters because later-iteration passes accumulate floats
-over store dict order.  The ``thread`` backend (and the ``process``
-backend under the default ``fork`` start method, where workers inherit
-the parent's hash seed and hence its dict/set iteration orders)
-therefore reproduces the sequential floating-point results exactly,
-across whole fixpoint runs.  Under a ``spawn`` start method the per-instance factor
+computed by the same code (or the bit-exact vectorized kernel — see
+:mod:`repro.core.vectorized` for the proof sketch) on the same frozen
+inputs, shards cut the canonical sequential traversal order, and
+results merge in shard/task order — so sequential and parallel runs
+fill the store in the *same insertion order*, which matters because
+later-iteration passes accumulate floats over store dict order.  The
+``thread`` backend (and forked process workers, which inherit the
+parent's hash seed and hence its dict/set iteration orders) therefore
+reproduce the sequential floating-point results exactly, across whole
+fixpoint runs.  Under a ``spawn`` start method the per-instance factor
 products may be accumulated in a different set order, which can perturb
-scores at the level of one ulp (≪ 1e-12).  The test harness in
-``tests/test_parallel.py`` / ``tests/test_parallel_properties.py``
+scores at the level of one ulp (≪ 1e-12); the pool refuses to run
+without ``fork``.  The test harness in ``tests/test_parallel.py`` /
+``tests/test_parallel_properties.py`` / ``tests/test_vectorized.py``
 enforces the guarantee; it is not left to inspection.
-
-The ``thread`` backend shares the input structures and is cheap to
-start, but the pure-Python scoring loop holds the GIL, so wall-clock
-gains come from the ``process`` backend (the default for ``workers >
-1``), which pays one state pickle per worker per pass.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import queue as queue_module
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -62,6 +72,7 @@ from .equivalence import (
 from .functionality import FunctionalityOracle
 from .matrix import SubsumptionMatrix
 from .store import EquivalenceStore
+from .subclasses import closed_classes_of, score_classes, subclass_pass
 from .subrelations import apply_relation_scores, score_relations, subrelation_pass
 from .view import EquivalenceView
 
@@ -377,3 +388,288 @@ def parallel_subrelation_pass(
         for scored in executor.map(_score_relation_shard, shards):
             apply_relation_scores(matrix, scored, truncation_threshold, bootstrap_theta)
     return matrix
+
+
+# ----------------------------------------------------------------------
+# the parallel class pass
+# ----------------------------------------------------------------------
+
+
+def parallel_subclass_pass(
+    ontology1: Ontology,
+    ontology2: Ontology,
+    view: EquivalenceView,
+    truncation_threshold: float,
+    max_instances: int,
+    reverse: bool = False,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    backend: str = "thread",
+) -> SubsumptionMatrix[Resource]:
+    """Sharded drop-in for :func:`.subclasses.subclass_pass` (Eq. 17).
+
+    Classes shard in the *set iteration order* the sequential pass
+    traverses (``ontology1.classes`` — deliberately not sorted, so the
+    matrix fills in the same insertion order and probability ties in
+    downstream reports keep breaking identically), rows merge in shard
+    order.  Only the ``thread`` backend is offered: the process analogue
+    lives on the persistent :class:`WorkerPool`, where workers inherit
+    the class closure inputs by fork instead of pickling them per pass.
+    """
+    if backend != "thread":
+        raise ValueError(f"backend must be 'thread', got {backend!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 and shard_size is None:
+        return subclass_pass(
+            ontology1,
+            ontology2,
+            view,
+            truncation_threshold,
+            max_instances,
+            reverse=reverse,
+        )
+    matrix: SubsumptionMatrix[Resource] = SubsumptionMatrix()
+    shards = partition_ordered(list(ontology1.classes), workers, shard_size)
+    if not shards:
+        return matrix
+    classes_of_right = closed_classes_of(ontology2)
+    common = (ontology1, view, classes_of_right, max_instances, reverse)
+
+    def apply(scored) -> None:
+        for cls, scores in scored:
+            for cls2, score in scores.items():
+                if score >= truncation_threshold:
+                    matrix.set(cls, cls2, score)
+
+    if workers == 1:
+        for shard in shards:
+            apply(score_classes(shard, *common))
+        return matrix
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        for scored in executor.map(lambda shard: score_classes(shard, *common), shards):
+            apply(scored)
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# the persistent worker pool
+# ----------------------------------------------------------------------
+
+#: Read-only run state handed to forked pool workers: set immediately
+#: before the fork, cleared right after, inherited via copy-on-write.
+_POOL_FORK_STATE: Optional[tuple] = None
+
+#: How long the parent waits between result polls before re-checking
+#: that its workers are still alive (a crashed worker would otherwise
+#: hang the pass forever).
+_POOL_POLL_SECONDS = 2.0
+
+
+def even_ranges(total: int, num_tasks: int) -> List[Tuple[int, int]]:
+    """``num_tasks`` contiguous ``(lo, hi)`` ranges covering ``total``."""
+    if total <= 0:
+        return []
+    num_tasks = max(1, min(num_tasks, total))
+    step = math.ceil(total / num_tasks)
+    return [(lo, min(lo + step, total)) for lo in range(0, total, step)]
+
+
+def _run_pool_task(state: tuple, payload: dict, cache: dict, span: Tuple[int, int]):
+    """Execute one ``(lo, hi)`` task against the fork-inherited state."""
+    ontology1, ontology2, literals2, literals1, kernel = state
+    lo, hi = span
+    kind = payload["kind"]
+    if kind == "instances":
+        return kernel.score_ids(
+            payload["ids"][lo:hi], payload["prepared"], payload["theta"]
+        )
+    # Relation/class tasks score with the legacy dict code against a
+    # store rebuilt once per pass from the shipped id arrays (both row
+    # orderings preserved — see EquivalenceStore.backward_items).
+    view = cache.get("view")
+    if view is None:
+        store = kernel.rebuild_store(payload["store"], payload["threshold"])
+        view = EquivalenceView(store, literals2, literals1)
+        cache["view"] = view
+    reverse = payload["reverse"]
+    first, second = (ontology2, ontology1) if reverse else (ontology1, ontology2)
+    if kind == "relations":
+        relations = first.relations(include_inverses=True)
+        return [
+            (
+                index,
+                # score_relation is resolved lazily to keep the fork
+                # image identical to the parent's import state.
+                _score_one_relation(
+                    relations[index], first, second, view, payload["max_pairs"], reverse
+                ),
+            )
+            for index in range(lo, hi)
+        ]
+    if kind == "classes":
+        classes = cache.get("classes")
+        if classes is None:
+            # The inherited set object iterates identically in parent
+            # and child, so index ranges address the same classes.
+            classes = list(first.classes)
+            cache["classes"] = classes
+        closure = cache.get("closure")
+        if closure is None:
+            closure = closed_classes_of(second)
+            cache["closure"] = closure
+        return score_classes(
+            classes[lo:hi],
+            first,
+            view,
+            closure,
+            payload["max_instances"],
+            reverse=reverse,
+        )
+    raise ValueError(f"unknown pool task kind {kind!r}")
+
+
+def _score_one_relation(relation, first, second, view, max_pairs, reverse):
+    from .subrelations import score_relation
+
+    return score_relation(relation, first, second, view, max_pairs, reverse=reverse)
+
+
+def _pool_worker_main(worker_index: int, task_queue, result_queue) -> None:
+    """Worker loop: consume pass broadcasts and tasks until told to stop."""
+    state = _POOL_FORK_STATE
+    payload: Optional[dict] = None
+    cache: dict = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "pass":
+            payload = message[2]
+            cache = {}
+            continue
+        _kind, task_id, span = message
+        try:
+            result = _run_pool_task(state, payload, cache, span)
+        except BaseException:
+            result_queue.put((worker_index, task_id, traceback.format_exc(), None))
+        else:
+            result_queue.put((worker_index, task_id, None, result))
+
+
+class WorkerPool:
+    """Fork-once worker pool for the whole fixpoint (zero re-pickling).
+
+    Workers are forked at construction and inherit ``state`` — the
+    ontologies, literal indexes and the vectorized kernel — through
+    copy-on-write memory.  :meth:`run_pass` broadcasts one small
+    per-pass payload, feeds ``(lo, hi)`` index-range tasks to whichever
+    worker is free, and returns results **in task order** regardless of
+    completion order, so pool scheduling can never perturb downstream
+    float accumulation.
+
+    The pool requires the ``fork`` start method: forked workers share
+    the parent's hash seed and object identities, which is what makes
+    their dict/set iteration orders — and hence their floats — exactly
+    equal to an in-process run.
+    """
+
+    def __init__(self, workers: int, state: tuple, versions: Optional[tuple] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError("WorkerPool requires the fork start method")
+        context = multiprocessing.get_context("fork")
+        self.workers = workers
+        #: Ontology versions the forked state was built from; owners
+        #: compare against their kernel's to detect a stale pool.
+        self.versions = versions
+        self._task_queues = [context.SimpleQueue() for _ in range(workers)]
+        self._results = context.Queue()
+        self._closed = False
+        global _POOL_FORK_STATE
+        _POOL_FORK_STATE = state
+        try:
+            self._processes = [
+                context.Process(
+                    target=_pool_worker_main,
+                    args=(index, self._task_queues[index], self._results),
+                    daemon=True,
+                )
+                for index in range(workers)
+            ]
+            for process in self._processes:
+                process.start()
+        finally:
+            _POOL_FORK_STATE = None
+
+    def run_pass(self, payload: dict, tasks: Sequence[Tuple[int, int]]) -> List:
+        """Broadcast ``payload``, run ``tasks``, return results in task order."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        for task_queue in self._task_queues:
+            task_queue.put(("pass", None, payload))
+        results: List = [None] * len(tasks)
+        pending = list(range(len(tasks) - 1, -1, -1))
+        inflight = 0
+        for worker_index in range(self.workers):
+            if not pending:
+                break
+            task_id = pending.pop()
+            self._task_queues[worker_index].put(("task", task_id, tasks[task_id]))
+            inflight += 1
+        while inflight:
+            try:
+                worker_index, task_id, error, result = self._results.get(
+                    timeout=_POOL_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                dead = [p.pid for p in self._processes if not p.is_alive()]
+                if dead:
+                    self.close()
+                    raise RuntimeError(f"pool worker(s) died: pids {dead}")
+                continue
+            inflight -= 1
+            if error is not None:
+                self.close()
+                raise RuntimeError(f"pool worker task failed:\n{error}")
+            results[task_id] = result
+            if pending:
+                task_id = pending.pop()
+                self._task_queues[worker_index].put(("task", task_id, tasks[task_id]))
+                inflight += 1
+        return results
+
+    def close(self) -> None:
+        """Stop the workers; idempotent, safe after worker death."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._results.cancel_join_thread()
+        self._results.close()
+        for task_queue in self._task_queues:
+            task_queue.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -209,6 +209,20 @@ class EquivalenceStore:
             for right, probability in row.items():
                 yield left, right, probability
 
+    def backward_items(self) -> Iterator[Tuple[Resource, Resource, float]]:
+        """Iterate all entries in *backward* (right-row) dict order.
+
+        The reverse relation/class passes read ``equals_of_right`` rows
+        and multiply floats in their iteration order, which is the
+        original ``set``-call order — not necessarily the order a
+        rebuild from :meth:`items` would produce.  The persistent worker
+        pool therefore ships both orderings so a worker-side store can
+        fill its forward *and* backward rows exactly as the original.
+        """
+        for right, row in self._backward.items():
+            for left, probability in row.items():
+                yield left, right, probability
+
     def diff(
         self, other: "EquivalenceStore", tolerance: float = 0.0
     ) -> Iterator[Tuple[Resource, Resource, float, float]]:

@@ -69,6 +69,8 @@ class Ontology:
         self._instances: Set[Resource] = set()
         self._classes: Set[Resource] = set()
         self._literals: Set[Literal] = set()
+        # Data-statement mutation counter (see the `version` property).
+        self._version = 0
 
     # ------------------------------------------------------------------
     # mutation
@@ -107,6 +109,7 @@ class Ontology:
         objects = self._statements.setdefault(relation, {}).setdefault(subject, set())
         if obj in objects:
             return False
+        self._version += 1
         objects.add(obj)
         self._subject_index.setdefault(subject, {}).setdefault(relation, set()).add(obj)
         self._fact_counts[relation] = self._fact_counts.get(relation, 0) + 1
@@ -213,6 +216,7 @@ class Ontology:
         objects = self._statements.get(relation, {}).get(subject)
         if objects is None or obj not in objects:
             return False
+        self._version += 1
         self._drop_direction(subject, relation, obj)
         self._drop_direction(obj, relation.inverse, subject)
         self._unregister_if_orphan(subject)
@@ -296,6 +300,23 @@ class Ontology:
     # ------------------------------------------------------------------
     # statement access
     # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of *data-statement* mutations.
+
+        Bumped by every successful data add/remove (schema edits do not
+        count: they never feed Eq. 13 or the functionality vectors).
+        The vectorized scoring kernel (:mod:`repro.core.vectorized`)
+        freezes the statement structure into flat arrays; it keys its
+        cache on this counter to know when a delta made them stale.
+        """
+        return self._version
+
+    def nodes_with_statements(self) -> Iterable[Node]:
+        """All nodes appearing in at least one data statement (either
+        position) — the node universe the vectorized kernel interns."""
+        return self._subject_index.keys()
 
     def statements_about(self, subject: Node) -> Iterator[Tuple[Relation, Node]]:
         """Iterate ``(r, y)`` for every data statement ``r(subject, y)``.

@@ -123,6 +123,11 @@ class ReplicaNode:
         self.batches_applied = 0
         self.rebootstraps = 0
         self.last_error: Optional[str] = None
+        #: True once :meth:`stop` gave up waiting for the tail thread.
+        #: A wedged follower keeps its (stale) engine serving reads but
+        #: must be visible in ``/stats`` — operators page on this, and
+        #: the router's lag bound quietly stops being satisfiable.
+        self.wedged = False
         self._source_offset = self.applied_offset
         #: Monotonic time of the last poll that verified this replica
         #: caught up to the source log's head — None until the first
@@ -152,11 +157,29 @@ class ReplicaNode:
             self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 120.0) -> None:
+        """Signal the tail thread and wait up to ``timeout`` seconds.
+
+        The join deadline can pass with the thread still alive (a poll
+        blocked on a dead primary's socket, a warm pass stuck on a huge
+        batch).  Silently returning would report a clean shutdown that
+        never happened, so the wedge is logged and latched into
+        :meth:`stats` instead; a later ``stop()`` retries the join.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=120)
-            self._thread = None
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                self.wedged = True
+                print(
+                    f"replica: tail thread still running after {timeout:g}s; "
+                    "shutdown proceeds without it (wedged=true in /stats)",
+                    file=sys.stderr,
+                )
+            else:
+                self.wedged = False
+                self._thread = None
 
     def _run(self) -> None:
         while not self._stop.is_set():
@@ -272,4 +295,5 @@ class ReplicaNode:
             "rebootstraps": self.rebootstraps,
             "bootstrapped_at_offset": self.bootstrapped_at_offset,
             "last_error": self.last_error,
+            "wedged": self.wedged,
         }

@@ -31,6 +31,7 @@ proxy:
 from __future__ import annotations
 
 import json
+import math
 import sys
 import threading
 import time
@@ -258,6 +259,13 @@ class ReadRouter:
 class RouterRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-route/1.0"
     MAX_BODY = 64 * 1024 * 1024
+    #: Socket deadline per request — a stalled client must not pin a
+    #: handler thread forever (same policy as the primary's handler).
+    timeout = 30.0
+
+    def setup(self) -> None:
+        self.timeout = getattr(self.server, "handler_timeout", self.timeout)
+        super().setup()
 
     @property
     def router(self) -> ReadRouter:
@@ -358,6 +366,21 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
                 status=400,
             )
             return
+        # NaN would fail every `lag > max_lag_ms` comparison and turn a
+        # "bounded staleness" read into an unbounded one that *looks*
+        # constrained; negative bounds are equally meaningless.  Reject
+        # instead of silently serving arbitrarily stale data.
+        if max_lag_ms is not None and (
+            math.isnan(max_lag_ms) or math.isinf(max_lag_ms) or max_lag_ms < 0
+        ):
+            self._send_json(
+                {"error": "max_lag_ms must be a finite non-negative number"},
+                status=400,
+            )
+            return
+        if min_offset is not None and min_offset < 0:
+            self._send_json({"error": "min_offset must be a non-negative integer"}, status=400)
+            return
         constrained = min_offset is not None or max_lag_ms is not None
         targets = router.pick_read_targets(min_offset, max_lag_ms)
         if not constrained and router.primary not in targets:
@@ -406,7 +429,26 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         if length < 0 or length > self.MAX_BODY:
             self._send_json({"error": "body too large"}, status=400)
             return
-        body = self.rfile.read(length) if length else None
+        if length:
+            try:
+                body = self.rfile.read(length)
+            except TimeoutError:
+                self._send_json({"error": "timed out reading request body"}, status=408)
+                self.close_connection = True
+                return
+            if len(body) < length:
+                self._send_json(
+                    {
+                        "error": (
+                            f"short body: got {len(body)} of {length} declared bytes"
+                        )
+                    },
+                    status=400,
+                )
+                self.close_connection = True
+                return
+        else:
+            body = None
         result = self._forward(router.primary, "POST", self.path, body)
         if result is None:
             self._send_json(
@@ -421,11 +463,21 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
 
 
 def build_router_server(
-    router: ReadRouter, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    router: ReadRouter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    handler_timeout: Optional[float] = 30.0,
 ) -> ThreadingHTTPServer:
-    """Create (but do not start) the router's HTTP server."""
+    """Create (but do not start) the router's HTTP server.
+
+    ``handler_timeout`` bounds each handler thread's socket waits
+    (``None`` disables); a client that stalls mid-upload gets ``408``
+    instead of occupying a thread indefinitely.
+    """
     server = ThreadingHTTPServer((host, port), RouterRequestHandler)
     server.router = router  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.handler_timeout = handler_timeout  # type: ignore[attr-defined]
     server.daemon_threads = True
     return server

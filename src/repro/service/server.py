@@ -80,6 +80,15 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     #: Upper bound on accepted delta payloads (64 MiB).
     MAX_BODY = 64 * 1024 * 1024
+    #: Socket timeout per request (seconds).  Handler threads are a
+    #: finite resource: a client that sends ``Content-Length: N`` and
+    #: then stalls must not pin one forever on ``rfile.read``.
+    timeout = 30.0
+
+    def setup(self) -> None:
+        # Per-server override (None disables the deadline entirely).
+        self.timeout = getattr(self.server, "handler_timeout", self.timeout)
+        super().setup()
 
     @property
     def service(self) -> AlignmentService:
@@ -122,6 +131,24 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
 
     def _error(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
+
+    def _read_body(self, length: int) -> Optional[bytes]:
+        """The declared request body, or ``None`` after answering the
+        client.  A stalled sender hits the socket timeout → 408; a
+        sender that closed early delivers a short read → 400.  Either
+        way the connection is closed: the request framing is broken,
+        so nothing further on this socket can be trusted."""
+        try:
+            body = self.rfile.read(length)
+        except TimeoutError:
+            self._error(408, "timed out reading request body")
+            self.close_connection = True
+            return None
+        if len(body) < length:
+            self._error(400, f"short body: got {len(body)} of {length} declared bytes")
+            self.close_connection = True
+            return None
+        return body
 
     # -- routes --------------------------------------------------------
 
@@ -307,8 +334,11 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
             self._error(400, "seq must be an integer")
             return
         stream = self.server.stream  # type: ignore[attr-defined]
+        raw = self._read_body(length)
+        if raw is None:
+            return
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            payload = json.loads(raw.decode("utf-8"))
             delta = Delta.from_json(payload)
             if stream is not None:
                 # Shared ingest queue: WAL'd, coalesced, admission-
@@ -398,11 +428,16 @@ def build_server(
     snapshot_every: int = 1,
     stream: Optional[StreamStack] = None,
     replica=None,
+    handler_timeout: Optional[float] = 30.0,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` (the in-process tests do).
+    ``handler_timeout`` bounds how long one handler thread waits on a
+    client's socket (request line or body); a stalled upload gets a
+    ``408`` instead of pinning the thread forever.  ``None`` disables
+    the deadline (trusted-network deployments only).
     ``snapshot_every=N`` snapshots after every Nth version (a full
     state pickle is O(corpus), so large deployments raise this or set
     0 to snapshot only on shutdown / ``POST /snapshot`` — with a WAL
@@ -428,6 +463,7 @@ def build_server(
     server.snapshot_every = snapshot_every  # type: ignore[attr-defined]
     server.stream = stream  # type: ignore[attr-defined]
     server.replica = replica  # type: ignore[attr-defined]
+    server.handler_timeout = handler_timeout  # type: ignore[attr-defined]
     server.daemon_threads = True
     if (
         stream is not None

@@ -1,0 +1,187 @@
+"""Service hardening: stalled clients, bogus staleness params, wedged stop.
+
+Three production failure modes fixed together:
+
+* a client that declares ``Content-Length: N`` and then stalls used to
+  pin a handler thread forever on ``rfile.read`` — now the socket
+  deadline answers ``408`` (stall) or ``400`` (short body) in bounded
+  wall-clock time, on the primary and the router alike;
+* ``?max_lag_ms=nan`` used to *silently disable* bounded staleness
+  (every NaN comparison in ``_satisfies`` is False) — now NaN/inf/
+  negative bounds are rejected with ``400``;
+* ``ReplicaNode.stop()`` used to join its tail thread with a timeout
+  and never check ``is_alive()`` — a wedged follower is now logged and
+  latched into ``stats()``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ParisConfig
+from repro.datasets.incremental import family_pair
+from repro.service import AlignmentService
+from repro.service.replica import ReadRouter, ReplicaNode, build_router_server
+from repro.service.server import build_server
+
+
+def serve(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def shut_down(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def raw_request_status(address, payload: bytes, stall: bool) -> tuple:
+    """Send a POST whose body is shorter than its Content-Length, then
+    either stall (keep the socket open) or half-close.  Returns the
+    status line and how long the server took to answer."""
+    host, port = address[:2]
+    declared = len(payload) + 64  # always lie: promise more than sent
+    head = (
+        f"POST /delta HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {declared}\r\n\r\n"
+    ).encode("ascii")
+    started = time.monotonic()
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(head + payload)
+        if not stall:
+            sock.shutdown(socket.SHUT_WR)
+        sock.settimeout(30)
+        status = sock.makefile("rb").readline().decode("ascii", "replace")
+    return status, time.monotonic() - started
+
+
+class TestStalledClients:
+    @pytest.fixture()
+    def server(self):
+        left, right = family_pair(2)
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        server = build_server(service, "127.0.0.1", 0, handler_timeout=1.0)
+        thread = serve(server)
+        yield server
+        shut_down(server, thread)
+
+    def test_stalled_body_answers_408_in_bounded_time(self, server):
+        status, elapsed = raw_request_status(server.server_address, b'{"add1": [', stall=True)
+        assert " 408 " in status
+        # One handler_timeout (1s) plus scheduling slack — not forever,
+        # and nowhere near a default-socket-timeout scale.
+        assert elapsed < 15
+
+    def test_half_closed_body_answers_400(self, server):
+        status, elapsed = raw_request_status(server.server_address, b'{"add1": [', stall=False)
+        assert " 400 " in status
+        assert elapsed < 15
+
+    def test_wellformed_posts_still_work(self, server):
+        from repro.service import Delta
+
+        request = urllib.request.Request(
+            "http://%s:%d/delta" % server.server_address[:2],
+            data=json.dumps(Delta().to_json()).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        # The timeout machinery must not break honest uploads: the full
+        # body is read and the delta applies (a no-op report).
+        with urllib.request.urlopen(request, timeout=30) as response:
+            report = json.load(response)
+        assert report["applied_add"] == 0 and report["applied_remove"] == 0
+
+
+class TestRouterHardening:
+    @pytest.fixture()
+    def router_server(self):
+        # Validation runs before any backend is consulted, so an
+        # unreachable primary and zero replicas are enough here.
+        router = ReadRouter("http://127.0.0.1:9", [], retry_after=0.1)
+        server = build_router_server(router, handler_timeout=1.0)
+        thread = serve(server)
+        yield server
+        shut_down(server, thread)
+
+    @staticmethod
+    def get_status(server, path):
+        url = "http://%s:%d%s" % (*server.server_address[:2], path)
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    @pytest.mark.parametrize("value", ["nan", "NaN", "inf", "-inf", "-5", "-0.5"])
+    def test_bogus_max_lag_ms_rejected(self, router_server, value):
+        status, payload = self.get_status(router_server, f"/pair/a/b?max_lag_ms={value}")
+        assert status == 400
+        assert "max_lag_ms" in payload["error"]
+
+    def test_negative_min_offset_rejected(self, router_server):
+        status, payload = self.get_status(router_server, "/pair/a/b?min_offset=-1")
+        assert status == 400
+        assert "min_offset" in payload["error"]
+
+    def test_valid_bounds_still_accepted(self, router_server):
+        # No replica can satisfy them here; the answer must be the
+        # honest 503, not a validation 400.
+        status, _payload = self.get_status(router_server, "/pair/a/b?min_offset=0&max_lag_ms=5000")
+        assert status == 503
+
+    def test_stalled_write_answers_408(self, router_server):
+        status, elapsed = raw_request_status(
+            router_server.server_address, b'{"add1": [', stall=True
+        )
+        assert " 408 " in status
+        assert elapsed < 15
+
+    def test_half_closed_write_answers_400(self, router_server):
+        status, elapsed = raw_request_status(
+            router_server.server_address, b'{"add1": [', stall=False
+        )
+        assert " 400 " in status
+        assert elapsed < 15
+
+
+class TestWedgedFollowerStop:
+    def test_stop_surfaces_wedged_tail_thread(self, tmp_path):
+        left, right = family_pair(2)
+        primary = AlignmentService.cold_start(left, right, ParisConfig())
+        state_dir = tmp_path / "state"
+        primary.snapshot(state_dir)
+        replica = ReplicaNode(state_dir, batch=4)
+        release = threading.Event()
+        replica.poll_once = lambda: (release.wait(60), 0)[1]  # wedge the loop
+        replica.start()
+        time.sleep(0.05)  # let the tail thread enter the blocked poll
+
+        replica.stop(timeout=0.2)
+        assert replica.wedged
+        assert replica.stats()["wedged"] is True
+        # A replica server surfaces the flag to operators via /stats.
+        server = build_server(None, "127.0.0.1", 0, replica=replica)
+        thread = serve(server)
+        try:
+            url = "http://%s:%d/stats" % server.server_address[:2]
+            with urllib.request.urlopen(url, timeout=30) as response:
+                stats = json.load(response)
+            assert stats["replication"]["wedged"] is True
+        finally:
+            shut_down(server, thread)
+
+        # Once the blockage clears, a later stop() joins and unlatches.
+        release.set()
+        replica.stop(timeout=30)
+        assert not replica.wedged
+        assert replica.stats()["wedged"] is False
