@@ -4,6 +4,7 @@
 
     python -m repro align left.nt right.nt --out result_dir [options]
     python -m repro stats onto1.nt onto2.nt ...
+    python -m repro stats http://host:8765 [--watch SECS] [--raw]
     python -m repro demo {person,restaurant,kb,movies}
     python -m repro convert input.nt output.tsv
     python -m repro serve left.nt right.nt --state-dir dir --port 8765 \
@@ -47,7 +48,7 @@ each snapshot when ``--wal-segment-bytes`` is set).
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -57,6 +58,8 @@ from .core.aligner import align
 from .core.config import ParisConfig
 from .core.parallel import BACKENDS
 from .io.alignment_io import save_result, write_sameas_links
+from .obs import get_event_logger
+from .obs.logging import LOG_FORMATS, LOG_LEVELS, setup_logging
 from .literals import (
     EditDistanceSimilarity,
     IdentitySimilarity,
@@ -67,6 +70,8 @@ from .literals import (
 from .rdf import ntriples, tsv
 from .rdf.ontology import Ontology
 from .rdf.stats import statistics_table
+
+_log = get_event_logger("repro.cli")
 
 #: Literal-similarity choices exposed on the command line.
 SIMILARITIES = {
@@ -117,20 +122,17 @@ def _build_config(args: argparse.Namespace) -> ParisConfig:
 def cmd_align(args: argparse.Namespace) -> int:
     left, right = _load_pair(args)
     config = _build_config(args)
-    print(f"aligning {left!r}\n     with {right!r}", file=sys.stderr)
+    _log.info("aligning", left=repr(left), right=repr(right))
     started = time.perf_counter()
     result = align(left, right, config)
     elapsed = time.perf_counter() - started
-    print(
-        f"done in {elapsed:.1f}s: {result.summary()}",
-        file=sys.stderr,
-    )
+    _log.info("alignment done", seconds=round(elapsed, 1), summary=result.summary())
     out_dir = Path(args.out)
     save_result(result, out_dir)
     links = write_sameas_links(
         result.assignment12, out_dir / "sameas.nt", threshold=args.threshold
     )
-    print(f"wrote {out_dir}/ ({links} owl:sameAs links)", file=sys.stderr)
+    _log.info("result written", path=str(out_dir), sameas_links=links)
     if args.print_pairs:
         # Total order: probability ties sort by name, so the output does
         # not depend on store insertion order (sequential vs. sharded).
@@ -142,7 +144,35 @@ def cmd_align(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_stats_once(base_url: str, raw: bool) -> None:
+    """Fetch and print one ``/stats`` (or ``/metrics`` with ``raw``)."""
+    from urllib.request import urlopen
+
+    path = "/metrics" if raw else "/stats"
+    with urlopen(base_url.rstrip("/") + path, timeout=30) as response:
+        body = response.read().decode("utf-8")
+    if raw:
+        # Prometheus text: pass through verbatim (it is already lines).
+        print(body, end="" if body.endswith("\n") else "\n")
+    else:
+        print(json.dumps(json.loads(body), indent=2, sort_keys=True))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    is_url = [f.startswith(("http://", "https://")) for f in args.files]
+    if any(is_url):
+        if len(args.files) != 1:
+            raise SystemExit("error: pass exactly one service URL to stats")
+        try:
+            while True:
+                _service_stats_once(args.files[0], raw=args.raw)
+                if args.watch is None:
+                    return 0
+                time.sleep(args.watch)
+        except KeyboardInterrupt:  # pragma: no cover - interactive --watch
+            return 0
+    if args.watch is not None or args.raw:
+        raise SystemExit("error: --watch/--raw require a service URL, not files")
     ontologies = [load_ontology(path) for path in args.files]
     print(statistics_table(ontologies))
     return 0
@@ -158,7 +188,7 @@ def cmd_convert(args: argparse.Namespace) -> int:
         count = tsv.write_tsv(ontology, target)
     else:
         raise SystemExit(f"error: unsupported output extension {suffix!r}")
-    print(f"wrote {count} statements to {target}", file=sys.stderr)
+    _log.info("converted", statements=count, path=str(target))
     return 0
 
 
@@ -174,11 +204,11 @@ def cmd_multi(args: argparse.Namespace) -> int:
             ontology = load_ontology(path, name=f"{ontology.name}-{index}")
         ontologies.append(ontology)
     result = align_many(ontologies, _build_config(args))
-    print(
-        f"aligned {len(ontologies)} ontologies "
-        f"({len(result.pairwise)} pairwise runs), "
-        f"{len(result.clusters)} entity clusters",
-        file=sys.stderr,
+    _log.info(
+        "aligned ontologies",
+        ontologies=len(ontologies),
+        pairwise_runs=len(result.pairwise),
+        clusters=len(result.clusters),
     )
     target = Path(args.out)
     with target.open("w", encoding="utf-8") as stream:
@@ -189,7 +219,7 @@ def cmd_multi(args: argparse.Namespace) -> int:
                 member = cluster.members.get(ontology.name)
                 cells.append(member.name if member else "-")
             stream.write("\t".join(cells) + "\n")
-    print(f"wrote {target}", file=sys.stderr)
+    _log.info("clusters written", path=str(target))
     return 0
 
 
@@ -255,9 +285,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     resumable = state_dir.is_dir() and latest_version(state_dir) is not None
     if resumable:
         if args.left or args.right:
-            print(
-                f"resuming snapshot in {state_dir}; ignoring ontology arguments",
-                file=sys.stderr,
+            _log.info(
+                "resuming snapshot; ignoring ontology arguments",
+                state_dir=str(state_dir),
             )
         state = load_state(state_dir)
         # Model knobs (theta, similarity, ...) are part of the snapshot
@@ -269,10 +299,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             shard_size=args.shard_size,
             parallel_backend=args.parallel_backend,
         )
-        print(
-            f"resumed alignment state version {state.version} "
-            "(model settings come from the snapshot)",
-            file=sys.stderr,
+        _log.info(
+            "resumed alignment state (model settings come from the snapshot)",
+            version=state.version,
         )
         service = AlignmentService.from_state(state)
     else:
@@ -283,13 +312,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         left, right = _load_pair(args)
         config = _build_config(args)
-        print(f"cold-aligning {left!r}\n           with {right!r}", file=sys.stderr)
+        _log.info("cold-aligning", left=repr(left), right=repr(right))
         started = time.perf_counter()
         service = AlignmentService.cold_start(left, right, config)
-        print(
-            f"cold alignment done in {time.perf_counter() - started:.1f}s "
-            f"({len(service.state.store)} instance pairs)",
-            file=sys.stderr,
+        _log.info(
+            "cold alignment done",
+            seconds=round(time.perf_counter() - started, 1),
+            instance_pairs=len(service.state.store),
         )
         service.snapshot(state_dir)
     stream = None
@@ -311,10 +340,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
             replayed = replay_wal(service, wal, max_batch=args.max_batch)
             if replayed:
-                print(
-                    f"replayed {replayed} un-snapshotted WAL records "
-                    f"(now at offset {service.state.wal_offset})",
-                    file=sys.stderr,
+                _log.info(
+                    "replayed un-snapshotted WAL records",
+                    records=replayed,
+                    offset=service.state.wal_offset,
                 )
         # The --snapshot-every policy is installed by build_server as
         # the batcher's on_batch_applied hook (once per applied batch).
@@ -327,7 +356,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         sources = [make_source(batcher, path) for path in args.watch]
         for source in sources:
-            print(f"streaming deltas from {source.source_id}", file=sys.stderr)
+            _log.info("streaming deltas", source=source.source_id)
         stream = StreamStack(batcher=batcher, wal=wal, sources=sources)
     return run_server(
         service,
@@ -347,22 +376,25 @@ def cmd_replay(args: argparse.Namespace) -> int:
     service = AlignmentService.from_state(state)
     wal = WriteAheadLog(args.wal, read_only=True)
     before = state.wal_offset
-    print(
-        f"state version {state.version} at WAL offset {before}; "
-        f"log holds {wal.offset} records",
-        file=sys.stderr,
+    _log.info(
+        "replay starting",
+        version=state.version,
+        snapshot_offset=before,
+        wal_records=wal.offset,
     )
     replayed = replay_wal(service, wal, max_batch=args.max_batch)
-    print(
-        f"replayed {replayed} records "
-        f"(offsets {before + 1}..{service.state.wal_offset})"
-        if replayed
-        else "nothing to replay: snapshot already covers the log",
-        file=sys.stderr,
-    )
+    if replayed:
+        _log.info(
+            "replayed records",
+            records=replayed,
+            first_offset=before + 1,
+            last_offset=service.state.wal_offset,
+        )
+    else:
+        _log.info("nothing to replay: snapshot already covers the log")
     if replayed and not args.no_snapshot:
         path = service.snapshot(args.state_dir)
-        print(f"caught-up state saved to {path}", file=sys.stderr)
+        _log.info("caught-up state saved", path=str(path))
     return 0
 
 
@@ -383,10 +415,10 @@ def cmd_replica(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         config_overrides=overrides,
     )
-    print(
-        f"replica bootstrapped at WAL offset {replica.applied_offset} "
-        f"from {replica.follower.source_id}",
-        file=sys.stderr,
+    _log.info(
+        "replica bootstrapped",
+        offset=replica.applied_offset,
+        source=replica.follower.source_id,
     )
     server = build_server(
         None,
@@ -398,11 +430,7 @@ def cmd_replica(args: argparse.Namespace) -> int:
     from .service.server import serve_until_signalled
 
     actual_host, actual_port = server.server_address[:2]
-    print(
-        f"serving read replica on http://{actual_host}:{actual_port}",
-        file=sys.stderr,
-        flush=True,
-    )
+    _log.info("serving read replica", url=f"http://{actual_host}:{actual_port}")
     replica.start()
     try:
         serve_until_signalled(server)
@@ -412,10 +440,10 @@ def cmd_replica(args: argparse.Namespace) -> int:
             path = replica.snapshot()
         except RuntimeError as error:
             # Poisoned engine: leave the last good snapshot in place.
-            print(f"not snapshotting replica state: {error}", file=sys.stderr)
+            _log.warning("not snapshotting replica state", error=str(error))
             path = None
         if path is not None:
-            print(f"replica state saved to {path}", file=sys.stderr, flush=True)
+            _log.info("replica state saved", path=str(path))
     return 0
 
 
@@ -432,11 +460,11 @@ def cmd_route(args: argparse.Namespace) -> int:
     from .service.server import serve_until_signalled
 
     actual_host, actual_port = server.server_address[:2]
-    print(
-        f"routing reads across {len(args.replica)} replica(s), writes to "
-        f"{args.primary}, on http://{actual_host}:{actual_port}",
-        file=sys.stderr,
-        flush=True,
+    _log.info(
+        "routing reads",
+        replicas=len(args.replica),
+        primary=args.primary,
+        url=f"http://{actual_host}:{actual_port}",
     )
     router.start()
     try:
@@ -463,11 +491,14 @@ def cmd_wal_compact(args: argparse.Namespace) -> int:
     before = wal.size_bytes()
     reclaimed, deleted = wal.compact(covered)
     wal.close()
-    print(
-        f"snapshot version {version} covers WAL offset {covered}; "
-        f"deleted {len(deleted)} sealed segment(s), reclaimed {reclaimed} bytes "
-        f"({before} -> {wal.size_bytes()} on disk)",
-        file=sys.stderr,
+    _log.info(
+        "compacted WAL",
+        snapshot_version=version,
+        covered_offset=covered,
+        deleted_segments=len(deleted),
+        reclaimed_bytes=reclaimed,
+        bytes_before=before,
+        bytes_after=wal.size_bytes(),
     )
     return 0
 
@@ -493,6 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="PARIS (VLDB 2011) ontology alignment — Python reproduction",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--log-level", choices=list(LOG_LEVELS), default="info",
+                        help="minimum level for diagnostic output on stderr "
+                             "(debug also emits one line per fixpoint-pass "
+                             "span; default info)")
+    parser.add_argument("--log-format", choices=list(LOG_FORMATS), default="text",
+                        help="stderr log line format; json emits one JSON "
+                             "object per line and no bare text (default text)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     align_parser = commands.add_parser("align", help="align two ontologies")
@@ -551,8 +589,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_model_options(explain_parser)
     explain_parser.set_defaults(handler=cmd_explain)
 
-    stats_parser = commands.add_parser("stats", help="print ontology statistics")
-    stats_parser.add_argument("files", nargs="+")
+    stats_parser = commands.add_parser(
+        "stats",
+        help="print ontology statistics, or a running service's /stats "
+             "(pass its base URL instead of files)",
+    )
+    stats_parser.add_argument("files", nargs="+", metavar="FILE_OR_URL",
+                              help="ontology files, or exactly one http(s):// "
+                                   "base URL of a serve/replica/route process")
+    stats_parser.add_argument("--watch", type=float, default=None, metavar="SECS",
+                              help="with a URL: refetch and reprint every "
+                                   "SECS seconds until interrupted")
+    stats_parser.add_argument("--raw", action="store_true",
+                              help="with a URL: print GET /metrics "
+                                   "(Prometheus text) instead of /stats JSON")
     stats_parser.set_defaults(handler=cmd_stats)
 
     convert_parser = commands.add_parser("convert", help="convert .nt <-> .tsv")
@@ -711,6 +761,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(level=args.log_level, log_format=args.log_format)
     return args.handler(args)
 
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs.trace import Span, root_span, span
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Node, Relation, Resource
 from .config import ParisConfig
@@ -135,6 +136,15 @@ class ParisAligner:
         #: Persistent fork-once worker pool; alive for at most one
         #: align()/warm_align() run (closed in their finally blocks).
         self._pool: Optional[WorkerPool] = None
+        #: Root span of the most recent align()/warm_align() run — the
+        #: live staged profile `/stats` serves as ``last_align_profile``.
+        self._last_align_span: Optional[Span] = None
+
+    @property
+    def last_profile(self) -> Optional[dict]:
+        """JSON-ready span tree of the most recent cold/warm align."""
+        node = self._last_align_span
+        return node.to_dict() if node is not None else None
 
     # ------------------------------------------------------------------
     # engine selection (vectorized kernel + persistent pool)
@@ -154,9 +164,14 @@ class ParisAligner:
             return None
         kernel = self._kernel
         if kernel is None or not kernel.fresh():
-            kernel = VectorizedKernel(
-                self.ontology1, self.ontology2, self.fun1, self.fun2, self.literals2
-            )
+            with span(
+                "kernel.build",
+                nodes1=len(self.ontology1.instances),
+                rebuild=kernel is not None,
+            ):
+                kernel = VectorizedKernel(
+                    self.ontology1, self.ontology2, self.fun1, self.fun2, self.literals2
+                )
             self._kernel = kernel
         return kernel
 
@@ -257,7 +272,8 @@ class ParisAligner:
                 shard_size=config.shard_size,
                 backend=config.parallel_backend,
             )
-        prepared = kernel.prepare_pass(view.store, rel12, rel21)
+        with span("kernel.prepare"):
+            prepared = kernel.prepare_pass(view.store, rel12, rel21)
         store = EquivalenceStore(config.theta)
         pool = self._ensure_pool(kernel)
         if pool is not None:
@@ -270,14 +286,20 @@ class ParisAligner:
             tasks = kernel.task_ranges(
                 kernel.ordered_ids, prepared, config.workers * SHARDS_PER_WORKER
             )
-            for result in pool.run_pass(payload, tasks):
-                store.update(kernel.entries_for(*result))
+            # Merging interleaves with result arrival, so the merge cost
+            # rides the score span as an annotation instead of a child.
+            with span("kernel.score", engine="pool", tasks=len(tasks)) as sp:
+                merge_seconds = 0.0
+                for result in pool.run_pass(payload, tasks):
+                    merge_started = time.perf_counter()
+                    store.update(kernel.entries_for(*result))
+                    merge_seconds += time.perf_counter() - merge_started
+                sp.annotate(merge_s=round(merge_seconds, 6))
             return store
-        store.update(
-            kernel.entries_for(
-                *kernel.score_ids(kernel.ordered_ids, prepared, config.theta)
-            )
-        )
+        with span("kernel.score", engine="inprocess"):
+            scored = kernel.score_ids(kernel.ordered_ids, prepared, config.theta)
+        with span("kernel.merge"):
+            store.update(kernel.entries_for(*scored))
         return store
 
     def _relation_pass(
@@ -414,7 +436,8 @@ class ParisAligner:
                 shard_size=config.shard_size,
                 backend=config.parallel_backend,
             )
-        prepared = kernel.prepare_pass(view.store, rel12, rel21)
+        with span("kernel.prepare"):
+            prepared = kernel.prepare_pass(view.store, rel12, rel21)
         ids = kernel.ids_for(ordered_dirty)
         if len(ordered_dirty) >= POOL_MIN_FRONTIER:
             pool = self._ensure_pool(kernel)
@@ -429,10 +452,18 @@ class ParisAligner:
                     ids, prepared, config.workers * SHARDS_PER_WORKER
                 )
                 entries: List[Tuple[Resource, Resource, float]] = []
-                for result in pool.run_pass(payload, tasks):
-                    entries.extend(kernel.entries_for(*result))
+                with span("kernel.score", engine="pool", tasks=len(tasks)) as sp:
+                    merge_seconds = 0.0
+                    for result in pool.run_pass(payload, tasks):
+                        merge_started = time.perf_counter()
+                        entries.extend(kernel.entries_for(*result))
+                        merge_seconds += time.perf_counter() - merge_started
+                    sp.annotate(merge_s=round(merge_seconds, 6))
                 return entries
-        return kernel.entries_for(*kernel.score_ids(ids, prepared, config.theta))
+        with span("kernel.score", engine="inprocess"):
+            scored = kernel.score_ids(ids, prepared, config.theta)
+        with span("kernel.merge"):
+            return kernel.entries_for(*scored)
 
     def _dampen(
         self, old_store: EquivalenceStore, new_store: EquivalenceStore
@@ -491,25 +522,29 @@ class ParisAligner:
         snap_prev12: Dict[Resource, Tuple[Resource, float]] = {}
         snap_prev21: Dict[Resource, Tuple[Resource, float]] = {}
         converged = False
-        try:
-            return self._align_loop(
-                config,
-                theta,
-                rel12,
-                rel21,
-                store,
-                previous_store,
-                previous_assignment,
-                assignment_history,
-                snapshots,
-                snap_prev12,
-                snap_prev21,
-                converged,
-            )
-        finally:
-            # The pool's fork image is only valid for this run's
-            # ontology state; workers release with the run.
-            self._close_pool()
+        with root_span(
+            "align.cold", instances=len(self.ontology1.instances)
+        ) as profile:
+            self._last_align_span = profile
+            try:
+                return self._align_loop(
+                    config,
+                    theta,
+                    rel12,
+                    rel21,
+                    store,
+                    previous_store,
+                    previous_assignment,
+                    assignment_history,
+                    snapshots,
+                    snap_prev12,
+                    snap_prev21,
+                    converged,
+                )
+            finally:
+                # The pool's fork image is only valid for this run's
+                # ontology state; workers release with the run.
+                self._close_pool()
 
     def _align_loop(
         self,
@@ -528,9 +563,14 @@ class ParisAligner:
     ) -> AlignmentResult:
         for iteration in range(1, config.max_iterations + 1):
             started = time.perf_counter()
-            view = self._view(store)
-            new_store = self._instance_pass(view, rel12, rel21)
-            store = self._dampen(store, new_store)
+            with span(
+                "pass.instance",
+                iteration=iteration,
+                frontier=len(self.ontology1.instances),
+            ):
+                view = self._view(store)
+                new_store = self._instance_pass(view, rel12, rel21)
+                store = self._dampen(store, new_store)
             assignment12 = store.maximal_assignment()
             assignment21 = store.maximal_assignment(reverse=True)
             change = (
@@ -557,9 +597,10 @@ class ParisAligner:
             # Relation pass uses the fresh equivalences ("These two
             # steps are iterated until convergence", Section 5.1).  The
             # second round uses the computed values and no longer θ.
-            relation_view = self._view(store)
-            rel12 = self._relation_pass(relation_view)
-            rel21 = self._relation_pass(relation_view, reverse=True)
+            with span("pass.relation", iteration=iteration):
+                relation_view = self._view(store)
+                rel12 = self._relation_pass(relation_view)
+                rel21 = self._relation_pass(relation_view, reverse=True)
             duration = time.perf_counter() - started
             if config.keep_snapshots:
                 snapshots.append(
@@ -597,9 +638,10 @@ class ParisAligner:
         # Classes are aligned once, from the final assignment
         # (Section 4.3 / 5.1: "In a last step, the equivalences between
         # classes are computed by Equation (17)").
-        class_view = self._view(store)
-        classes12 = self._class_pass(class_view)
-        classes21 = self._class_pass(class_view, reverse=True)
+        with span("pass.class"):
+            class_view = self._view(store)
+            classes12 = self._class_pass(class_view)
+            classes21 = self._class_pass(class_view, reverse=True)
         return AlignmentResult(
             left_name=self.ontology1.name,
             right_name=self.ontology2.name,
@@ -650,23 +692,25 @@ class ParisAligner:
         guarantees that a worker pool forked for a large-frontier pass
         never outlives the run whose ontology state it inherited.
         """
-        try:
-            return self._warm_align_impl(
-                store,
-                rel12_cache,
-                rel21_cache,
-                dirty_instances,
-                seed_nodes1,
-                seed_nodes2,
-                delta_statements1,
-                delta_statements2,
-                view_maintainer,
-                class12_cache,
-                class21_cache,
-                mutate_store,
-            )
-        finally:
-            self._close_pool()
+        with root_span("align.warm") as profile:
+            self._last_align_span = profile
+            try:
+                return self._warm_align_impl(
+                    store,
+                    rel12_cache,
+                    rel21_cache,
+                    dirty_instances,
+                    seed_nodes1,
+                    seed_nodes2,
+                    delta_statements1,
+                    delta_statements2,
+                    view_maintainer,
+                    class12_cache,
+                    class21_cache,
+                    mutate_store,
+                )
+            finally:
+                self._close_pool()
 
     def _warm_align_impl(
         self,
@@ -802,69 +846,76 @@ class ParisAligner:
         converged = False
         for iteration in range(1, config.warm_max_iterations + 1):
             started = time.perf_counter()
-            view = self.make_view(view_store)
-            changes12 = rel12_cache.refresh(view, changed_left, pending12)
-            changes21 = rel21_cache.refresh(view, changed_right, pending21)
-            pending12 = pending21 = ()
-            full_pass = force_full
-            for relation, row_change in changes12.items():
-                # A left relation's row prices statements of exactly its
-                # subjects (Eq. 13 reads rel12[r, ·] and rel21[·, r]
-                # only for relations r of the instance being scored).
-                if row_change.max_delta > tolerance:
-                    dirty.update(self._instance_subjects(relation))
-            for _relation2, row_change in changes21.items():
-                if row_change.max_delta <= tolerance:
-                    continue
-                if row_change.default_changed:
-                    full_pass = True
-                    continue
-                for relation in row_change.changed_supers:
-                    dirty.update(self._instance_subjects(relation))
-            instances = self.ontology1.instances
-            if full_pass or len(dirty) >= config.warm_full_pass_fraction * len(instances):
-                dirty |= instances
-            ordered_dirty = ordered_instances(dirty)
-            entries = self._score_frontier(
-                ordered_dirty, view, rel12_cache.matrix, rel21_cache.matrix
-            )
-            overlay = working.overlay()
-            for x in ordered_dirty:
-                overlay.clear_left(x)
-            if config.dampening > 0.0:
-                self._blend_rows(working, overlay, ordered_dirty, entries)
-            else:
-                overlay.update(entries)
-            # View maintenance replaces the old full restricted-view
-            # rebuild + full store diff: only the touched rows (and the
-            # rights they mention) are reconsidered.
-            if maintainer is not None:
-                view_changes = maintainer.apply(overlay)
-            else:
-                view_changes = {
-                    (left, right): (old, new)
-                    for left, right, old, new in overlay.row_changes()
-                }
-            pairs_touched += overlay.pairs_touched + len(view_changes)
-            max_change = 0.0
-            changed_left = set()
-            changed_right = set()
-            for (left, right), (old_p, new_p) in view_changes.items():
-                delta = abs(new_p - old_p)
-                max_change = max(max_change, delta)
-                changed_members1.add(left)
-                changed_members2.add(right)
-                if delta > tolerance:
-                    changed_left.add(left)
-                    changed_right.add(right)
-            # Next frontier: 1-hop neighbourhood of every node whose
-            # view row moved — their Eq. 13 inputs are now stale.
-            dirty = set()
-            for node in changed_left:
-                for _relation, other in self.ontology1.statements_about(node):
-                    if isinstance(other, Resource):
-                        dirty.add(other)
-            working = overlay.commit()
+            with span("pass.warm", iteration=iteration) as pass_span:
+                view = self.make_view(view_store)
+                changes12 = rel12_cache.refresh(view, changed_left, pending12)
+                changes21 = rel21_cache.refresh(view, changed_right, pending21)
+                pending12 = pending21 = ()
+                full_pass = force_full
+                for relation, row_change in changes12.items():
+                    # A left relation's row prices statements of exactly its
+                    # subjects (Eq. 13 reads rel12[r, ·] and rel21[·, r]
+                    # only for relations r of the instance being scored).
+                    if row_change.max_delta > tolerance:
+                        dirty.update(self._instance_subjects(relation))
+                for _relation2, row_change in changes21.items():
+                    if row_change.max_delta <= tolerance:
+                        continue
+                    if row_change.default_changed:
+                        full_pass = True
+                        continue
+                    for relation in row_change.changed_supers:
+                        dirty.update(self._instance_subjects(relation))
+                instances = self.ontology1.instances
+                if full_pass or len(dirty) >= config.warm_full_pass_fraction * len(
+                    instances
+                ):
+                    dirty |= instances
+                ordered_dirty = ordered_instances(dirty)
+                # The frontier is only known after expansion — annotate
+                # late so the span line still carries it.
+                pass_span.annotate(frontier=len(ordered_dirty))
+                entries = self._score_frontier(
+                    ordered_dirty, view, rel12_cache.matrix, rel21_cache.matrix
+                )
+                overlay = working.overlay()
+                for x in ordered_dirty:
+                    overlay.clear_left(x)
+                if config.dampening > 0.0:
+                    self._blend_rows(working, overlay, ordered_dirty, entries)
+                else:
+                    overlay.update(entries)
+                # View maintenance replaces the old full restricted-view
+                # rebuild + full store diff: only the touched rows (and the
+                # rights they mention) are reconsidered.
+                if maintainer is not None:
+                    view_changes = maintainer.apply(overlay)
+                else:
+                    view_changes = {
+                        (left, right): (old, new)
+                        for left, right, old, new in overlay.row_changes()
+                    }
+                pairs_touched += overlay.pairs_touched + len(view_changes)
+                max_change = 0.0
+                changed_left = set()
+                changed_right = set()
+                for (left, right), (old_p, new_p) in view_changes.items():
+                    delta = abs(new_p - old_p)
+                    max_change = max(max_change, delta)
+                    changed_members1.add(left)
+                    changed_members2.add(right)
+                    if delta > tolerance:
+                        changed_left.add(left)
+                        changed_right.add(right)
+                # Next frontier: 1-hop neighbourhood of every node whose
+                # view row moved — their Eq. 13 inputs are now stale.
+                dirty = set()
+                for node in changed_left:
+                    for _relation, other in self.ontology1.statements_about(node):
+                        if isinstance(other, Resource):
+                            dirty.add(other)
+                working = overlay.commit()
+                pass_span.annotate(max_change=round(max_change, 9))
             duration = time.perf_counter() - started
             if max_change < best_change:
                 best_change = max_change
@@ -921,16 +972,17 @@ class ParisAligner:
             # pass.  (On a stationary exit both sets are empty.)
             rel12_cache.refresh(final_view, changed_left)
             rel21_cache.refresh(final_view, changed_right)
-        if class12_cache is not None:
-            class12_cache.invalidate_members(changed_members1)
-            classes12 = class12_cache.matrix(final_view)
-        else:
-            classes12 = self._class_pass(final_view)
-        if class21_cache is not None:
-            class21_cache.invalidate_members(changed_members2)
-            classes21 = class21_cache.matrix(final_view)
-        else:
-            classes21 = self._class_pass(final_view, reverse=True)
+        with span("pass.class", incremental=class12_cache is not None):
+            if class12_cache is not None:
+                class12_cache.invalidate_members(changed_members1)
+                classes12 = class12_cache.matrix(final_view)
+            else:
+                classes12 = self._class_pass(final_view)
+            if class21_cache is not None:
+                class21_cache.invalidate_members(changed_members2)
+                classes21 = class21_cache.matrix(final_view)
+            else:
+                classes21 = self._class_pass(final_view, reverse=True)
         final_assignment12, final_assignment21 = current_assignments(maintainer, working)
         return AlignmentResult(
             left_name=self.ontology1.name,

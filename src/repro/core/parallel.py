@@ -606,6 +606,17 @@ class WorkerPool:
 
     def run_pass(self, payload: dict, tasks: Sequence[Tuple[int, int]]) -> List:
         """Broadcast ``payload``, run ``tasks``, return results in task order."""
+        from ..obs.trace import span
+
+        with span(
+            "pool.run_pass",
+            kind=payload.get("kind"),
+            tasks=len(tasks),
+            workers=self.workers,
+        ):
+            return self._run_pass(payload, tasks)
+
+    def _run_pass(self, payload: dict, tasks: Sequence[Tuple[int, int]]) -> List:
         if self._closed:
             raise RuntimeError("pool is closed")
         for task_queue in self._task_queues:

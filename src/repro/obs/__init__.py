@@ -1,0 +1,53 @@
+"""Observability for the PARIS serving stack (ISSUE 7 / PR 7).
+
+Three stdlib-only pieces, threaded through core, service, stream, and
+replica:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (thread-safe Counter/Gauge/Histogram, log-scale latency buckets,
+  Prometheus text exposition) served as ``GET /metrics`` by every role.
+* :mod:`repro.obs.logging` — structured logging (``--log-format
+  json|text``, ``--log-level``) for every message the stack used to
+  ``print`` to stderr, plus the per-request access log.
+* :mod:`repro.obs.trace` — span timers over the fixpoint engine's
+  stages; the last align's span tree is served in ``/stats`` as
+  ``last_align_profile``.
+
+ROADMAP.md's "Observability" section lists the exported metric names
+and the logging contract.
+"""
+
+from .logging import (
+    EventLogger,
+    get_event_logger,
+    get_logger,
+    setup_logging,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .trace import Span, current_span, root_span, span
+
+__all__ = [
+    "Counter",
+    "EventLogger",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "current_span",
+    "get_event_logger",
+    "get_logger",
+    "get_registry",
+    "root_span",
+    "setup_logging",
+    "span",
+]

@@ -1,0 +1,141 @@
+"""Shared HTTP observability: access log, request metrics, ``/metrics``.
+
+:class:`ObservedHandlerMixin` hooks the three places
+``BaseHTTPRequestHandler`` gives us without copying its dispatch loop:
+
+* ``parse_request`` — stamps the start time *after* the request line is
+  read, so keep-alive idle time between requests is not billed to the
+  next request;
+* ``send_response`` / ``send_header`` — capture the status code and the
+  ``Content-Length`` the handler sends, without touching the write path;
+* ``handle_one_request`` — after the real handler returns, emits one
+  access-log line (method, path, status, bytes, duration, plus
+  ``source``/``seq`` query params when present — the idempotent-delta
+  ingest identity) and feeds the request metrics.
+
+Both the alignment server and the read router mix this in, so the
+access log and the ``repro_requests_total`` /
+``repro_request_duration_seconds`` / ``repro_response_bytes_total``
+series have one definition.  Paths are normalized to a fixed route set
+(:func:`route_label`) before becoming label values — `/pair/<l>/<r>`
+has unbounded raw paths but exactly one ``route="/pair"`` series —
+keeping metric cardinality bounded no matter what clients request.
+
+``serve_metrics`` renders the process :data:`~repro.obs.metrics.REGISTRY`
+as the Prometheus text format; each role's handler routes
+``GET /metrics`` to it.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.parse
+from typing import Optional
+
+from .logging import get_logger
+from .metrics import REGISTRY
+
+REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_requests_total",
+    "HTTP requests served, by method, normalized route, and status.",
+    labelnames=("method", "route", "status"),
+)
+REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_request_duration_seconds",
+    "HTTP request service time (request line read to response flushed).",
+    labelnames=("method", "route"),
+)
+RESPONSE_BYTES = REGISTRY.counter(
+    "repro_response_bytes_total",
+    "Response body bytes sent (from Content-Length), by route.",
+    labelnames=("method", "route"),
+)
+
+#: First-segment prefixes that map to themselves; anything else is
+#: ``other`` so hostile or typo'd paths cannot mint new series.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/wal",
+        "/snapshot",
+        "/pair",
+        "/alignment",
+        "/delta",
+    }
+)
+
+_access_log = get_logger("repro.access")
+
+
+def route_label(path: str) -> str:
+    """Normalize a request path to a bounded route label."""
+    head = path.split("?", 1)[0]
+    first = "/" + head.split("/", 2)[1] if head.startswith("/") and len(head) > 1 else head
+    return first if first in _KNOWN_ROUTES else "other"
+
+
+class ObservedHandlerMixin:
+    """Access log + request metrics for ``BaseHTTPRequestHandler``s."""
+
+    _obs_started: Optional[float] = None
+    _obs_status: Optional[int] = None
+    _obs_bytes: Optional[int] = None
+
+    def parse_request(self) -> bool:  # noqa: D102 - hook, see module doc
+        self._obs_started = time.perf_counter()
+        self._obs_status = None
+        self._obs_bytes = None
+        return super().parse_request()
+
+    def send_response(self, code, message=None):  # noqa: D102
+        self._obs_status = int(code)
+        return super().send_response(code, message)
+
+    def send_header(self, keyword, value):  # noqa: D102
+        if keyword.lower() == "content-length":
+            try:
+                self._obs_bytes = int(value)
+            except (TypeError, ValueError):
+                pass
+        return super().send_header(keyword, value)
+
+    def handle_one_request(self) -> None:  # noqa: D102
+        super().handle_one_request()
+        started = self._obs_started
+        status = self._obs_status
+        if started is None or status is None or not getattr(self, "command", None):
+            return  # connection closed / unparseable request line
+        self._obs_started = None
+        duration = time.perf_counter() - started
+        path = getattr(self, "path", "") or ""
+        route = route_label(path)
+        method = self.command
+        body_bytes = self._obs_bytes or 0
+        REQUESTS_TOTAL.inc(method=method, route=route, status=status)
+        REQUEST_SECONDS.observe(duration, method=method, route=route)
+        if body_bytes:
+            RESPONSE_BYTES.inc(body_bytes, method=method, route=route)
+        fields = {
+            "method": method,
+            "path": path.split("?", 1)[0],
+            "status": status,
+            "bytes": body_bytes,
+            "duration_ms": round(duration * 1e3, 3),
+        }
+        if "?" in path:
+            query = urllib.parse.parse_qs(path.split("?", 1)[1])
+            for key in ("source", "seq"):
+                if key in query:
+                    fields[key] = query[key][0]
+        _access_log.info("request", extra=fields)
+
+    def serve_metrics(self) -> None:
+        """Respond to ``GET /metrics`` with the process registry."""
+        body = REGISTRY.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", REGISTRY.CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)

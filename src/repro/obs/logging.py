@@ -1,0 +1,205 @@
+"""Structured logging for the serving stack.
+
+One process-wide ``repro`` logger hierarchy, configured exactly once by
+:func:`setup_logging` (the CLI calls it from ``main()`` with
+``--log-level`` / ``--log-format``).  Subsystems grab a child logger via
+:func:`get_logger` and log *events with fields*, not prose::
+
+    log = get_logger("repro.wal")
+    log.info("segment rotated", segment=name, records=count)
+
+Two formats:
+
+* ``text`` (default) — ``2026-08-07T12:00:00.123Z INFO repro.wal
+  segment rotated segment=wal-000002.ndjson records=5000`` — grep-able,
+  human-first.
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``event``, plus every field).  In this mode **nothing** in the stack
+  writes bare text to stderr: every former ``print(..., file=sys.stderr)``
+  in server/cli/replica/router goes through here (ISSUE 7 satellite).
+
+Before ``setup_logging`` runs, the ``repro`` logger has no handlers and
+``propagate`` stays True, so library use (tests importing the engine)
+inherits whatever the host application configured — and stays silent
+under pytest by default, matching the previous no-print behaviour of
+the core modules.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+#: Fields the stdlib LogRecord carries that are *not* user event fields.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+LOG_FORMATS = ("text", "json")
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _utc_ts(record: logging.LogRecord) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+    return f"{base}.{int(record.msecs):03d}Z"
+
+
+def _event_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class TextFormatter(logging.Formatter):
+    """``TS LEVEL logger event k=v k=v`` — values repr'd only when they
+    contain spaces, so the common case stays clean."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            _utc_ts(record),
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in sorted(_event_fields(record).items()):
+            text = str(value)
+            if " " in text or '"' in text or text == "":
+                text = json.dumps(text)
+            parts.append(f"{key}={text}")
+        line = " ".join(parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; non-serializable field values fall
+    back to ``str`` so a log call can never raise."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": _utc_ts(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in sorted(_event_fields(record).items()):
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The named logger, guaranteed under the ``repro`` hierarchy so it
+    inherits the handler installed by :func:`setup_logging`.
+
+    Plain :class:`logging.Logger` — structured fields ride the standard
+    ``extra`` mechanism: ``log.info("event", extra={"k": v})`` or, for
+    the subsystems here, via the kwargs-forwarding helpers below.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """``log_event(log, logging.INFO, "segment rotated", records=5)`` —
+    kwargs become structured fields on the record."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra=fields)
+
+
+class EventLogger:
+    """Thin kwargs→fields wrapper over a stdlib logger, so call sites
+    read ``log.info("wal synced", offset=n)`` instead of juggling
+    ``extra=`` dicts."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def raw(self) -> logging.Logger:
+        return self._logger
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 - stdlib name
+        return self._logger.isEnabledFor(level)
+
+    def debug(self, event: str, **fields: object) -> None:
+        log_event(self._logger, logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        log_event(self._logger, logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        log_event(self._logger, logging.WARNING, event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        log_event(self._logger, logging.ERROR, event, **fields)
+
+    def exception(self, event: str, **fields: object) -> None:
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.error(event, extra=fields, exc_info=True)
+
+
+def get_event_logger(name: str = "repro") -> EventLogger:
+    return EventLogger(get_logger(name))
+
+
+class _LiveStderrHandler(logging.StreamHandler):
+    """A StreamHandler that resolves ``sys.stderr`` at *emit* time.
+
+    Binding the stream at construction would capture whatever stderr
+    was then — a pytest capture buffer, a pre-daemonization fd — and
+    keep writing to it after it was closed or swapped.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self) -> IO[str]:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: IO[str]) -> None:
+        pass  # StreamHandler.__init__/setStream assign; always live
+
+
+def setup_logging(
+    level: str = "info",
+    log_format: str = "text",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger: one stderr StreamHandler
+    with the chosen formatter, ``propagate`` off.  Idempotent — calling
+    again replaces the handler (tests flip format/level freely)."""
+    if log_format not in LOG_FORMATS:
+        raise ValueError(f"log_format must be one of {LOG_FORMATS}, got {log_format!r}")
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        try:
+            handler.close()
+        except (ValueError, OSError):  # pragma: no cover - stream already gone
+            pass
+    handler = (
+        logging.StreamHandler(stream) if stream is not None else _LiveStderrHandler()
+    )
+    handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

@@ -44,6 +44,26 @@ package turns the batch reproduction into a long-running service:
     enough).  See that package's docstring for the architecture
     diagram and the staleness contract.
 
+Observability (:mod:`repro.obs`, stdlib-only): every role — primary,
+replica, router — serves ``GET /metrics`` in the Prometheus text
+format from one process-wide registry; a shared handler mixin
+(:mod:`repro.obs.http`) emits a structured access-log line and the
+``repro_requests_total`` / ``repro_request_duration_seconds`` series
+per request with paths normalized to a bounded route set.  The fixpoint
+itself is traced with spans (``align.cold``/``align.warm`` →
+``pass.*`` → ``kernel.build/score/merge``): each span feeds the
+``repro_span_duration_seconds`` histogram, logs a line at debug level,
+and the most recent align's whole tree is served as
+``last_align_profile`` in ``GET /stats``.  WAL durability
+(appended/durable/applied offsets, fsync count and latency), batcher
+queue depth/admission counters, replica lag (records and ms) and
+router backend health/ejections are all exported — the full metric
+name list and the logging contract live in ROADMAP.md's
+"Observability" section.  Diagnostics go through the structured
+``repro.*`` logger hierarchy (``--log-format json|text``,
+``--log-level``); with JSON selected nothing in the stack writes bare
+text to stderr.
+
 Guarantees: after each delta, the served scores equal a cold
 ``score_stationarity`` realignment of the updated ontologies within
 1e-9 (enforced by ``tests/test_warm_start.py`` and the

@@ -35,7 +35,6 @@ key off.
 
 from __future__ import annotations
 
-import sys
 import threading
 import time
 from dataclasses import replace
@@ -43,11 +42,38 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 from urllib.request import urlopen
 
+from ...obs import get_event_logger
+from ...obs.metrics import REGISTRY
+from ...obs.trace import span
 from ..delta import compose_deltas
 from ..engine import AlignmentService
 from ..state import AlignmentState, latest_version, load_state, load_state_bytes
 from ..stream.wal import WalGapError
 from .follower import make_follower
+
+_log = get_event_logger("repro.replica")
+
+SOURCE_OFFSET = REGISTRY.gauge(
+    "repro_replica_source_offset",
+    "Last observed head offset of the source WAL.",
+)
+LAG_RECORDS = REGISTRY.gauge(
+    "repro_replica_lag_records",
+    "WAL records the replica still has to apply (source head - applied).",
+)
+LAG_MS = REGISTRY.gauge(
+    "repro_replica_lag_ms",
+    "Milliseconds since the replica last verified it was caught up "
+    "(-1 until it has done so at least once).",
+)
+RECORDS_APPLIED = REGISTRY.counter(
+    "repro_replica_records_applied_total",
+    "WAL records applied by the replica tail loop.",
+)
+REBOOTSTRAPS = REGISTRY.counter(
+    "repro_replica_rebootstraps_total",
+    "Snapshot re-bootstraps forced by WAL compaction gaps.",
+)
 
 
 def _fetch_primary_snapshot(primary_url: str, timeout: float = 120.0) -> AlignmentState:
@@ -137,6 +163,20 @@ class ReplicaNode:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
+        # Scrape-time gauges: re-registering on re-construction means
+        # the newest node in the process owns the series (one replica
+        # per process in production; tests spin up several).
+        SOURCE_OFFSET.set_callback(lambda: float(self._locked_source_offset()))
+        LAG_RECORDS.set_callback(
+            lambda: float(max(0, self._locked_source_offset() - self.applied_offset))
+        )
+        LAG_MS.set_callback(
+            lambda: -1.0 if (lag := self.lag_ms()) is None else lag
+        )
+
+    def _locked_source_offset(self) -> int:
+        with self._lock:
+            return self._source_offset
 
     def _build_service(self, state: AlignmentState) -> AlignmentService:
         if self.config_overrides:
@@ -172,10 +212,10 @@ class ReplicaNode:
             thread.join(timeout=timeout)
             if thread.is_alive():
                 self.wedged = True
-                print(
-                    f"replica: tail thread still running after {timeout:g}s; "
-                    "shutdown proceeds without it (wedged=true in /stats)",
-                    file=sys.stderr,
+                _log.warning(
+                    "tail thread still running at shutdown; proceeding without it",
+                    timeout_s=timeout,
+                    wedged=True,
                 )
             else:
                 self.wedged = False
@@ -187,10 +227,9 @@ class ReplicaNode:
                 self.poll_once()
                 self.last_error = None
             except WalGapError as gap:
-                print(
-                    f"replica: WAL suffix compacted away ({gap}); "
-                    "re-bootstrapping from the primary's snapshot",
-                    file=sys.stderr,
+                _log.warning(
+                    "WAL suffix compacted away; re-bootstrapping from snapshot",
+                    gap=str(gap),
                 )
                 try:
                     self._rebootstrap()
@@ -210,9 +249,13 @@ class ReplicaNode:
         deterministic replication)."""
         fetch = self.follower.fetch(self.applied_offset, limit=self.batch)
         if fetch.records:
-            composed = compose_deltas(record.delta for record in fetch.records)
-            self.service.apply_delta(composed, wal_offset=fetch.records[-1].offset)
+            with span("replica.apply", records=len(fetch.records)):
+                composed = compose_deltas(record.delta for record in fetch.records)
+                self.service.apply_delta(
+                    composed, wal_offset=fetch.records[-1].offset
+                )
             self.records_applied += len(fetch.records)
+            RECORDS_APPLIED.inc(len(fetch.records))
             self.batches_applied += 1
             if (
                 self.state_dir is not None
@@ -257,6 +300,7 @@ class ReplicaNode:
             return
         self.service = self._build_service(state)
         self.rebootstraps += 1
+        REBOOTSTRAPS.inc()
         if self.state_dir is not None:
             self.service.snapshot(self.state_dir)
 

@@ -25,14 +25,15 @@ proxy:
   a failed poll (or a failed forwarded read) ejects the replica from
   rotation, a succeeding poll readmits it.  ``GET /healthz`` /
   ``GET /stats`` on the router itself report per-target health,
-  offsets and routing counters.
+  offsets and routing counters; ``GET /metrics`` exposes the same as
+  Prometheus text (per-backend health gauge, ejection counter, routed
+  read/write counters, request latency histograms).
 """
 
 from __future__ import annotations
 
 import json
 import math
-import sys
 import threading
 import time
 import urllib.error
@@ -40,6 +41,39 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
+
+from ...obs import get_event_logger
+from ...obs.http import ObservedHandlerMixin
+from ...obs.metrics import REGISTRY
+
+_log = get_event_logger("repro.router")
+
+BACKEND_HEALTHY = REGISTRY.gauge(
+    "repro_router_backend_healthy",
+    "1 while the backend is in rotation, 0 while ejected.",
+    labelnames=("backend",),
+)
+EJECTIONS = REGISTRY.counter(
+    "repro_router_ejections_total",
+    "Healthy-to-ejected transitions per backend (probe or forward failure).",
+    labelnames=("backend",),
+)
+READS_ROUTED = REGISTRY.counter(
+    "repro_router_reads_routed_total",
+    "Reads successfully answered through the router.",
+)
+WRITES_FORWARDED = REGISTRY.counter(
+    "repro_router_writes_forwarded_total",
+    "Writes forwarded to the primary.",
+)
+REJECTED_STALE = REGISTRY.counter(
+    "repro_router_rejected_stale_total",
+    "Constrained reads rejected because no replica met the staleness bound.",
+)
+PRIMARY_FALLBACKS = REGISTRY.counter(
+    "repro_router_primary_fallbacks_total",
+    "Reads served by the primary because no replica was available.",
+)
 
 
 class _Target:
@@ -54,6 +88,19 @@ class _Target:
         self.served = 0
         self.failures = 0
         self.lock = threading.Lock()
+        BACKEND_HEALTHY.set(1, backend=self.url)
+
+    def _set_health(self, healthy: bool) -> None:
+        """Record a health state (caller holds :attr:`lock`); gauge,
+        ejection counter, and log line fire only on transitions."""
+        if healthy and not self.healthy:
+            BACKEND_HEALTHY.set(1, backend=self.url)
+            _log.info("backend readmitted", backend=self.url)
+        elif not healthy and self.healthy:
+            BACKEND_HEALTHY.set(0, backend=self.url)
+            EJECTIONS.inc(backend=self.url)
+            _log.warning("backend ejected", backend=self.url, failures=self.failures)
+        self.healthy = healthy
 
     def probe(self, timeout: float) -> bool:
         """Refresh the cached ``/stats``; flips :attr:`healthy`."""
@@ -62,13 +109,13 @@ class _Target:
                 stats = json.load(resp)
         except (urllib.error.URLError, OSError, ValueError):
             with self.lock:
-                self.healthy = False
                 self.failures += 1
+                self._set_health(False)
             return False
         with self.lock:
             self.stats = stats
             self.stats_at = time.monotonic()
-            self.healthy = True
+            self._set_health(True)
         return True
 
     def wal_offset(self) -> int:
@@ -256,7 +303,7 @@ class ReadRouter:
         }
 
 
-class RouterRequestHandler(BaseHTTPRequestHandler):
+class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
     server_version = "repro-route/1.0"
     MAX_BODY = 64 * 1024 * 1024
     #: Socket deadline per request — a stalled client must not pin a
@@ -273,7 +320,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):
-            sys.stderr.write("route: %s\n" % (format % args))
+            _log.debug("http", detail=format % args)
 
     # -- plumbing -------------------------------------------------------
 
@@ -322,8 +369,8 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             return error.code, error.headers, error.read()
         except (urllib.error.URLError, OSError):
             with target.lock:
-                target.healthy = False
                 target.failures += 1
+                target._set_health(False)
             return None
 
     # -- routes ---------------------------------------------------------
@@ -336,6 +383,11 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             return
         if parts == ["stats"]:
             self._send_json(self.router.stats_payload())
+            return
+        if parts == ["metrics"]:
+            # The router's own process registry — not proxied: backend
+            # health/ejections and the router's request series live here.
+            self.serve_metrics()
             return
         if parts and parts[0] in ("pair", "alignment"):
             self._route_read(url)
@@ -396,6 +448,9 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
                 router.reads_routed += 1
                 if target.is_primary:
                     router.primary_fallbacks += 1
+            READS_ROUTED.inc()
+            if target.is_primary:
+                PRIMARY_FALLBACKS.inc()
             with target.lock:
                 target.served += 1
             self._relay(*result, target.url)
@@ -403,6 +458,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         if constrained:
             with router._lock:
                 router.rejected_stale += 1
+            REJECTED_STALE.inc()
             self._send_json(
                 {
                     "error": "no replica satisfies the staleness bound",
@@ -459,6 +515,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             return
         with router._lock:
             router.writes_forwarded += 1
+        WRITES_FORWARDED.inc()
         self._relay(*result, router.primary.url)
 
 

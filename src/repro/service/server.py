@@ -2,7 +2,13 @@
 
 A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentService`:
 
-* ``GET  /healthz``                  — liveness + state summary
+* ``GET  /healthz``                  — liveness + state summary, WAL
+  applied/appended/durable offsets, and the engine's ``degraded``
+  reason (non-null after a fail-stop), so probes need not parse
+  ``/stats``
+* ``GET  /metrics``                  — Prometheus text exposition of the
+  process :data:`~repro.obs.metrics.REGISTRY` (request latencies, WAL
+  offsets, span durations, …; see ROADMAP.md "Observability")
 * ``GET  /stats``                    — ingestion/work counters (queue depth,
   WAL offsets, cumulative ``pairs_touched``).  Always carries an
   ``ingest`` sub-payload: without a stream stack it reports a zero
@@ -50,7 +56,6 @@ from __future__ import annotations
 
 import json
 import signal
-import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -61,6 +66,10 @@ from .delta import Delta
 from .engine import AlignmentService
 from .stream import QueueFullError, StreamStack
 from ..io.alignment_io import render_assignment_rows
+from ..obs import get_event_logger
+from ..obs.http import ObservedHandlerMixin
+
+_log = get_event_logger("repro.serve")
 
 
 def _should_snapshot(report, snapshot_every: int) -> bool:
@@ -74,7 +83,7 @@ def _should_snapshot(report, snapshot_every: int) -> bool:
     )
 
 
-class AlignmentRequestHandler(BaseHTTPRequestHandler):
+class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
     """Routes requests to the server's :class:`AlignmentService`."""
 
     server_version = "repro-serve/1.0"
@@ -100,8 +109,10 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # BaseHTTPRequestHandler's own logging (errors, send_error);
+        # the structured access log comes from ObservedHandlerMixin.
         if self.server.verbose:  # type: ignore[attr-defined]
-            sys.stderr.write("serve: %s\n" % (format % args))
+            _log.debug("http", detail=format % args)
 
     # -- helpers -------------------------------------------------------
 
@@ -166,7 +177,20 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         if parts == ["healthz"]:
             payload = self.service.health()
             payload["role"] = "replica" if replica is not None else "primary"
+            # Probes get the WAL position without parsing /stats: what
+            # the engine applied, and (with a log attached) what the
+            # primary appended / made durable.
+            wal_info = {"applied_offset": self.service.state.wal_offset}
+            stream = self.server.stream  # type: ignore[attr-defined]
+            wal = stream.wal if stream is not None else None
+            if wal is not None:
+                wal_info["appended_offset"] = wal.offset
+                wal_info["durable_offset"] = wal.durable_offset
+            payload["wal"] = wal_info
             self._send_json(payload)
+            return
+        if parts == ["metrics"]:
+            self.serve_metrics()
             return
         if parts == ["stats"]:
             payload = self.service.stats()
@@ -492,7 +516,7 @@ def serve_until_signalled(server: ThreadingHTTPServer) -> None:
     """
 
     def _shutdown(signum, _frame) -> None:
-        print(f"received signal {signum}, shutting down", file=sys.stderr, flush=True)
+        _log.info("received signal, shutting down", signal=signum)
         # shutdown() must not run on the serve_forever thread.
         threading.Thread(target=server.shutdown, daemon=True).start()
 
@@ -535,12 +559,12 @@ def run_server(
         stream=stream,
     )
     actual_host, actual_port = server.server_address[:2]
-    print(
-        f"serving alignment {service.state.ontology1.name!r} <-> "
-        f"{service.state.ontology2.name!r} on http://{actual_host}:{actual_port} "
-        f"(version {service.state.version})",
-        file=sys.stderr,
-        flush=True,
+    _log.info(
+        "serving alignment",
+        left=service.state.ontology1.name,
+        right=service.state.ontology2.name,
+        url=f"http://{actual_host}:{actual_port}",
+        version=service.state.version,
     )
 
     if stream is not None:
@@ -554,12 +578,8 @@ def run_server(
             stream.stop()
         if state_dir is not None:
             path = service.snapshot(state_dir)
-            print(f"state saved to {path}", file=sys.stderr, flush=True)
+            _log.info("state saved", path=str(path))
             reclaimed = maybe_compact_wal(service, stream)
             if reclaimed:
-                print(
-                    f"compacted {reclaimed} bytes of covered WAL segments",
-                    file=sys.stderr,
-                    flush=True,
-                )
+                _log.info("compacted covered WAL segments", bytes=reclaimed)
     return 0

@@ -28,16 +28,45 @@ WAL on restart, so redelivery stays idempotent across crashes.
 
 from __future__ import annotations
 
-import sys
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from ...obs import get_event_logger
+from ...obs.metrics import REGISTRY
+from ...obs.trace import span
 from ..delta import Delta, compose_deltas, validate_delta
 from ..engine import AlignmentService, DeltaReport
 from .wal import WriteAheadLog
+
+_log = get_event_logger("repro.batcher")
+
+QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_batcher_queue_depth",
+    "Deltas admitted but not yet applied (queued + in-flight).",
+)
+ACCEPTED = REGISTRY.counter(
+    "repro_batcher_accepted_total",
+    "Deltas admitted into the ingest queue.",
+)
+DUPLICATES = REGISTRY.counter(
+    "repro_batcher_duplicates_total",
+    "Redelivered deltas acknowledged but dropped (seq at or below high-water).",
+)
+REJECTED = REGISTRY.counter(
+    "repro_batcher_rejected_total",
+    "Deltas rejected by admission control (queue full).",
+)
+BATCHES = REGISTRY.counter(
+    "repro_batcher_batches_total",
+    "Composed batches successfully applied to the engine.",
+)
+COALESCED = REGISTRY.counter(
+    "repro_batcher_coalesced_total",
+    "Deltas absorbed by successfully applied batches.",
+)
 
 
 class QueueFullError(RuntimeError):
@@ -166,12 +195,14 @@ class DeltaBatcher:
                 duplicate = last is not None and seq <= last
             if duplicate:
                 self.duplicates += 1
+                DUPLICATES.inc()
             else:
                 # Pending = queued + popped-but-still-applying: the
                 # bound measures what stats() reports as queue_depth.
                 depth = len(self._queue) + self._in_flight
                 if depth >= self.max_queue:
                     self.rejected += 1
+                    REJECTED.inc()
                     raise QueueFullError(depth, self.retry_after)
                 # Buffered append under the queue lock keeps WAL order
                 # == application order; the fsync happens below,
@@ -194,6 +225,8 @@ class DeltaBatcher:
                 pending = _Pending(delta, offset, time.monotonic(), source, seq)
                 self._queue.append(pending)
                 self.accepted += 1
+                ACCEPTED.inc()
+                QUEUE_DEPTH.set(len(self._queue) + self._in_flight)
                 self._ready.notify_all()
         if duplicate:
             if self.wal is not None:
@@ -279,6 +312,7 @@ class DeltaBatcher:
     def _finish(self, batch: List[_Pending]) -> None:
         with self._ready:
             self._in_flight -= len(batch)
+            QUEUE_DEPTH.set(len(self._queue) + self._in_flight)
             self._ready.notify_all()
         for pending in batch:
             pending.done.set()
@@ -305,6 +339,8 @@ class DeltaBatcher:
             return
         self.batches += 1
         self.coalesced += len(batch)
+        BATCHES.inc()
+        COALESCED.inc(len(batch))
         if self.wal is None:
             # WAL-less mode: the batch is now the durable fact, so the
             # redelivery high-water marks may advance (admission-time
@@ -325,7 +361,7 @@ class DeltaBatcher:
                 # The batch applied; a failing side-effect (e.g. a full
                 # disk under the snapshot) must not kill the flush loop
                 # or mark the batch failed.
-                print(f"delta batcher: on_batch_applied failed: {error}", file=sys.stderr)
+                _log.warning("on_batch_applied failed", error=str(error))
 
     def _run(self) -> None:
         while True:
@@ -333,7 +369,8 @@ class DeltaBatcher:
             if not batch:
                 return  # closed and drained
             try:
-                self._apply(batch)
+                with span("batcher.flush", deltas=len(batch)):
+                    self._apply(batch)
             finally:
                 self._finish(batch)
 

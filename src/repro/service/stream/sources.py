@@ -52,13 +52,15 @@ thread.
 from __future__ import annotations
 
 import json
-import sys
 import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from ...obs import get_event_logger
 from ..delta import Delta
 from .batcher import DeltaBatcher, QueueFullError
+
+_log = get_event_logger("repro.stream")
 
 #: Spool file suffixes considered ingestible.
 SPOOL_SUFFIXES = (".json", ".ndjson")
@@ -118,7 +120,7 @@ class _PollingSource:
             except QueueFullError:
                 pass  # back-pressure: nothing advanced, retry later
             except OSError as error:  # pragma: no cover - environment races
-                print(f"stream source {self.source_id}: {error}", file=sys.stderr)
+                _log.warning("poll failed", source=self.source_id, error=str(error))
             self._stop.wait(self.poll_interval)
 
     def _poll(self) -> None:
@@ -147,9 +149,11 @@ class _PollingSource:
 
     def _skip_bad_line(self, error: Exception, where: str) -> None:
         self.decode_errors += 1
-        print(
-            f"stream source {self.source_id}: skipping bad record at {where}: {error}",
-            file=sys.stderr,
+        _log.warning(
+            "skipping bad record",
+            source=self.source_id,
+            where=where,
+            error=str(error),
         )
 
     def stats(self) -> Dict[str, object]:
@@ -208,12 +212,13 @@ class NdjsonFileTailer(_PollingSource):
             # carry explicit ``seq`` envelopes instead of relying on
             # the implicit line numbering (which is only
             # restart-stable for append-only files).
-            print(
-                f"stream source {self.source_id}: file was rotated "
-                f"(inode {self._inode} -> {status.st_ino}, "
-                f"position {self._position} -> size {status.st_size}); "
-                "re-reading from the top",
-                file=sys.stderr,
+            _log.info(
+                "file was rotated; re-reading from the top",
+                source=self.source_id,
+                old_inode=self._inode,
+                new_inode=status.st_ino,
+                position=self._position,
+                size=status.st_size,
             )
             self._inode = status.st_ino
             self._position = 0

@@ -99,6 +99,29 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from ..delta import Delta
+from ...obs.metrics import REGISTRY
+from ...obs.trace import span
+
+APPENDED_OFFSET = REGISTRY.gauge(
+    "repro_wal_appended_offset",
+    "Offset of the newest record appended to the write-ahead log.",
+)
+DURABLE_OFFSET = REGISTRY.gauge(
+    "repro_wal_durable_offset",
+    "Highest WAL offset an fsync has covered (never leads appended).",
+)
+WAL_RECORDS = REGISTRY.counter(
+    "repro_wal_records_total",
+    "Records appended to the write-ahead log.",
+)
+WAL_FSYNCS = REGISTRY.counter(
+    "repro_wal_fsyncs_total",
+    "fsync calls issued by the write-ahead log (group commit shares them).",
+)
+FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "Duration of one WAL flush+fsync syscall pair.",
+)
 
 
 class WalCorruptionError(ValueError):
@@ -302,6 +325,7 @@ class WriteAheadLog:
         could still lose.  The marker itself is advisory and not
         fsync'd — losing it only delays readers until the next commit.
         """
+        DURABLE_OFFSET.set(offset)
         marker_tmp = self._durable_marker_path.with_name(
             self._durable_marker_path.name + ".tmp"
         )
@@ -552,6 +576,8 @@ class WriteAheadLog:
                 previous = self._last_seqs.get(source)
                 if previous is None or seq > previous:
                     self._last_seqs[source] = seq
+            WAL_RECORDS.inc()
+            APPENDED_OFFSET.set(offset)
         if sync:
             self.sync(offset)
         return offset
@@ -567,6 +593,12 @@ class WriteAheadLog:
             raise RuntimeError(f"{self.path} was opened read-only")
         if offset is None:
             offset = self._offset
+        # The span covers the whole wait: leader election, the group-
+        # commit gather window, and queuing behind another leader.
+        with span("wal.sync"):
+            self._sync_wait(offset)
+
+    def _sync_wait(self, offset: int) -> None:
         with self._commit:
             self._sync_waiters += 1
         try:
@@ -588,9 +620,12 @@ class WriteAheadLog:
                     with self._write_lock:
                         target = self._offset
                         if self._stream is not None:
+                            fsync_started = time.perf_counter()
                             self._stream.flush()
                             os.fsync(self._stream.fileno())
                             self.fsyncs += 1
+                            WAL_FSYNCS.inc()
+                            FSYNC_SECONDS.observe(time.perf_counter() - fsync_started)
                         # Only reached when the fsync (if any was
                         # needed) succeeded; a stream-less log has
                         # everything on disk already (rotation and
@@ -615,6 +650,7 @@ class WriteAheadLog:
             self._stream.flush()
             os.fsync(self._stream.fileno())
             self.fsyncs += 1
+            WAL_FSYNCS.inc()
             self._stream.close()
             self._stream = None
         sealed = self._sealed_name(self._active_base)
@@ -797,6 +833,7 @@ class WriteAheadLog:
                     self._stream.flush()
                     os.fsync(self._stream.fileno())
                     self.fsyncs += 1
+                    WAL_FSYNCS.inc()
                     self._stream.close()
                     self._stream = None
                     self._publish_durable(self._offset)

@@ -423,3 +423,80 @@ class TestCliMultiAndExplain:
         assert main(["explain", left, right, "p1", "x7"]) == 0
         captured = capsys.readouterr()
         assert "evidence items: 0" in captured.out
+
+
+class TestCliStatsUrlAndLogging:
+    """`repro stats URL` (service scraping) and the global log flags."""
+
+    def test_stats_url_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["stats", "http://127.0.0.1:8765", "--watch", "2", "--raw"]
+        )
+        assert args.files == ["http://127.0.0.1:8765"]
+        assert args.watch == 2.0
+        assert args.raw is True
+        assert args.handler.__name__ == "cmd_stats"
+        defaults = build_parser().parse_args(["stats", "a.nt"])
+        assert defaults.watch is None and defaults.raw is False
+
+    def test_log_flags_parse_and_default(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-format", "json", "demo", "person"]
+        )
+        assert args.log_level == "debug" and args.log_format == "json"
+        defaults = build_parser().parse_args(["demo", "person"])
+        assert defaults.log_level == "info" and defaults.log_format == "text"
+
+    def test_watch_and_raw_require_a_url(self, tiny_pair, tmp_path):
+        from repro.rdf import ntriples as nt
+
+        left, _right = tiny_pair
+        path = tmp_path / "left.nt"
+        nt.write_ntriples(left, path)
+        with pytest.raises(SystemExit):
+            main(["stats", str(path), "--raw"])
+        with pytest.raises(SystemExit):
+            main(["stats", str(path), "--watch", "1"])
+
+    def test_mixing_url_and_files_errors(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "http://127.0.0.1:1", "extra.nt"])
+
+    @pytest.fixture()
+    def live_server(self, tiny_pair, tmp_path):
+        import threading
+
+        from repro.core.config import ParisConfig
+        from repro.service import AlignmentService
+        from repro.service.server import build_server
+
+        left, right = tiny_pair
+        service = AlignmentService.cold_start(left, right, ParisConfig())
+        server = build_server(service, "127.0.0.1", 0, state_dir=tmp_path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_stats_url_pretty_prints_service_stats(self, live_server, capsys):
+        import json as json_module
+
+        assert main(["stats", live_server]) == 0
+        captured = capsys.readouterr()
+        payload = json_module.loads(captured.out)
+        assert payload["status"] == "ok"
+        assert "last_align_profile" in payload
+        assert payload["last_align_profile"]["span"] == "align.cold"
+
+    def test_stats_url_raw_scrapes_prometheus_text(self, live_server, capsys):
+        assert main(["stats", live_server, "--raw"]) == 0
+        captured = capsys.readouterr()
+        assert "# TYPE repro_requests_total counter" in captured.out
+        assert "repro_instance_pairs" in captured.out
