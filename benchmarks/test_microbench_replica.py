@@ -32,6 +32,13 @@ baseline-gated by ``benchmarks/compare_baseline.py``.  Replica
 equivalence is asserted each round (every replica's full alignment
 equals the primary's within 1e-9 once caught up), so the throughput
 cannot be bought with wrong answers.
+
+After the contention rounds, a mixed-query phase measures the
+paginated read surface per shape (single pair, full cursor page-walk,
+top-k, entity neighborhood, ``If-None-Match`` revalidation) against
+one caught-up, write-idle replica; the per-shape rates are recorded as
+additional informational series in ``BENCH_replica.json`` alongside
+the original single-pair numbers.
 """
 
 from __future__ import annotations
@@ -211,6 +218,62 @@ def assert_alignments_match(primary_url: str, replica_urls: list) -> float:
     return worst
 
 
+#: Requests per query shape in the mixed-read measurement.
+SHAPE_REQUESTS = 40
+
+
+def get_with_headers(url: str, headers: dict, timeout: float = 30.0):
+    """(status, ETag) — 304 Not Modified is a result, not an error."""
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            response.read()
+            return response.status, response.headers.get("ETag")
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code, error.headers.get("ETag")
+
+
+def measure_query_shapes(url: str) -> dict:
+    """Sequential requests/second per read shape of the paginated
+    read path (``GET /alignment`` and friends), against one node at a
+    stable state.  Complements the single-pair contention series: the
+    pair read measures lock contention under writes, these measure the
+    per-shape cost of the secondary-index surface."""
+
+    def rate(fn, count: int = SHAPE_REQUESTS) -> float:
+        fn()  # warm the connection / index snapshot path once
+        started = time.perf_counter()
+        for _ in range(count):
+            fn()
+        return count / (time.perf_counter() - started)
+
+    def page_walk() -> None:
+        cursor = None
+        while True:
+            suffix = f"&cursor={cursor}" if cursor else ""
+            payload = get_json(url + "/alignment?limit=200" + suffix)
+            cursor = payload["next_cursor"]
+            if cursor is None:
+                return
+
+    _status, etag = get_with_headers(url + "/alignment?top=1", {})
+
+    def revalidate() -> None:
+        status, _etag = get_with_headers(
+            url + "/alignment", {"If-None-Match": etag}
+        )
+        assert status == 304, status
+
+    return {
+        "pair": rate(lambda: get_json(url + "/pair/p0a/q0a")),
+        "page_walk": rate(page_walk, count=5),
+        "top": rate(lambda: get_json(url + "/alignment?top=10")),
+        "entity": rate(lambda: get_json(url + "/alignment?entity=p0a")),
+        "revalidate": rate(revalidate),
+    }
+
+
 def serve_args(work: Path, state_dir: Path, port: int) -> list:
     return [
         "serve",
@@ -234,6 +297,7 @@ def test_replica_read_throughput_vs_single_node(tmp_path):
     replicated_rates = []
     records_replicated = 0
     worst_difference = 0.0
+    shape_rates = {}
 
     # Path A — single node: reads and writes share one process.
     single_url = f"http://127.0.0.1:{PORT}"
@@ -281,6 +345,9 @@ def test_replica_read_throughput_vs_single_node(tmp_path):
             records_replicated += REPLICAS * WRITES
             assert head == (round_index + 1) * WRITES
         worst_difference = assert_alignments_match(primary_url, replica_urls)
+        # Mixed query shapes against one caught-up, write-idle replica:
+        # the per-shape cost of the paginated read surface.
+        shape_rates = measure_query_shapes(replica_urls[0])
     finally:
         for process in processes:
             terminate(process)
@@ -307,6 +374,12 @@ def test_replica_read_throughput_vs_single_node(tmp_path):
         f"({REPLICAS} replicas x {WRITES} writes x {ROUNDS} rounds)",
         f"max score diff:   {worst_difference:.3e} "
         f"(tolerance {SCORE_TOLERANCE:.0e})",
+        "mixed query shapes (one idle replica, requests/s; page_walk "
+        "counts full walks):",
+        *(
+            f"  {shape:12s}  {shape_rate:8.0f} /s"
+            for shape, shape_rate in shape_rates.items()
+        ),
     ]
     save_artifact("microbench_replica", "\n".join(rows))
     save_bench_json(
@@ -343,6 +416,16 @@ def test_replica_read_throughput_vs_single_node(tmp_path):
                 "value": replicated_rate,
                 "higher_is_better": True,
                 "informational": True,
+            },
+            # Per-shape read rates (wall-clock, informational like the
+            # series above; `page_walk` counts whole cursor walks).
+            **{
+                f"reads_{shape}_per_sec": {
+                    "value": shape_rate,
+                    "higher_is_better": True,
+                    "informational": True,
+                }
+                for shape, shape_rate in shape_rates.items()
             },
         },
     )

@@ -14,6 +14,7 @@
     python -m repro replica http://primary:8765 --port 8766 --state-dir rep1
     python -m repro route --primary http://primary:8765 \
         --replica http://rep1:8766 --replica http://rep2:8767 --port 8800
+    python -m repro watch http://primary:8765 --entity Elvis --epsilon 0.05
     python -m repro wal compact --state-dir dir
 
 ``align`` loads two ontologies (N-Triples or TSV, by extension), runs
@@ -278,6 +279,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import AlignmentService, latest_version, load_state
     from .service.server import run_server
+    from .service.subs import SubscriptionManager
 
     from dataclasses import replace
 
@@ -321,6 +323,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             instance_pairs=len(service.state.store),
         )
         service.snapshot(state_dir)
+    # Attached before any WAL replay: replayed batches regenerate the
+    # change log for persisted webhook subscribers, whose delivery
+    # cursors (state versions) filter out what they already received.
+    subs = SubscriptionManager(state_dir=state_dir)
+    service.add_change_listener(subs.publish)
+    subs.advance(service.state.version, service.state.wal_offset)
     stream = None
     if args.wal or args.watch:
         from .service.stream import (
@@ -365,6 +373,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         state_dir=state_dir,
         snapshot_every=args.snapshot_every,
         stream=stream,
+        subs=subs,
     )
 
 
@@ -472,6 +481,39 @@ def cmd_route(args: argparse.Namespace) -> int:
     finally:
         router.stop()
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Long-poll ``GET /watch`` and print one JSON line per collapsed
+    notification; the served version is carried forward as the cursor,
+    so no change is skipped between polls."""
+    from urllib.parse import urlencode
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    after = args.after
+    delivered = 0
+    try:
+        while True:
+            params = {
+                "entity": args.entity,
+                "epsilon": args.epsilon,
+                "timeout": args.timeout,
+            }
+            if after is not None:
+                params["after"] = after
+            url = base + "/watch?" + urlencode(params)
+            with urlopen(url, timeout=args.timeout + 30.0) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            after = payload.get("version", after)
+            if payload.get("timeout"):
+                continue
+            print(json.dumps(payload, sort_keys=True), flush=True)
+            delivered += 1
+            if args.count and delivered >= args.count:
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 def cmd_wal_compact(args: argparse.Namespace) -> int:
@@ -722,6 +764,31 @@ def build_parser() -> argparse.ArgumentParser:
                               help="Retry-After seconds on 503 when no "
                                    "replica satisfies a staleness bound")
     route_parser.set_defaults(handler=cmd_route)
+
+    watch_parser = commands.add_parser(
+        "watch",
+        help="long-poll a serving process for changes to one entity's "
+             "alignments (GET /watch) and print one JSON line per "
+             "collapsed notification",
+    )
+    watch_parser.add_argument("url",
+                              help="base URL of a serve/replica/route process")
+    watch_parser.add_argument("--entity", required=True,
+                              help="entity name to watch, either ontology")
+    watch_parser.add_argument("--epsilon", type=float, default=0.0,
+                              help="only notify when the net score movement "
+                                   "exceeds this (counterpart changes always "
+                                   "notify; default 0)")
+    watch_parser.add_argument("--after", type=int, default=None,
+                              help="resume cursor: only changes past this "
+                                   "state version (default: from now)")
+    watch_parser.add_argument("--timeout", type=float, default=25.0,
+                              help="seconds each long-poll parks server-side "
+                                   "before re-polling (default 25)")
+    watch_parser.add_argument("--count", type=int, default=0,
+                              help="exit after this many notifications "
+                                   "(default 0: run until interrupted)")
+    watch_parser.set_defaults(handler=cmd_watch)
 
     wal_parser = commands.add_parser(
         "wal", help="write-ahead-log maintenance (see: repro wal compact -h)"

@@ -1,34 +1,14 @@
 """Instance-equivalence pass (Section 4.1–4.2, Eq. 13 and Eq. 14).
 
-For every instance ``x`` of the first ontology the pass computes::
-
-    Pr(x ≡ x') = 1 − ∏ (1 − Pr(r'⊆r)·fun⁻¹(r)·Pr(y ≡ y'))
-                     · (1 − Pr(r⊆r')·fun⁻¹(r')·Pr(y ≡ y'))
-
-over all statement pairs ``r(x, y)``, ``r'(x', y')`` with
-``Pr(y ≡ y') > 0`` (Eq. 13) — optionally multiplied by the
-negative-evidence factors of Eq. 14.
-
-The traversal is the optimized one of Section 5.2: starting from ``x``,
-walk its statements ``r(x, y)``; for each ``y`` fetch the known
-equivalents ``y'`` (clamped literal matches, or the previous iteration's
-instance equivalences); for each ``y'`` walk the statements
-``r'(x', y')`` of the second ontology and update the score of ``x'``.
-This costs ``O(n·m²·e)`` rather than the naive ``O(n²·m)``.
-
-This module is the *reference implementation* of the pass: per-instance
-Python dicts, one statement pair at a time, every float operation
-spelled out.  The production path is
-:mod:`repro.core.vectorized`, which interns terms to dense integer IDs
-and evaluates the same three-level traversal as flat numpy array
-programs — bit-identical to this module (the kernel preserves the
-multiplication order and the ``_MIN_FACTOR`` clamp semantics; see its
-docstring for the argument), roughly an order of magnitude faster, and
-cheap to ship across the process boundary of the persistent worker
-pool in :mod:`repro.core.parallel`.  The aligner picks the engine via
-``ParisConfig.scoring``; this module also remains the only engine for
-Eq. 14 negative evidence, which reads arbitrary statements and does
-not vectorize.
+The *reference implementation* of the per-instance equivalence score:
+per-instance Python dicts, one statement pair at a time, using the
+optimized Section 5.2 traversal (``O(n·m²·e)``).  The production path
+is the bit-identical interned-ID numpy kernel in
+:mod:`repro.core.vectorized` (selected via ``ParisConfig.scoring``);
+this module remains the only engine for Eq. 14 negative evidence.
+Formulas, traversal and engine-equivalence notes:
+``docs/architecture.md`` (section "The core: one pass, three
+engines").
 """
 
 from __future__ import annotations

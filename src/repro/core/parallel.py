@@ -1,56 +1,17 @@
 """Sharded parallel engines for the PARIS passes (Section 5.1).
 
-The paper runs the per-instance equivalence computation "in parallel on
-all available processors": within one iteration, every instance's (and
-relation's, and class's) scores depend only on the *previous*
-iteration's equivalences and on per-ontology constants, never on other
-scores of the same iteration.  Two engines exploit that independence:
-
-**The per-pass executor functions** (the original engine, kept as the
-reference implementation): :func:`parallel_instance_equivalence_pass`,
-:func:`parallel_score_instances`, :func:`parallel_subrelation_pass` and
-:func:`parallel_subclass_pass` partition the work into deterministic
-contiguous shards, score each shard with the *exact sequential code*
-(:func:`~repro.core.equivalence.score_instances` and friends) on a
-thread or process executor, and merge results in shard order.  Under
-the ``process`` backend they pay one full state pickle per worker per
-pass — which is why the measured "speedup" of the original engine was
-~0.6 on real fixpoints.
-
-**The persistent pool** (:class:`WorkerPool`, owned by
-:class:`~repro.core.aligner.ParisAligner`): workers ``fork`` **once**
-per run and inherit everything heavy read-only through copy-on-write
-memory — the ontologies, the functionality oracles, the literal
-indexes, and the frozen statement arrays of the vectorized kernel
-(:mod:`repro.core.vectorized`).  A pass then broadcasts only its small
-per-pass arrays (candidate CSR + dense relation grids, or a lowered
-view store) and ships each task as a bare ``(lo, hi)`` index range;
-instance results come back as compact ``(x_id, x'_id, score)`` numpy
-arrays.  Nothing re-pickles an ontology, ever.  Tasks are dispatched
-dynamically (a worker gets its next task the moment it returns one) but
-results are merged strictly in task order, so scheduling never affects
-the output.
-
-Equivalence guarantee
----------------------
-``workers=1`` with no explicit shard size short-circuits to
-:func:`instance_equivalence_pass` — bit-identical to the sequential
-engine by construction.  With more workers, every ``(x, x')`` score is
-computed by the same code (or the bit-exact vectorized kernel — see
-:mod:`repro.core.vectorized` for the proof sketch) on the same frozen
-inputs, shards cut the canonical sequential traversal order, and
-results merge in shard/task order — so sequential and parallel runs
-fill the store in the *same insertion order*, which matters because
-later-iteration passes accumulate floats over store dict order.  The
-``thread`` backend (and forked process workers, which inherit the
-parent's hash seed and hence its dict/set iteration orders) therefore
-reproduce the sequential floating-point results exactly, across whole
-fixpoint runs.  Under a ``spawn`` start method the per-instance factor
-products may be accumulated in a different set order, which can perturb
-scores at the level of one ulp (≪ 1e-12); the pool refuses to run
-without ``fork``.  The test harness in ``tests/test_parallel.py`` /
-``tests/test_parallel_properties.py`` / ``tests/test_vectorized.py``
-enforces the guarantee; it is not left to inspection.
+Two engines exploit the passes' iteration-level independence: the
+per-pass executor functions (reference implementation; deterministic
+contiguous shards on a thread/process executor) and the persistent
+fork-once :class:`WorkerPool` (production; copy-on-write inheritance,
+``(lo, hi)`` task ranges, compact score arrays — nothing re-pickles
+an ontology).  Sequential and parallel runs fill the store in the
+same insertion order, so results are bit-identical; the pool refuses
+to run without ``fork``.  The full design rationale and the
+bit-identity argument live in ``docs/architecture.md`` (section "The
+core: one pass, three engines"); the guarantee is enforced by
+``tests/test_parallel.py`` / ``tests/test_parallel_properties.py`` /
+``tests/test_vectorized.py``.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ entries per pass instead of O(matched) copies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..rdf.terms import Relation, Resource
 from .matrix import SubsumptionMatrix
@@ -66,6 +66,28 @@ def apply_assignment_delta(assignment: Assignment, delta: AssignmentDelta) -> As
         else:
             assignment[entity] = match
     return assignment
+
+
+def merge_assignment_deltas(
+    deltas: Iterable[AssignmentDelta], base: Assignment
+) -> AssignmentDelta:
+    """Collapse consecutive per-pass deltas into one *net* delta.
+
+    Later passes win per entity, and entities whose final value equals
+    what ``base`` already held (a change that reverted mid-run) drop
+    out — the result is exactly the change log a downstream consumer
+    (secondary query indexes, change subscriptions) must apply to move
+    from the pre-run assignment to the post-run one, computed in
+    O(total changes), never O(matched).
+    """
+    merged: AssignmentDelta = {}
+    for delta in deltas:
+        merged.update(delta)
+    return {
+        entity: match
+        for entity, match in merged.items()
+        if base.get(entity) != match
+    }
 
 
 @dataclass
@@ -214,6 +236,31 @@ class AlignmentResult:
     def num_iterations(self) -> int:
         """Number of fixpoint iterations that ran."""
         return len(self.iterations)
+
+    def net_assignment_changes(
+        self,
+    ) -> Optional[Tuple[AssignmentDelta, AssignmentDelta]]:
+        """The run's net change log for both maximal assignments.
+
+        Merges the per-iteration snapshot deltas against the chain
+        head's base assignment (:func:`merge_assignment_deltas`), so a
+        warm run costs O(changes) — the frontier — not O(matched).  An
+        entity maps to its new ``(counterpart, probability)`` or
+        ``None`` when it dropped out of the assignment.  Returns
+        ``None`` when the run kept no snapshots (``keep_snapshots``
+        off); callers then diff the full assignments themselves.
+        """
+        if not self.iterations:
+            return None
+        head = self.iterations[0]
+        return (
+            merge_assignment_deltas(
+                (snap.assignment12_delta for snap in self.iterations), head.base12
+            ),
+            merge_assignment_deltas(
+                (snap.assignment21_delta for snap in self.iterations), head.base21
+            ),
+        )
 
     def instance_pairs(self, threshold: float = 0.0) -> List[Tuple[Resource, Resource, float]]:
         """Maximal-assignment pairs with probability ≥ ``threshold``.

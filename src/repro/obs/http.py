@@ -63,6 +63,10 @@ _KNOWN_ROUTES = frozenset(
         "/pair",
         "/alignment",
         "/delta",
+        "/watch",
+        "/subscribe",
+        "/unsubscribe",
+        "/subscriptions",
     }
 )
 

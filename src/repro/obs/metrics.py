@@ -318,6 +318,12 @@ class MetricsRegistry:
         with self._lock:
             return self._families.get(name)
 
+    def names(self) -> List[str]:
+        """All registered family names, sorted — the documentation
+        coverage test walks this to keep the metrics table honest."""
+        with self._lock:
+            return sorted(self._families)
+
     def render(self) -> str:
         """The full exposition: families in name order, one trailing
         newline — what ``GET /metrics`` serves."""

@@ -1,79 +1,19 @@
 """Incremental alignment service — PARIS as a resident process.
 
-The paper targets living knowledge bases that change continuously; this
-package turns the batch reproduction into a long-running service:
+Turns the batch reproduction into a long-running engine: triple-level
+delta batches (``delta``), versioned snapshots (``state``), the
+locked warm-start engine with its secondary read index and change
+fan-out (``engine``), the HTTP front-end (``server``, see
+``docs/api.md``), the read-side query/caching/subscription layer
+(``query``, ``subs``), and WAL-backed streaming ingestion
+(``stream``).  Multi-replica serving lives in ``replica``.
 
-``repro.service.delta``
-    Triple-level delta batches (add/remove, both ontologies, JSON
-    codec) and their application to the indexed stores, computing the
-    dirty frontier the warm-start fixpoint re-scores.
-``repro.service.state``
-    Versioned snapshot/restore of the full alignment state (ontologies,
-    equivalences, relation/class matrices) via pickle.
-``repro.service.engine``
-    :class:`AlignmentService` — owns the state, the functionality /
-    literal-index invalidation, the incremental relation matrices, and
-    drives :meth:`repro.core.aligner.ParisAligner.warm_align` per delta.
-``repro.service.server``
-    A stdlib ``ThreadingHTTPServer`` front-end (``POST /delta``,
-    ``GET /pair/<x>/<x'>``, ``GET /alignment``, ``GET /healthz``,
-    ``GET /stats``), wired into the CLI as ``repro serve``.
-``repro.service.stream``
-    Streaming ingestion in front of the engine — source → WAL →
-    batcher → engine: NDJSON file tailers and spool directories feed
-    the same bounded queue as ``POST /delta``; accepted deltas are
-    write-ahead-logged (fsync'd, optionally group-committed) before
-    application and snapshots record the absorbed WAL offset, so a
-    restart replays exactly the un-snapshotted suffix; the coalescing
-    batcher merges queued deltas
-    (:func:`~repro.service.delta.compose_deltas`) so one warm pass
-    absorbs many small writes; admission control rejects overload with
-    429 + ``Retry-After`` and per-source sequence numbers make
-    redelivery idempotent.  The WAL rotates into sealed segment files
-    (``--wal-segment-bytes``) and compaction drops segments a durable
-    snapshot covers, so the log's disk footprint is bounded.
-``repro.service.replica``
-    Multi-replica serving over that WAL — it doubles as the
-    replication log: one primary ingests writes, N read replicas
-    bootstrap from its snapshot and tail the WAL (shared files or the
-    ``GET /wal`` log-shipping endpoint) into their own engines, and a
-    read router (``repro route``) fans ``GET /pair`` /
-    ``GET /alignment`` across healthy replicas, forwards writes to the
-    primary, and honors bounded-staleness reads (``?min_offset=`` /
-    ``?max_lag_ms=``, 503 + ``Retry-After`` when no replica is fresh
-    enough).  See that package's docstring for the architecture
-    diagram and the staleness contract.
-
-Observability (:mod:`repro.obs`, stdlib-only): every role — primary,
-replica, router — serves ``GET /metrics`` in the Prometheus text
-format from one process-wide registry; a shared handler mixin
-(:mod:`repro.obs.http`) emits a structured access-log line and the
-``repro_requests_total`` / ``repro_request_duration_seconds`` series
-per request with paths normalized to a bounded route set.  The fixpoint
-itself is traced with spans (``align.cold``/``align.warm`` →
-``pass.*`` → ``kernel.build/score/merge``): each span feeds the
-``repro_span_duration_seconds`` histogram, logs a line at debug level,
-and the most recent align's whole tree is served as
-``last_align_profile`` in ``GET /stats``.  WAL durability
-(appended/durable/applied offsets, fsync count and latency), batcher
-queue depth/admission counters, replica lag (records and ms) and
-router backend health/ejections are all exported — the full metric
-name list and the logging contract live in ROADMAP.md's
-"Observability" section.  Diagnostics go through the structured
-``repro.*`` logger hierarchy (``--log-format json|text``,
-``--log-level``); with JSON selected nothing in the stack writes bare
-text to stderr.
-
-Guarantees: after each delta, the served scores equal a cold
-``score_stationarity`` realignment of the updated ontologies within
-1e-9 (enforced by ``tests/test_warm_start.py`` and the
-``benchmarks/test_microbench_incremental.py`` latency bench); a delta
-stream ingested through watch-file/WAL/batcher produces scores equal
-within 1e-9 to the same deltas applied one-by-one via ``POST /delta``,
-and a crash mid-batch followed by snapshot + WAL replay reaches that
-same state (``tests/test_stream.py``); every replica at WAL offset K
-serves scores equal within 1e-9 to the primary at offset K, across
-crash resume and WAL compaction (``tests/test_replica.py``).
+The load-bearing guarantee: every way of reaching WAL offset K — cold
+realign, incremental deltas however batched, replica tail, crash
+resume — serves the same scores within 1e-9.  The full design notes,
+data-flow diagram and per-module rationale live in
+``docs/architecture.md``; the operator guide (metrics, logging) is
+``docs/operations.md``.
 """
 
 from .delta import Delta, DeltaEffect, apply_delta, compose_deltas, validate_delta

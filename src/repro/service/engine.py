@@ -43,12 +43,17 @@ from ..core.incremental import (
     RestrictedViewMaintainer,
     current_assignments,
 )
+from ..core.result import Assignment, AssignmentDelta, assignment_delta
 from ..core.subclasses import IncrementalClassPass
+from ..obs import get_event_logger
 from ..obs.metrics import REGISTRY
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Literal, Node, Resource
 from .delta import Delta, DeltaEffect, apply_delta, validate_delta
+from .query import ChangeEvent, QueryIndex
 from .state import AlignmentState, save_state
+
+_log = get_event_logger("repro.engine")
 
 DELTAS_APPLIED = REGISTRY.counter(
     "repro_deltas_applied_total",
@@ -175,6 +180,19 @@ class AlignmentService:
             max_instances=config.max_pairs_per_relation,
             reverse=True,
         )
+        # Production read path: the sorted secondary index paginated /
+        # top-k reads are served from (its own lock — readers never
+        # contend with a warm pass), plus the change listeners the
+        # subscription surface hangs off.  Both are fed the net
+        # per-delta change log in :meth:`_publish_changes`.
+        self.query_index = QueryIndex()
+        self.query_index.rebuild(
+            self._assignment12, version=state.version, wal_offset=state.wal_offset
+        )
+        self.change_listeners: List = []
+        self._pending_changes: Optional[
+            Tuple[AssignmentDelta, AssignmentDelta, Assignment, Assignment]
+        ] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -267,6 +285,10 @@ class AlignmentService:
             # Identical on primary and replica: whoever applies WAL
             # records owns the applied-offset gauge.
             APPLIED_OFFSET.set(self.state.wal_offset)
+            # Read-side fan-out runs after the WAL offset is recorded,
+            # so index stamps and change events carry the offset the
+            # batch is durable under.
+            self._publish_changes()
             return report
 
     def _apply_delta_locked(self, delta: Delta) -> DeltaReport:
@@ -307,6 +329,18 @@ class AlignmentService:
             mutate_store=True,
         )
         state.absorb(result)
+        # Net change log of this batch, O(frontier): the snapshot-delta
+        # merge when the run kept snapshots, a full diff otherwise.
+        # Stashed (with the pre-delta assignments, for the "previous"
+        # side of change events) and published by apply_delta once the
+        # WAL offset is recorded.
+        net = result.net_assignment_changes()
+        if net is None:
+            net = (
+                assignment_delta(self._assignment12, result.assignment12),
+                assignment_delta(self._assignment21, result.assignment21),
+            )
+        self._pending_changes = (net[0], net[1], self._assignment12, self._assignment21)
         self._assignment12 = result.assignment12
         self._assignment21 = result.assignment21
         return DeltaReport(
@@ -408,8 +442,113 @@ class AlignmentService:
         return dirty, seed1, seed2, full
 
     # ------------------------------------------------------------------
+    # read-side fan-out (query index + change subscriptions)
+    # ------------------------------------------------------------------
+
+    def add_change_listener(self, listener) -> None:
+        """Register ``listener(events, version, wal_offset)`` — called
+        after every applied batch with its net :class:`ChangeEvent` log
+        (possibly empty).  Listener failures are logged, never poison
+        the engine, and never fail the delta."""
+        self.change_listeners.append(listener)
+
+    @staticmethod
+    def _events_for(
+        side: str,
+        changes: AssignmentDelta,
+        old: Assignment,
+        wal_offset: int,
+        version: int,
+    ) -> Iterable[ChangeEvent]:
+        for entity, match in sorted(changes.items(), key=lambda item: item[0].name):
+            previous = old.get(entity)
+            yield ChangeEvent(
+                side=side,
+                entity=entity.name,
+                counterpart=match[0].name if match is not None else None,
+                probability=match[1] if match is not None else 0.0,
+                previous_counterpart=previous[0].name if previous is not None else None,
+                previous_probability=previous[1] if previous is not None else 0.0,
+                wal_offset=wal_offset,
+                version=version,
+            )
+
+    def _publish_changes(self) -> None:
+        """Fold the stashed net change log into the query index and
+        fan it out to the change listeners (no-op batches still advance
+        the index/listener cursors so ETags and watch cursors track the
+        applied offset)."""
+        pending = self._pending_changes
+        self._pending_changes = None
+        version = self.state.version
+        wal_offset = self.state.wal_offset
+        events: List[ChangeEvent] = []
+        if pending is not None:
+            changes12, changes21, old12, old21 = pending
+            self.query_index.apply_changes(
+                changes12, version=version, wal_offset=wal_offset
+            )
+            events.extend(
+                self._events_for("left", changes12, old12, wal_offset, version)
+            )
+            events.extend(
+                self._events_for("right", changes21, old21, wal_offset, version)
+            )
+        else:
+            self.query_index.apply_changes({}, version=version, wal_offset=wal_offset)
+        for listener in self.change_listeners:
+            try:
+                listener(events, version, wal_offset)
+            except Exception as error:  # noqa: BLE001 - listener isolation
+                _log.warning("change listener failed", error=repr(error))
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+
+    def neighborhood(self, name: str) -> Dict[str, object]:
+        """Every stored equivalence involving one entity, both roles.
+
+        Serves ``GET /alignment?entity=X``: the store is already
+        indexed per entity on both sides, so this is a dictionary
+        lookup plus a sort of that entity's own candidates — never a
+        table scan.
+        """
+        resource = Resource(name)
+        with self.lock:
+            self._check_consistent()
+            as_left = sorted(
+                self.state.store.equals_of(resource).items(),
+                key=lambda item: (-item[1], item[0].name),
+            )
+            as_right = sorted(
+                self.state.store.equals_of_right(resource).items(),
+                key=lambda item: (-item[1], item[0].name),
+            )
+            best12 = self._assignment12.get(resource)
+            best21 = self._assignment21.get(resource)
+        payload: Dict[str, object] = {
+            "entity": name,
+            "as_left": [
+                {"right": other.name, "probability": probability}
+                for other, probability in as_left
+            ],
+            "as_right": [
+                {"left": other.name, "probability": probability}
+                for other, probability in as_right
+            ],
+        }
+        if best12 is not None:
+            payload["best_counterpart_as_left"] = {
+                "right": best12[0].name,
+                "probability": best12[1],
+            }
+        if best21 is not None:
+            payload["best_counterpart_as_right"] = {
+                "left": best21[0].name,
+                "probability": best21[1],
+            }
+        return payload
 
     def pair(self, left_name: str, right_name: str) -> Dict[str, object]:
         """Probability and assignment context for one instance pair."""

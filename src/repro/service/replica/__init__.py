@@ -1,62 +1,15 @@
 """Multi-replica serving: WAL-shipped read replicas behind a read router.
 
-The single-node service (:mod:`repro.service`) couples reads to the
-process that also runs warm-start fixpoints: every ``GET /pair`` waits
-behind the engine lock whenever a delta is being absorbed.  This
-package decouples them — one **primary** ingests writes, N **read
-replicas** converge to it by tailing its write-ahead log, and a
-**router** fans reads across the replicas::
-
-                     writes (POST /delta)            reads (GET /pair, /alignment)
-                            │                                   │
-                            ▼                                   ▼
-                      ┌──────────┐   forwards writes      ┌──────────┐
-                      │  router  │◄───────────────────────│  router  │  (same process)
-                      └────┬─────┘                        └────┬─────┘
-                           ▼                                   │ round-robin over
-                     ┌──────────┐                              │ healthy replicas
-                     │ primary  │ serve --wal                  ▼
-                     │  engine  │───┐                ┌────────────────────┐
-                     └──────────┘   │ WAL segments   │ replica engines    │
-                        snapshots   ├───────────────►│ (repro replica)    │
-                            │       │ file tail or   │ snapshot bootstrap │
-                            ▼       │ GET /wal       │ + WAL tail         │
-                     state-dir ─────┘                └────────────────────┘
-
-**The WAL is the replication log.**  Every accepted write is already
-fsync'd to the primary's segmented WAL before application
-(:mod:`repro.service.stream.wal`); a replica bootstraps from the
-primary's newest snapshot (shared state directory, or fetched over
-``GET /snapshot/latest``) and then tails records beyond the snapshot's
-``wal_offset`` — directly from the shared files, or shipped over the
-primary's ``GET /wal?from=OFFSET`` endpoint.  Each fetched batch is
-coalesced (:func:`~repro.service.delta.compose_deltas`) and absorbed
-by one warm pass, exactly as the primary's batcher does.
-
-**Equivalence guarantee.**  A replica at WAL offset K serves pair and
-alignment scores equal within 1e-9 to the primary at offset K — and to
-a cold realignment of the same graphs — regardless of how the records
-were batched, because the warm fixpoint converges to numeric
-stationarity on the final graphs (hypothesis property in
-``tests/test_replica.py``).  Crash resume (own snapshot + WAL suffix)
-and WAL compaction (re-bootstrap from a covering snapshot on
-:class:`~repro.service.stream.wal.WalGapError`) preserve it.
-
-**Staleness contract** (the router's read API):
-
-* plain reads — any healthy replica; primary fallback when none;
-* ``?min_offset=K`` — only replicas whose applied WAL offset ≥ K
-  (pass the offset a write's report returned for read-your-writes);
-* ``?max_lag_ms=M`` — only replicas that verified themselves caught up
-  to the log head within the last M milliseconds;
-* constrained reads with no qualifying replica answer ``503`` with
-  ``Retry-After`` — honest refusal, never silent staleness.
-
-CLI: ``repro serve … --wal --wal-segment-bytes N`` (primary),
-``repro replica SOURCE --port P`` (replica), ``repro route --primary
-URL --replica URL …`` (router), ``repro wal compact --state-dir DIR``
-(reclaim covered segments; the primary also compacts automatically
-after every snapshot).
+One primary ingests writes; N read replicas bootstrap from its newest
+snapshot and converge by tailing its write-ahead log (shared files or
+``GET /wal``) — the WAL doubles as the replication log.  A router
+fans reads across healthy replicas, forwards writes, and honors the
+bounded-staleness contract (``?min_offset=`` / ``?max_lag_ms=``, 503
+over silent staleness).  A replica at WAL offset K serves scores
+equal to the primary at offset K within 1e-9, across crash resume and
+compaction.  Architecture diagram and design notes:
+``docs/architecture.md`` (section "Replication"); endpoint reference:
+``docs/api.md``.
 """
 
 from .follower import FileWalFollower, HttpWalFollower, WalFetch, make_follower

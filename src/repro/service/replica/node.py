@@ -143,6 +143,9 @@ class ReplicaNode:
         self.snapshot_every = snapshot_every
         self.config_overrides = dict(config_overrides or {})
         self.follower = make_follower(source)
+        #: Change-subscription manager this node publishes into
+        #: (:meth:`attach_subscriptions`); survives engine swaps.
+        self._subs = None
         self.service = self._build_service(bootstrap_state(source, self.state_dir))
         self.bootstrapped_at_offset = self.applied_offset
         self.records_applied = 0
@@ -181,7 +184,19 @@ class ReplicaNode:
     def _build_service(self, state: AlignmentState) -> AlignmentService:
         if self.config_overrides:
             state.config = replace(state.config, **self.config_overrides)
-        return AlignmentService.from_state(state)
+        service = AlignmentService.from_state(state)
+        if self._subs is not None:
+            service.add_change_listener(self._subs.publish)
+            self._subs.advance(state.version, state.wal_offset)
+        return service
+
+    def attach_subscriptions(self, subs) -> None:
+        """Publish this node's change log into ``subs`` — re-applied to
+        every engine a re-bootstrap builds, so replica-side ``/watch``
+        long-polls survive WAL-gap recoveries."""
+        self._subs = subs
+        self.service.add_change_listener(subs.publish)
+        subs.advance(self.service.state.version, self.service.state.wal_offset)
 
     # ------------------------------------------------------------------
 

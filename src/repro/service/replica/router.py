@@ -43,10 +43,25 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ...obs import get_event_logger
-from ...obs.http import ObservedHandlerMixin
+from ...obs.http import ObservedHandlerMixin, route_label
 from ...obs.metrics import REGISTRY
+from ..query import CACHE_HITS
 
 _log = get_event_logger("repro.router")
+
+#: Route inventory of the router role (``tests/test_docs.py`` asserts
+#: every entry is documented in ``docs/api.md``).  ``GET *`` covers the
+#: transparent forward of any other read (``/watch``, ``/wal``,
+#: ``/snapshot/latest``, ``/subscriptions``, …) to the primary.
+ROUTES = {
+    "GET /healthz": "router + backend fleet health",
+    "GET /stats": "routing counters and per-backend offsets/lag",
+    "GET /metrics": "the router's own Prometheus registry",
+    "GET /pair/<left>/<right>": "routed read (replicas round-robin, staleness bounds)",
+    "GET /alignment": "routed read (replicas round-robin, staleness bounds)",
+    "GET *": "any other read, forwarded to the primary verbatim",
+    "POST *": "any write, forwarded to the primary verbatim",
+}
 
 BACKEND_HEALTHY = REGISTRY.gauge(
     "repro_router_backend_healthy",
@@ -335,11 +350,24 @@ class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _relay(self, status: int, headers, body: bytes, target_url: str) -> None:
+        if status == 304:
+            # Backend revalidation hit relayed through the router: the
+            # WAL-offset ETag validates fleet-wide, so this counts as a
+            # cache hit on the router surface too.
+            CACHE_HITS.inc(route=route_label(self.path))
         self.send_response(status)
         # X-Wal-Offset / X-State-Version make forwarded /wal and
         # /snapshot/latest responses usable by a replica pointed at the
-        # router instead of the primary (chained replication).
-        for name in ("Content-Type", "Retry-After", "X-Wal-Offset", "X-State-Version"):
+        # router instead of the primary (chained replication); ETag /
+        # Cache-Control carry the read-caching contract through.
+        for name in (
+            "Content-Type",
+            "Retry-After",
+            "X-Wal-Offset",
+            "X-State-Version",
+            "ETag",
+            "Cache-Control",
+        ):
             value = headers.get(name)
             if value is not None:
                 self.send_header(name, value)
@@ -352,11 +380,17 @@ class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         self, target: _Target, method: str, path_query: str, body: Optional[bytes]
     ) -> Optional[Tuple[int, object, bytes]]:
         """One proxied request; None means the target is unreachable."""
+        headers = {"Content-Type": "application/json"} if body else {}
+        # Conditional reads validate end-to-end: the backend's 304
+        # comes back through the HTTPError branch below and is relayed.
+        if_none_match = self.headers.get("If-None-Match")
+        if if_none_match is not None:
+            headers["If-None-Match"] = if_none_match
         request = urllib.request.Request(
             target.url + path_query,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(

@@ -17,7 +17,19 @@ A :class:`ThreadingHTTPServer` over :class:`~repro.service.engine.AlignmentServi
   adds a ``replication`` sub-payload (applied/source offsets,
   ``lag_ms``).
 * ``GET  /pair/<left>/<right>``      — one pair's probability (URL-quoted names)
-* ``GET  /alignment?threshold=0.5``  — maximal assignment (``format=tsv`` for TSV)
+* ``GET  /alignment``                — the maximal assignment, served from the
+  engine's secondary :class:`~repro.service.query.QueryIndex`:
+  ``?limit=N&cursor=…`` keyset pages, ``?top=K`` best-K, ``?entity=X``
+  per-entity neighborhood, ``?threshold=T`` filter on all shapes,
+  ``?format=tsv`` TSV; the unpaginated dump streams chunk-wise.  See
+  ``docs/api.md`` for the full parameter/caching reference.
+* ``GET  /watch?entity=X&epsilon=E`` — long-poll change notification
+  (:mod:`repro.service.subs`); ``GET /subscriptions`` lists webhooks,
+  ``POST /subscribe`` / ``POST /unsubscribe`` manage them (primary)
+
+Every read endpoint sends a weak ``ETag`` derived from the applied WAL
+offset and honours ``If-None-Match`` with a 304 (``docs/api.md``,
+"Caching").
 * ``GET  /wal?from=K&limit=N``       — log shipping for replicas without
   shared storage: NDJSON WAL records beyond offset K, capped at the
   durable offset, primary's head in ``X-Wal-Offset``; ``410`` when the
@@ -64,12 +76,77 @@ from urllib.parse import parse_qs, unquote, urlparse
 
 from .delta import Delta
 from .engine import AlignmentService
+from .query import (
+    CACHE_HITS,
+    READ_ROWS,
+    READS_TOTAL,
+    CursorError,
+    etag_matches,
+    iter_row_chunks,
+    make_cursor,
+    parse_cursor,
+    read_etag,
+)
 from .stream import QueueFullError, StreamStack
+from .subs import SubscriptionManager
 from ..io.alignment_io import render_assignment_rows
 from ..obs import get_event_logger
-from ..obs.http import ObservedHandlerMixin
+from ..obs.http import ObservedHandlerMixin, route_label
 
 _log = get_event_logger("repro.serve")
+
+#: Default page size of ``GET /alignment?limit=…`` (cap in
+#: :data:`repro.service.query.MAX_PAGE_LIMIT`).
+DEFAULT_PAGE_LIMIT = 100
+
+#: Route inventory of the primary/replica server.  ``tests/test_docs.py``
+#: asserts every entry — and every literal the dispatch below matches —
+#: is documented in ``docs/api.md``.
+ROUTES = {
+    "GET /healthz": "liveness, state summary, WAL applied/appended/durable offsets",
+    "GET /metrics": "Prometheus text exposition of the process registry",
+    "GET /stats": "ingestion/work counters (+replication lag on replicas)",
+    "GET /wal": "NDJSON log shipping for replica catch-up",
+    "GET /snapshot/latest": "newest snapshot file (replica bootstrap)",
+    "GET /pair/<left>/<right>": "one instance pair's probability and context",
+    "GET /alignment": "maximal assignment: paginated, top-k, per-entity, or streamed dump",
+    "GET /watch": "long-poll for changes to one entity's alignments",
+    "GET /subscriptions": "registered webhook subscriptions",
+    "POST /delta": "apply a JSON delta batch (primary only)",
+    "POST /snapshot": "force a snapshot (primary only)",
+    "POST /subscribe": "register a change webhook (primary only)",
+    "POST /unsubscribe": "remove a webhook subscription (primary only)",
+}
+
+
+def _row_objects(rows) -> list:
+    return [
+        {"left": left, "right": right, "probability": probability}
+        for left, right, probability in rows
+    ]
+
+
+def _alignment_json_chunks(keys, threshold: float, meta: dict):
+    """Chunked JSON body of the unpaginated alignment dump — same
+    object shape as before, produced without ever holding the full
+    serialized document."""
+    prefix = (
+        json.dumps({"threshold": threshold, **meta})[:-1] + ', "pairs": ['
+    ).encode("utf-8")
+    yield prefix
+    state = {"first": True}
+
+    def render(rows) -> bytes:
+        if not rows:
+            return b""
+        text = ", ".join(json.dumps(obj) for obj in _row_objects(rows))
+        if state["first"]:
+            state["first"] = False
+            return text.encode("utf-8")
+        return (", " + text).encode("utf-8")
+
+    yield from iter_row_chunks(keys, render)
+    yield b"]}"
 
 
 def _should_snapshot(report, snapshot_every: int) -> bool:
@@ -87,6 +164,9 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
     """Routes requests to the server's :class:`AlignmentService`."""
 
     server_version = "repro-serve/1.0"
+    #: HTTP/1.1 for chunked transfer-encoding: the unpaginated
+    #: alignment dump streams its body instead of materializing it.
+    protocol_version = "HTTP/1.1"
     #: Upper bound on accepted delta payloads (64 MiB).
     MAX_BODY = 64 * 1024 * 1024
     #: Socket timeout per request (seconds).  Handler threads are a
@@ -143,6 +223,52 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
 
+    # -- caching / streaming helpers -----------------------------------
+
+    def _state_etag(self) -> str:
+        """Read tag of the engine-locked read endpoints (healthz,
+        stats, pair, entity neighborhood)."""
+        state = self.service.state
+        return read_etag(state.version, state.wal_offset)
+
+    @staticmethod
+    def _cache_headers(etag: str, extra: Optional[dict] = None) -> dict:
+        # no-cache = "revalidate every time": with the WAL-offset ETag
+        # a revalidation round-trip is the proof of currency the
+        # bounded-staleness contract promises, and a 304 costs no body.
+        headers = {"ETag": etag, "Cache-Control": "no-cache"}
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def _maybe_not_modified(self, etag: str) -> bool:
+        """Answer 304 when the client's ``If-None-Match`` is current."""
+        if not etag_matches(self.headers.get("If-None-Match"), etag):
+            return False
+        CACHE_HITS.inc(route=route_label(self.path))
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        return True
+
+    def _stream_chunks(self, chunks, content_type: str, headers: dict) -> None:
+        """Write a chunked (HTTP/1.1 transfer-encoding) response body:
+        the full payload never exists in memory."""
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for chunk in chunks:
+            if not chunk:
+                continue
+            self.wfile.write(b"%x\r\n" % len(chunk))
+            self.wfile.write(chunk)
+            self.wfile.write(b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
+
     def _read_body(self, length: int) -> Optional[bytes]:
         """The declared request body, or ``None`` after answering the
         client.  A stalled sender hits the socket timeout → 408; a
@@ -175,6 +301,9 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         parts = [unquote(part) for part in url.path.split("/") if part]
         replica = self.server.replica  # type: ignore[attr-defined]
         if parts == ["healthz"]:
+            etag = self._state_etag()
+            if self._maybe_not_modified(etag):
+                return
             payload = self.service.health()
             payload["role"] = "replica" if replica is not None else "primary"
             # Probes get the WAL position without parsing /stats: what
@@ -187,12 +316,15 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
                 wal_info["appended_offset"] = wal.offset
                 wal_info["durable_offset"] = wal.durable_offset
             payload["wal"] = wal_info
-            self._send_json(payload)
+            self._send_json(payload, headers=self._cache_headers(etag))
             return
         if parts == ["metrics"]:
             self.serve_metrics()
             return
         if parts == ["stats"]:
+            etag = self._state_etag()
+            if self._maybe_not_modified(etag):
+                return
             payload = self.service.stats()
             payload["role"] = "replica" if replica is not None else "primary"
             stream = self.server.stream  # type: ignore[attr-defined]
@@ -209,7 +341,7 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
                 }
             if replica is not None:
                 payload["replication"] = replica.stats()
-            self._send_json(payload)
+            self._send_json(payload, headers=self._cache_headers(etag))
             return
         if parts == ["wal"]:
             self._route_get_wal(url)
@@ -218,30 +350,177 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             self._route_get_snapshot()
             return
         if len(parts) == 3 and parts[0] == "pair":
-            self._send_json(self.service.pair(parts[1], parts[2]))
+            etag = self._state_etag()
+            if self._maybe_not_modified(etag):
+                return
+            READS_TOTAL.inc(kind="pair")
+            self._send_json(
+                self.service.pair(parts[1], parts[2]),
+                headers=self._cache_headers(etag),
+            )
             return
         if parts == ["alignment"]:
-            query = parse_qs(url.query)
+            self._route_get_alignment(url)
+            return
+        if parts == ["watch"]:
+            self._route_get_watch(url)
+            return
+        if parts == ["subscriptions"]:
+            subs = self.server.subs  # type: ignore[attr-defined]
+            self._send_json({"subscriptions": subs.subscriptions()})
+            return
+        self._error(404, f"no such resource: {url.path}")
+
+    def _route_get_alignment(self, url) -> None:
+        """The alignment read surface: keyset pages, top-k, per-entity
+        neighborhoods, and the streamed full dump — all served from the
+        engine's secondary :class:`~repro.service.query.QueryIndex`
+        (the neighborhood from the per-entity store indexes), never by
+        sorting the full table per request."""
+        query = parse_qs(url.query)
+        try:
+            threshold = float(query.get("threshold", ["0.0"])[0])
+        except ValueError:
+            self._error(400, "threshold must be a number")
+            return
+        entity = query.get("entity", [None])[0]
+        if entity is not None:
+            etag = self._state_etag()
+            if self._maybe_not_modified(etag):
+                return
+            payload = self.service.neighborhood(entity)
+            READS_TOTAL.inc(kind="entity")
+            READ_ROWS.inc(
+                len(payload["as_left"]) + len(payload["as_right"]), kind="entity"
+            )
+            self._send_json(payload, headers=self._cache_headers(etag))
+            return
+        # Index-served reads bypass the engine lock but must still
+        # refuse on a fail-stopped engine (503 via do_GET).
+        self.service._check_consistent()
+        index = self.service.query_index
+        version, wal_offset = index.read_tag()
+        etag = read_etag(version, wal_offset)
+        meta = {"version": version, "wal_offset": wal_offset}
+        if "top" in query:
             try:
-                threshold = float(query.get("threshold", ["0.0"])[0])
+                count = int(query["top"][0])
             except ValueError:
-                self._error(400, "threshold must be a number")
+                self._error(400, "top must be an integer")
                 return
-            pairs = self.service.alignment(threshold)
-            if query.get("format", ["json"])[0] == "tsv":
-                self._send_text(render_assignment_rows(pairs))
+            if count <= 0:
+                self._error(400, "top must be positive")
                 return
+            if self._maybe_not_modified(etag):
+                return
+            rows = index.top(count, threshold)
+            READS_TOTAL.inc(kind="top")
+            READ_ROWS.inc(len(rows), kind="top")
             self._send_json(
                 {
                     "threshold": threshold,
-                    "pairs": [
-                        {"left": left, "right": right, "probability": probability}
-                        for left, right, probability in pairs
-                    ],
-                }
+                    "top": count,
+                    "pairs": _row_objects(rows),
+                    **meta,
+                },
+                headers=self._cache_headers(etag),
             )
             return
-        self._error(404, f"no such resource: {url.path}")
+        if "cursor" in query or "limit" in query:
+            try:
+                limit = int(query.get("limit", [str(DEFAULT_PAGE_LIMIT)])[0])
+            except ValueError:
+                self._error(400, "limit must be an integer")
+                return
+            if limit <= 0:
+                self._error(400, "limit must be positive")
+                return
+            after = None
+            changed = False
+            cursor_text = query.get("cursor", [None])[0]
+            if cursor_text:
+                try:
+                    after, minted_tag = parse_cursor(cursor_text, threshold)
+                except CursorError as error:
+                    self._error(400, str(error))
+                    return
+                # The keyset stays valid across deltas; the flag tells
+                # the client its walk now spans more than one state.
+                changed = tuple(minted_tag) != (version, wal_offset)
+            if self._maybe_not_modified(etag):
+                return
+            rows, next_key = index.page(threshold, after, limit)
+            READS_TOTAL.inc(kind="page")
+            READ_ROWS.inc(len(rows), kind="page")
+            self._send_json(
+                {
+                    "threshold": threshold,
+                    "limit": limit,
+                    "pairs": _row_objects(rows),
+                    "next_cursor": (
+                        make_cursor(next_key, threshold, (version, wal_offset))
+                        if next_key is not None
+                        else None
+                    ),
+                    "changed_since_cursor": changed,
+                    **meta,
+                },
+                headers=self._cache_headers(etag),
+            )
+            return
+        # Unpaginated dump: a consistent key snapshot (tuple refs, not
+        # rendered rows), streamed chunk-wise — the response body never
+        # materializes in memory.
+        if self._maybe_not_modified(etag):
+            return
+        keys = index.snapshot_keys(threshold)
+        READS_TOTAL.inc(kind="dump")
+        READ_ROWS.inc(len(keys), kind="dump")
+        if query.get("format", ["json"])[0] == "tsv":
+            # render_assignment_rows orders by (left, right): pre-sort
+            # the keys so per-chunk rendering concatenates to the exact
+            # bytes the single-shot renderer produced.
+            tsv_keys = sorted(keys, key=lambda key: (key[1], key[2], -key[0]))
+            self._stream_chunks(
+                iter_row_chunks(
+                    tsv_keys,
+                    lambda rows: render_assignment_rows(rows).encode("utf-8"),
+                ),
+                "text/plain; charset=utf-8",
+                self._cache_headers(etag),
+            )
+            return
+        self._stream_chunks(
+            _alignment_json_chunks(keys, threshold, meta),
+            "application/json",
+            self._cache_headers(etag),
+        )
+
+    def _route_get_watch(self, url) -> None:
+        """Long-poll: park until the entity's alignment moves > ε."""
+        query = parse_qs(url.query)
+        entity = query.get("entity", [None])[0]
+        if not entity:
+            self._error(400, "watch requires an entity query parameter")
+            return
+        try:
+            epsilon = float(query.get("epsilon", ["0.0"])[0])
+            after = int(query["after"][0]) if "after" in query else None
+            timeout = float(query.get("timeout", ["25"])[0])
+        except ValueError:
+            self._error(400, "epsilon/timeout must be numbers, after an integer")
+            return
+        timeout = max(0.0, min(timeout, 60.0))
+        subs = self.server.subs  # type: ignore[attr-defined]
+        notification = subs.wait(entity, epsilon=epsilon, after=after, timeout=timeout)
+        if notification is None:
+            # Timed out with no qualifying change; the version is the
+            # cursor to resume from (pass it back as ``after=``).
+            self._send_json(
+                {"entity": entity, "timeout": True, "version": subs.current_version()}
+            )
+            return
+        self._send_json(notification)
 
     def _route_get_wal(self, url) -> None:
         """Log shipping: NDJSON WAL records for replica catch-up."""
@@ -339,6 +618,9 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             )
             self._send_json({"snapshot": str(path), "wal_bytes_compacted": reclaimed})
             return
+        if url.path in ("/subscribe", "/unsubscribe"):
+            self._route_post_subscription(url.path)
+            return
         if url.path != "/delta":
             self._error(404, f"no such resource: {url.path}")
             return
@@ -417,6 +699,49 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
                 payload["snapshot_error"] = str(error)
         self._send_json(payload)
 
+    def _route_post_subscription(self, path: str) -> None:
+        """Webhook registry: register / remove a change subscription."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > 1024 * 1024:
+            self._error(400, "subscription body must be non-empty JSON")
+            return
+        raw = self._read_body(length)
+        if raw is None:
+            return
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, f"bad subscription body: {error}")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, "subscription body must be a JSON object")
+            return
+        subs = self.server.subs  # type: ignore[attr-defined]
+        if path == "/unsubscribe":
+            sub_id = payload.get("id")
+            if not isinstance(sub_id, str):
+                self._error(400, "unsubscribe requires a string id")
+                return
+            self._send_json({"id": sub_id, "removed": subs.unsubscribe(sub_id)})
+            return
+        url = payload.get("url")
+        entity = payload.get("entity")
+        epsilon = payload.get("epsilon", 0.0)
+        if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+            self._error(400, "subscribe requires an http(s) url")
+            return
+        if not isinstance(entity, str) or not entity:
+            self._error(400, "subscribe requires an entity")
+            return
+        if not isinstance(epsilon, (int, float)) or epsilon < 0:
+            self._error(400, "epsilon must be a non-negative number")
+            return
+        self._send_json(subs.subscribe(url, entity, float(epsilon)), status=201)
+
 
 def maybe_compact_wal(
     service: AlignmentService,
@@ -453,6 +778,7 @@ def build_server(
     stream: Optional[StreamStack] = None,
     replica=None,
     handler_timeout: Optional[float] = 30.0,
+    subs: Optional[SubscriptionManager] = None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server.
 
@@ -477,10 +803,24 @@ def build_server(
     ``replica`` (a :class:`~repro.service.replica.ReplicaNode`) makes
     this a read-only replica server: the engine is resolved through
     the node per request and every ``POST`` answers 403.
+    ``subs`` is the change-subscription manager behind ``GET /watch``
+    and the webhook registry; when omitted, one is created on
+    ``state_dir`` and wired to the engine here (callers that replay a
+    WAL before serving — ``repro serve`` — construct and attach their
+    own first, so replayed changes reach persisted subscribers).
     """
     if replica is not None and service is None:
         service = replica.service
+    if subs is None:
+        subs = SubscriptionManager(state_dir=state_dir)
+        if replica is not None:
+            # Re-attached across re-bootstraps: the node swaps engines.
+            replica.attach_subscriptions(subs)
+        elif service is not None:
+            service.add_change_listener(subs.publish)
+            subs.advance(service.state.version, service.state.wal_offset)
     server = ThreadingHTTPServer((host, port), AlignmentRequestHandler)
+    server.subs = subs  # type: ignore[attr-defined]
     server.service = service  # type: ignore[attr-defined]
     server.state_dir = Path(state_dir) if state_dir is not None else None  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
@@ -539,6 +879,7 @@ def run_server(
     verbose: bool = True,
     snapshot_every: int = 1,
     stream: Optional[StreamStack] = None,
+    subs: Optional[SubscriptionManager] = None,
 ) -> int:
     """Serve until SIGTERM/SIGINT; snapshot on the way out.
 
@@ -557,6 +898,7 @@ def run_server(
         verbose=verbose,
         snapshot_every=snapshot_every,
         stream=stream,
+        subs=subs,
     )
     actual_host, actual_port = server.server_address[:2]
     _log.info(
@@ -576,6 +918,7 @@ def run_server(
             # Sources stop, the queue drains through the engine, the
             # WAL closes — before the snapshot records the offset.
             stream.stop()
+        server.subs.close()  # type: ignore[attr-defined]
         if state_dir is not None:
             path = service.snapshot(state_dir)
             _log.info("state saved", path=str(path))

@@ -323,6 +323,31 @@ class TestParallelOptionsWiring:
         assert args.check_interval_ms == 250.0
         assert args.handler.__name__ == "cmd_route"
 
+    def test_watch_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "watch", "http://primary:8765",
+                "--entity", "Elvis", "--epsilon", "0.05",
+                "--after", "3", "--timeout", "10", "--count", "2",
+            ]
+        )
+        assert args.url == "http://primary:8765"
+        assert args.entity == "Elvis"
+        assert args.epsilon == 0.05
+        assert args.after == 3
+        assert args.timeout == 10.0
+        assert args.count == 2
+        assert args.handler.__name__ == "cmd_watch"
+        defaults = build_parser().parse_args(
+            ["watch", "http://primary:8765", "--entity", "Elvis"]
+        )
+        assert defaults.epsilon == 0.0
+        assert defaults.after is None
+        assert defaults.timeout == 25.0
+        assert defaults.count == 0
+
     def test_wal_compact_parser_and_run(self, tmp_path):
         from repro.cli import build_parser
         from repro.core.config import ParisConfig
