@@ -1,0 +1,238 @@
+"""End-to-end demo of delta provenance and the staleness SLO surface.
+
+Boots the three serving roles as subprocesses — a primary
+(``repro serve --wal``), one read replica (``repro replica``) and the
+read router (``repro route``) — then pushes a delta through the router
+with an explicit ``X-Request-Id`` and follows it through the whole
+pipeline:
+
+* every role echoes the request id back (exactly once) on its
+  responses;
+* ``GET /provenance?trace=`` reconstructs the delta's stage timeline
+  on the primary (ingest → enqueue → durable → applied → notified)
+  and on the replica (shipped stamps + its own ``replica_applied``),
+  each monotone;
+* ``repro trace URL TRACE_ID --replicas ... --json`` merges the fleet
+  into one time-sorted timeline containing both the primary's
+  ``applied`` and the replica's ``replica_applied``;
+* the stage histograms (``repro_delta_stage_seconds``) are non-empty
+  for all four legs — ``ingest_to_durable`` / ``durable_to_applied`` /
+  ``applied_to_notified`` on the primary, ``applied_to_replica`` on
+  the replica — and the freshness gauges
+  (``repro_freshness_seconds``) report a real age for the stages that
+  fired.
+
+The CI service-smoke job runs this script verbatim and asserts its
+exit code.  Run with::
+
+    PYTHONPATH=src python examples/provenance_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.datasets.incremental import family_addition, family_pair
+from repro.rdf import ntriples
+from repro.service.delta import Delta
+
+BASE_FAMILIES = 20
+WRITES = 3
+PORT = int(os.environ.get("PROVENANCE_DEMO_PORT", "8795"))
+
+PRIMARY_STAGES = ("ingest", "enqueue", "durable", "applied", "notified")
+
+
+def wait_for(url: str, seconds: float = 120.0, headers: dict = None):
+    deadline = time.monotonic() + seconds
+    while True:
+        try:
+            request = urllib.request.Request(url, headers=headers or {})
+            with urllib.request.urlopen(request, timeout=2) as response:
+                return json.load(response), response.headers
+        except (urllib.error.URLError, ConnectionError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.3)
+
+
+def post_json(url: str, payload: dict, headers: dict = None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.load(response), response.headers
+
+
+def scrape(base_url: str) -> dict:
+    with urllib.request.urlopen(base_url + "/metrics", timeout=30) as response:
+        text = response.read().decode("utf-8")
+    series = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        series[name_part] = float(value)
+    return series
+
+
+def assert_monotone(timeline: dict, stages) -> None:
+    stamped = [timeline[s] for s in stages if s in timeline]
+    assert stamped == sorted(stamped), timeline
+
+
+def family_delta(index: int) -> Delta:
+    add_left, add_right = family_addition(index, 1)
+    return Delta(add1=tuple(add_left), add2=tuple(add_right))
+
+
+def spawn(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv], env=os.environ.copy()
+    )
+
+
+def main() -> int:
+    primary_url = f"http://127.0.0.1:{PORT}"
+    replica_url = f"http://127.0.0.1:{PORT + 1}"
+    router_url = f"http://127.0.0.1:{PORT + 2}"
+    with tempfile.TemporaryDirectory(prefix="repro-provenance-demo-") as workdir:
+        work = Path(workdir)
+        left, right = family_pair(BASE_FAMILIES)
+        ntriples.write_ntriples(left, work / "left.nt")
+        ntriples.write_ntriples(right, work / "right.nt")
+
+        primary = spawn(
+            "--log-format", "json",
+            "serve", str(work / "left.nt"), str(work / "right.nt"),
+            "--state-dir", str(work / "state"),
+            "--port", str(PORT),
+            "--wal",
+            "--max-lag-ms", "20",
+            "--snapshot-every", "0",
+        )
+        replica = router = None
+        try:
+            health, headers = wait_for(
+                primary_url + "/healthz", headers={"X-Request-Id": "boot-probe"}
+            )
+            assert health["role"] == "primary", health
+            assert headers.get_all("X-Request-Id") == ["boot-probe"], headers
+
+            replica = spawn(
+                "--log-format", "json",
+                "replica", primary_url, "--port", str(PORT + 1), "--poll-ms", "20",
+            )
+            assert wait_for(replica_url + "/healthz")[0]["role"] == "replica"
+            router = spawn(
+                "--log-format", "json",
+                "route", "--primary", primary_url, "--replica", replica_url,
+                "--port", str(PORT + 2), "--check-interval-ms", "200",
+            )
+            assert wait_for(router_url + "/healthz")[0]["role"] == "router"
+            print("all three roles up, request ids echoed")
+
+            # --- write through the router with explicit request ids ---
+            traces = []
+            for step in range(WRITES):
+                trace = f"prov-demo-{step}"
+                report, headers = post_json(
+                    router_url + f"/delta?source=demo&seq={step + 1}",
+                    family_delta(BASE_FAMILIES + step).to_json(),
+                    headers={"X-Request-Id": trace},
+                )
+                assert report["converged"], report
+                # One echo — the router's own, not stacked on the
+                # primary's.
+                assert headers.get_all("X-Request-Id") == [trace], headers
+                traces.append(trace)
+            deadline = time.monotonic() + 60
+            while wait_for(replica_url + "/stats")[0]["wal_offset"] < WRITES:
+                assert time.monotonic() < deadline
+                time.sleep(0.2)
+            print(f"wrote {WRITES} traced deltas, replica caught up")
+
+            # --- per-role timelines -------------------------------------
+            trace = traces[0]
+            primary_view, _ = wait_for(
+                primary_url + f"/provenance?trace={trace}"
+            )
+            assert primary_view["found"] and primary_view["role"] == "primary"
+            for stage in ("ingest", "enqueue", "durable", "applied"):
+                assert stage in primary_view["timeline"], primary_view
+            assert_monotone(primary_view["timeline"], PRIMARY_STAGES)
+
+            replica_view, _ = wait_for(
+                replica_url + f"/provenance?trace={trace}"
+            )
+            assert replica_view["found"] and replica_view["role"] == "replica"
+            assert "replica_applied" in replica_view["timeline"], replica_view
+            assert "ingest" in replica_view["timeline"], replica_view
+            print("primary and replica timelines reconstructed and monotone")
+
+            # --- the merged fleet view: repro trace ---------------------
+            merged = json.loads(
+                subprocess.check_output(
+                    [
+                        sys.executable, "-m", "repro", "trace",
+                        primary_url, trace,
+                        "--replicas", replica_url, "--json",
+                    ],
+                    env=os.environ.copy(),
+                ).decode("utf-8")
+            )
+            stages = [row["stage"] for row in merged["timeline"]]
+            timestamps = [row["ts"] for row in merged["timeline"]]
+            assert timestamps == sorted(timestamps), merged
+            assert stages.index("ingest") < stages.index("applied"), stages
+            assert "replica_applied" in stages, stages
+            roles = {row["stage"]: row["role"] for row in merged["timeline"]}
+            assert roles["applied"] == "primary", roles
+            assert roles["replica_applied"] == "replica", roles
+            print("repro trace merged the fleet into one timeline:", stages)
+
+            # --- stage histograms + freshness gauges --------------------
+            primary_metrics = scrape(primary_url)
+            for leg in ("ingest_to_durable", "durable_to_applied",
+                        "applied_to_notified"):
+                count = primary_metrics[
+                    f'repro_delta_stage_seconds_count{{stage="{leg}"}}'
+                ]
+                assert count >= WRITES, (leg, count)
+            replica_metrics = scrape(replica_url)
+            assert replica_metrics[
+                'repro_delta_stage_seconds_count{stage="applied_to_replica"}'
+            ] >= WRITES
+            assert primary_metrics['repro_freshness_seconds{stage="applied"}'] >= 0
+            assert replica_metrics[
+                'repro_freshness_seconds{stage="replica_applied"}'
+            ] >= 0
+            # A stage this role never witnesses reports -1, not a lie.
+            assert primary_metrics[
+                'repro_freshness_seconds{stage="replica_applied"}'
+            ] == -1
+            print("all four stage-histogram legs populated, freshness live")
+        finally:
+            procs = [p for p in (router, replica, primary) if p is not None]
+            for process in procs:
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            codes = [process.wait(timeout=60) for process in procs]
+        assert codes == [0] * len(procs), f"expected clean shutdowns, got {codes}"
+    print("provenance demo OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@
     python -m repro route --primary http://primary:8765 \
         --replica http://rep1:8766 --replica http://rep2:8767 --port 8800
     python -m repro watch http://primary:8765 --entity Elvis --epsilon 0.05
+    python -m repro trace http://primary:8765 TRACE_ID \
+        [--replicas http://rep1:8766 ...] [--json]
     python -m repro wal compact --state-dir dir
 
 ``align`` loads two ontologies (N-Triples or TSV, by extension), runs
@@ -159,19 +161,48 @@ def _service_stats_once(base_url: str, raw: bool) -> None:
         print(json.dumps(json.loads(body), indent=2, sort_keys=True))
 
 
+def _watch_service_stats(
+    base_url: str,
+    raw: bool,
+    interval: float,
+    fetch=_service_stats_once,
+    sleep=time.sleep,
+    max_retry: float = 8.0,
+) -> None:
+    """The ``stats --watch`` loop: poll forever, riding out transient
+    connection failures (a restarting primary, a dropped socket) with
+    exponential backoff instead of dying on the first refused
+    connection.  Only ``KeyboardInterrupt`` ends it; a healthy fetch
+    resets the backoff.  ``fetch``/``sleep`` are injectable for tests.
+    """
+    import urllib.error
+
+    delay = 0.5
+    while True:
+        try:
+            fetch(base_url, raw)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+            print(f"stats fetch failed ({error}); retrying in {delay:g}s")
+            sleep(delay)
+            delay = min(delay * 2, max_retry)
+            continue
+        delay = 0.5
+        sleep(interval)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     is_url = [f.startswith(("http://", "https://")) for f in args.files]
     if any(is_url):
         if len(args.files) != 1:
             raise SystemExit("error: pass exactly one service URL to stats")
-        try:
-            while True:
-                _service_stats_once(args.files[0], raw=args.raw)
-                if args.watch is None:
-                    return 0
-                time.sleep(args.watch)
-        except KeyboardInterrupt:  # pragma: no cover - interactive --watch
+        if args.watch is None:
+            _service_stats_once(args.files[0], raw=args.raw)
             return 0
+        try:
+            _watch_service_stats(args.files[0], args.raw, args.watch)
+        except KeyboardInterrupt:  # pragma: no cover - interactive --watch
+            pass
+        return 0
     if args.watch is not None or args.raw:
         raise SystemExit("error: --watch/--raw require a service URL, not files")
     ontologies = [load_ontology(path) for path in args.files]
@@ -328,6 +359,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # cursors (state versions) filter out what they already received.
     subs = SubscriptionManager(state_dir=state_dir)
     service.add_change_listener(subs.publish)
+    subs.provenance = service.provenance
     subs.advance(service.state.version, service.state.wal_offset)
     stream = None
     if args.wal or args.watch:
@@ -346,6 +378,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 segment_bytes=args.wal_segment_bytes,
                 group_commit=args.wal_group_commit_ms / 1000.0,
             )
+            # Wired before replay so replayed records land in the ring
+            # (as non-live timelines) and later fsyncs stamp "durable".
+            wal.provenance = service.provenance
             replayed = replay_wal(service, wal, max_batch=args.max_batch)
             if replayed:
                 _log.info(
@@ -514,6 +549,138 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 return 0
     except KeyboardInterrupt:  # pragma: no cover - interactive
         return 0
+
+
+def _fetch_provenance(base_url: str, trace: str, timeout: float) -> Optional[dict]:
+    """``GET /provenance?trace=`` from one node.
+
+    Returns the decoded payload — a 404 carries ``{"found": false}``,
+    which callers treat as a miss, not an error — or ``None`` when the
+    node is unreachable or answers garbage, so a dead replica degrades
+    the merged timeline instead of killing the whole trace."""
+    from urllib.error import HTTPError, URLError
+    from urllib.parse import urlencode
+    from urllib.request import urlopen
+
+    url = base_url.rstrip("/") + "/provenance?" + urlencode({"trace": trace})
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except HTTPError as error:
+        try:
+            return json.loads(error.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return None
+    except (URLError, OSError, ValueError):
+        return None
+
+
+def _merge_timelines(nodes: List[dict]) -> List[dict]:
+    """Fold per-node ``/provenance`` payloads into one stage timeline.
+
+    Primary-origin stages (ingest/enqueue/durable/applied) are stamped
+    once on the primary and *shipped* to replicas inside the WAL
+    records, so every node reports the same values; we keep a single
+    row, preferring the primary's own copy when it answered.  The
+    per-node stages — ``replica_applied`` and ``notified`` — keep one
+    row per node that reported them."""
+    from .obs.provenance import STAGES
+
+    per_node_stages = ("replica_applied", "notified")
+    shared: dict = {}
+    rows: List[dict] = []
+    for node in nodes:
+        url = node["url"]
+        payload = node["payload"]
+        role = payload.get("role", "?")
+        timeline = payload.get("timeline") or {}
+        for stage, ts in timeline.items():
+            if ts is None:
+                continue
+            row = {"ts": float(ts), "stage": stage, "role": role, "node": url}
+            if stage in per_node_stages:
+                rows.append(row)
+            else:
+                kept = shared.get(stage)
+                if kept is None or (role == "primary" and kept["role"] != "primary"):
+                    shared[stage] = row
+    rows.extend(shared.values())
+    order = {stage: index for index, stage in enumerate(STAGES)}
+    rows.sort(key=lambda row: (row["ts"], order.get(row["stage"], len(order))))
+    return rows
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Fan ``GET /provenance?trace=`` across the fleet and print one
+    merged, time-sorted stage timeline for the delta."""
+    targets = [args.url] + list(args.replicas)
+    nodes = []
+    for url in targets:
+        payload = _fetch_provenance(url, args.trace_id, args.timeout)
+        if payload is None:
+            _log.warning("node unreachable", url=url)
+            continue
+        if payload.get("found"):
+            nodes.append({"url": url, "payload": payload})
+    if not nodes:
+        print(
+            f"trace {args.trace_id}: not found on any of "
+            f"{len(targets)} node(s)"
+        )
+        return 1
+
+    rows = _merge_timelines(nodes)
+    first = nodes[0]["payload"]
+    merged = next(
+        (
+            node["payload"]["merged_traces"]
+            for node in nodes
+            if node["payload"].get("merged_traces")
+        ),
+        [],
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "trace": args.trace_id,
+                    "offset": first.get("offset"),
+                    "source": first.get("source"),
+                    "merged_traces": merged,
+                    "timeline": rows,
+                    "nodes": nodes,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    header = f"trace {args.trace_id}"
+    if first.get("offset") is not None:
+        header += f"  offset={first['offset']}"
+    if first.get("source"):
+        header += f"  source={first['source']}"
+    if first.get("replayed"):
+        header += "  (replayed)"
+    print(header)
+    if merged:
+        others = [trace for trace in merged if trace != args.trace_id]
+        if others:
+            print(f"  coalesced with {len(others)} other delta(s): "
+                  + ", ".join(others))
+    if not rows:
+        print("  (no stage timestamps recorded)")
+        return 0
+    start = rows[0]["ts"]
+    for row in rows:
+        stamp = time.strftime("%H:%M:%S", time.localtime(row["ts"]))
+        stamp += f".{int(row['ts'] * 1000) % 1000:03d}"
+        delta_ms = (row["ts"] - start) * 1000.0
+        print(
+            f"  {row['stage']:<16} {stamp}  +{delta_ms:9.1f}ms"
+            f"  {row['role']:<8} {row['node']}"
+        )
+    return 0
 
 
 def cmd_wal_compact(args: argparse.Namespace) -> int:
@@ -789,6 +956,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="exit after this many notifications "
                                    "(default 0: run until interrupted)")
     watch_parser.set_defaults(handler=cmd_watch)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="reconstruct one delta's end-to-end stage timeline "
+             "(ingest -> durable -> applied -> replica_applied -> "
+             "notified) from the fleet's GET /provenance endpoints",
+    )
+    trace_parser.add_argument("url", help="primary base URL")
+    trace_parser.add_argument("trace_id",
+                              help="X-Request-Id / trace id of the delta")
+    trace_parser.add_argument("--replicas", action="append", default=[],
+                              metavar="URL",
+                              help="also query this replica (repeatable)")
+    trace_parser.add_argument("--timeout", type=float, default=10.0,
+                              help="per-node HTTP timeout in seconds")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="print the merged timeline as JSON")
+    trace_parser.set_defaults(handler=cmd_trace)
 
     wal_parser = commands.add_parser(
         "wal", help="write-ahead-log maintenance (see: repro wal compact -h)"

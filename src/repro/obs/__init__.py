@@ -32,6 +32,13 @@ from .metrics import (
     REGISTRY,
     get_registry,
 )
+from .provenance import (
+    ProvenanceRing,
+    extract_trace_id,
+    new_trace_id,
+    sanitize_trace_id,
+    set_active_ring,
+)
 from .trace import Span, current_span, root_span, span
 
 __all__ = [
@@ -41,13 +48,18 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "ProvenanceRing",
     "REGISTRY",
     "Span",
     "current_span",
+    "extract_trace_id",
     "get_event_logger",
     "get_logger",
     "get_registry",
+    "new_trace_id",
     "root_span",
+    "sanitize_trace_id",
+    "set_active_ring",
     "setup_logging",
     "span",
 ]

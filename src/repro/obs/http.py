@@ -9,9 +9,16 @@
 * ``send_response`` / ``send_header`` — capture the status code and the
   ``Content-Length`` the handler sends, without touching the write path;
 * ``handle_one_request`` — after the real handler returns, emits one
-  access-log line (method, path, status, bytes, duration, plus
-  ``source``/``seq`` query params when present — the idempotent-delta
-  ingest identity) and feeds the request metrics.
+  access-log line (method, path, status, bytes, duration, request id,
+  plus ``source``/``seq`` query params when present — the
+  idempotent-delta ingest identity) and feeds the request metrics.
+
+``parse_request`` also resolves the request's trace context (see
+:mod:`repro.obs.provenance`): the client's ``X-Request-Id`` or W3C
+``traceparent`` trace-id, else a generated id.  ``send_response``
+echoes it as ``X-Request-Id`` on every response from every role, and
+the access log carries it, so one id follows a request through router,
+primary, and replicas.
 
 Both the alignment server and the read router mix this in, so the
 access log and the ``repro_requests_total`` /
@@ -34,6 +41,7 @@ from typing import Optional
 
 from .logging import get_logger
 from .metrics import REGISTRY
+from .provenance import extract_trace_id, new_trace_id
 
 REQUESTS_TOTAL = REGISTRY.counter(
     "repro_requests_total",
@@ -63,6 +71,7 @@ _KNOWN_ROUTES = frozenset(
         "/pair",
         "/alignment",
         "/delta",
+        "/provenance",
         "/watch",
         "/subscribe",
         "/unsubscribe",
@@ -86,16 +95,37 @@ class ObservedHandlerMixin:
     _obs_started: Optional[float] = None
     _obs_status: Optional[int] = None
     _obs_bytes: Optional[int] = None
+    #: Request id for the in-flight request: the client's
+    #: ``X-Request-Id`` (or ``traceparent`` trace-id), else generated.
+    #: Echoed on every response and written to the access log; ``POST
+    #: /delta`` threads it into the delta's provenance as the trace id.
+    request_id: Optional[str] = None
+    request_id_generated: bool = True
 
     def parse_request(self) -> bool:  # noqa: D102 - hook, see module doc
         self._obs_started = time.perf_counter()
         self._obs_status = None
         self._obs_bytes = None
-        return super().parse_request()
+        self.request_id = None
+        self.request_id_generated = True
+        ok = super().parse_request()
+        if ok:
+            try:
+                self.request_id, generated = extract_trace_id(self.headers)
+                self.request_id_generated = generated
+            except Exception:  # noqa: BLE001 - ids must never kill a request
+                self.request_id = new_trace_id()
+        return ok
 
     def send_response(self, code, message=None):  # noqa: D102
         self._obs_status = int(code)
-        return super().send_response(code, message)
+        result = super().send_response(code, message)
+        # Echo the request id on *every* response — success, error
+        # (send_error routes through here), or 304 — so clients and the
+        # router can correlate.  Handlers must not set it themselves.
+        if self.request_id is not None:
+            super().send_header("X-Request-Id", self.request_id)
+        return result
 
     def send_header(self, keyword, value):  # noqa: D102
         if keyword.lower() == "content-length":
@@ -128,6 +158,8 @@ class ObservedHandlerMixin:
             "bytes": body_bytes,
             "duration_ms": round(duration * 1e3, 3),
         }
+        if self.request_id is not None:
+            fields["request_id"] = self.request_id
         if "?" in path:
             query = urllib.parse.parse_qs(path.split("?", 1)[1])
             for key in ("source", "seq"):

@@ -47,6 +47,7 @@ from ..core.result import Assignment, AssignmentDelta, assignment_delta
 from ..core.subclasses import IncrementalClassPass
 from ..obs import get_event_logger
 from ..obs.metrics import REGISTRY
+from ..obs.provenance import ProvenanceRing, set_active_ring
 from ..rdf.ontology import Ontology
 from ..rdf.terms import Literal, Node, Resource
 from .delta import Delta, DeltaEffect, apply_delta, validate_delta
@@ -193,6 +194,14 @@ class AlignmentService:
         self._pending_changes: Optional[
             Tuple[AssignmentDelta, AssignmentDelta, Assignment, Assignment]
         ] = None
+        # Per-delta provenance timelines (PR 9): the batcher admits,
+        # the WAL stamps durable, apply_delta stamps applied, the
+        # subscription manager stamps notified.  A replica node swaps
+        # in its own longer-lived ring (one per node, across engine
+        # re-bootstraps); the newest ring feeds the process freshness
+        # gauges.
+        self.provenance = ProvenanceRing()
+        set_active_ring(self.provenance)
 
     # ------------------------------------------------------------------
     # construction
@@ -285,6 +294,9 @@ class AlignmentService:
             # Identical on primary and replica: whoever applies WAL
             # records owns the applied-offset gauge.
             APPLIED_OFFSET.set(self.state.wal_offset)
+            # Provenance: local entries get their "applied" stamp,
+            # replica-registered entries their "replica_applied" one.
+            self.provenance.stamp_applied_upto(wal_offset)
             # Read-side fan-out runs after the WAL offset is recorded,
             # so index stamps and change events carry the offset the
             # batch is durable under.

@@ -44,6 +44,7 @@ from urllib.request import urlopen
 
 from ...obs import get_event_logger
 from ...obs.metrics import REGISTRY
+from ...obs.provenance import ProvenanceRing, set_active_ring
 from ...obs.trace import span
 from ..delta import compose_deltas
 from ..engine import AlignmentService
@@ -146,6 +147,10 @@ class ReplicaNode:
         #: Change-subscription manager this node publishes into
         #: (:meth:`attach_subscriptions`); survives engine swaps.
         self._subs = None
+        #: One provenance ring for the node's whole life: a WAL-gap
+        #: re-bootstrap swaps the engine but must not lose the delta
+        #: timelines already collected (every built engine points here).
+        self.provenance = ProvenanceRing()
         self.service = self._build_service(bootstrap_state(source, self.state_dir))
         self.bootstrapped_at_offset = self.applied_offset
         self.records_applied = 0
@@ -185,6 +190,8 @@ class ReplicaNode:
         if self.config_overrides:
             state.config = replace(state.config, **self.config_overrides)
         service = AlignmentService.from_state(state)
+        service.provenance = self.provenance
+        set_active_ring(self.provenance)
         if self._subs is not None:
             service.add_change_listener(self._subs.publish)
             self._subs.advance(state.version, state.wal_offset)
@@ -264,6 +271,12 @@ class ReplicaNode:
         deterministic replication)."""
         fetch = self.follower.fetch(self.applied_offset, limit=self.batch)
         if fetch.records:
+            # Register the shipped timelines first: the engine apply
+            # below stamps replica_applied on them (and observes the
+            # applied_to_replica leg against the primary-side stamps
+            # the records carry).
+            for record in fetch.records:
+                self.provenance.register_record(record, live=True, remote=True)
             with span("replica.apply", records=len(fetch.records)):
                 composed = compose_deltas(record.delta for record in fetch.records)
                 self.service.apply_delta(

@@ -386,6 +386,12 @@ class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         if_none_match = self.headers.get("If-None-Match")
         if if_none_match is not None:
             headers["If-None-Match"] = if_none_match
+        # Trace propagation: the backend sees the same request id the
+        # router echoes to the client (generated here when the client
+        # sent none), so one id lines up all three roles' access logs —
+        # and a forwarded POST /delta's provenance trace.
+        if self.request_id is not None:
+            headers["X-Request-Id"] = self.request_id
         request = urllib.request.Request(
             target.url + path_query,
             data=body,

@@ -111,6 +111,7 @@ ROUTES = {
     "GET /pair/<left>/<right>": "one instance pair's probability and context",
     "GET /alignment": "maximal assignment: paginated, top-k, per-entity, or streamed dump",
     "GET /watch": "long-poll for changes to one entity's alignments",
+    "GET /provenance": "one delta's stage timeline, by ?trace= or ?offset=",
     "GET /subscriptions": "registered webhook subscriptions",
     "POST /delta": "apply a JSON delta batch (primary only)",
     "POST /snapshot": "force a snapshot (primary only)",
@@ -365,6 +366,9 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         if parts == ["watch"]:
             self._route_get_watch(url)
             return
+        if parts == ["provenance"]:
+            self._route_get_provenance(url)
+            return
         if parts == ["subscriptions"]:
             subs = self.server.subs  # type: ignore[attr-defined]
             self._send_json({"subscriptions": subs.subscriptions()})
@@ -522,6 +526,78 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             return
         self._send_json(notification)
 
+    def _route_get_provenance(self, url) -> None:
+        """Debug endpoint: one delta's stage timeline, reconstructed
+        from the engine's provenance ring (plus, for an offset the ring
+        has already evicted, the stamps the WAL record itself carries).
+        Served by the primary and by replicas (each reports its own
+        view; ``repro trace`` merges them); the router forwards it to
+        the primary via its wildcard ``GET *`` rule."""
+        from .stream.wal import WalCorruptionError, WalGapError
+
+        query = parse_qs(url.query)
+        trace = query.get("trace", [None])[0]
+        offset_raw = query.get("offset", [None])[0]
+        if (trace is None) == (offset_raw is None):
+            self._error(400, "pass exactly one of ?trace= or ?offset=")
+            return
+        offset = None
+        if offset_raw is not None:
+            try:
+                offset = int(offset_raw)
+            except ValueError:
+                self._error(400, "offset must be an integer")
+                return
+        replica = self.server.replica  # type: ignore[attr-defined]
+        role = "replica" if replica is not None else "primary"
+        ring = getattr(self.service, "provenance", None)
+        payload = None
+        if ring is not None:
+            payload = (
+                ring.lookup_trace(trace)
+                if trace is not None
+                else ring.lookup_offset(offset)
+            )
+        if payload is None and offset is not None:
+            # Ring miss (evicted, or a restart that never replayed this
+            # far): fall back to the stamps the record itself carries —
+            # a bounded read of one WAL suffix, not a full decode.
+            stream = self.server.stream  # type: ignore[attr-defined]
+            wal = stream.wal if stream is not None else None
+            if wal is not None:
+                try:
+                    record = next(wal.replay(after_offset=offset - 1), None)
+                except (WalGapError, WalCorruptionError):
+                    record = None
+                if record is not None and record.offset == offset:
+                    prov = record.prov or {}
+                    timeline = {
+                        stage: prov[key]
+                        for stage, key in (
+                            ("ingest", "ingest_ts"),
+                            ("enqueue", "enqueue_ts"),
+                        )
+                        if isinstance(prov.get(key), (int, float))
+                    }
+                    payload = {
+                        "found": True,
+                        "trace": prov.get("trace"),
+                        "offset": record.offset,
+                        "source": record.source,
+                        "seq": record.seq,
+                        "timeline": timeline,
+                        "merged_traces": [],
+                        "replayed": False,
+                    }
+        if payload is None:
+            self._send_json(
+                {"found": False, "role": role, "trace": trace, "offset": offset},
+                status=404,
+            )
+            return
+        payload["role"] = role
+        self._send_json(payload)
+
     def _route_get_wal(self, url) -> None:
         """Log shipping: NDJSON WAL records for replica catch-up."""
         from .stream.wal import WalCorruptionError, WalGapError
@@ -551,11 +627,18 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             )
             return
         lines = []
+        ring = getattr(self.service, "provenance", None)
         try:
             for record in wal.replay(after_offset=after):
                 if record.offset > durable or len(lines) >= limit:
                     break
-                lines.append(json.dumps(record.to_json(), sort_keys=True))
+                payload = record.to_json()
+                if ring is not None and payload.get("prov") is not None:
+                    # The on-disk record is written before its fsync and
+                    # before its apply, so those stamps can only ride
+                    # along at ship time, from the primary's ring.
+                    payload["prov"].update(ring.offset_stamps(record.offset))
+                lines.append(json.dumps(payload, sort_keys=True))
         except WalGapError as gap:
             self._send_json({"error": str(gap), "oldest": gap.oldest}, status=410)
             return
@@ -649,8 +732,11 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             if stream is not None:
                 # Shared ingest queue: WAL'd, coalesced, admission-
                 # controlled; the response is the composed batch's
-                # report (None = idempotently dropped duplicate).
-                report = stream.batcher.submit(delta, source=source, seq=seq, wait=True)
+                # report (None = idempotently dropped duplicate).  The
+                # request id becomes the delta's provenance trace.
+                report = stream.batcher.submit(
+                    delta, source=source, seq=seq, wait=True, trace=self.request_id
+                )
                 if report is None:
                     self._send_json({"duplicate": True, "source": source, "seq": seq})
                     return
@@ -819,6 +905,15 @@ def build_server(
         elif service is not None:
             service.add_change_listener(subs.publish)
             subs.advance(service.state.version, service.state.wal_offset)
+    # Provenance wiring: the WAL stamps "durable" and the subscription
+    # manager stamps "notified" into the engine's ring (on a replica,
+    # the node's ring — replica.service.provenance already points at
+    # it).
+    if service is not None:
+        if stream is not None and stream.wal is not None:
+            stream.wal.provenance = service.provenance
+        if subs.provenance is None:
+            subs.provenance = service.provenance
     server = ThreadingHTTPServer((host, port), AlignmentRequestHandler)
     server.subs = subs  # type: ignore[attr-defined]
     server.service = service  # type: ignore[attr-defined]

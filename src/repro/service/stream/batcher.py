@@ -36,6 +36,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from ...obs import get_event_logger
 from ...obs.metrics import REGISTRY
+from ...obs.provenance import new_trace_id
 from ...obs.trace import span
 from ..delta import Delta, compose_deltas, validate_delta
 from ..engine import AlignmentService, DeltaReport
@@ -90,6 +91,7 @@ class _Pending:
     enqueued_at: float
     source: str = "http"
     seq: Optional[int] = None
+    trace: Optional[str] = None
     done: threading.Event = field(default_factory=threading.Event)
     report: Optional[DeltaReport] = None
     error: Optional[BaseException] = None
@@ -172,6 +174,7 @@ class DeltaBatcher:
         seq: Optional[int] = None,
         wait: bool = False,
         timeout: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> Optional[DeltaReport]:
         """Admit one delta into the ingest queue.
 
@@ -183,8 +186,16 @@ class DeltaBatcher:
         the delta's batch was applied and returns that batch's
         :class:`~repro.service.engine.DeltaReport` (re-raising the
         batch's failure, if any).
+
+        ``trace`` is the delta's provenance id (the HTTP front-end
+        passes the request id, streaming sources synthesize one per
+        record); when omitted one is generated, so every admitted
+        delta has a reconstructable timeline.
         """
         validate_delta(delta)
+        ingest_ts = time.time()
+        if trace is None:
+            trace = new_trace_id()
         offset = None
         duplicate = False
         with self._ready:
@@ -208,11 +219,27 @@ class DeltaBatcher:
                 # == application order; the fsync happens below,
                 # outside the lock, so concurrent writers can share
                 # one group commit.
+                enqueue_ts = time.time()
+                prov = {
+                    "trace": trace,
+                    "ingest_ts": ingest_ts,
+                    "enqueue_ts": enqueue_ts,
+                }
                 offset = (
-                    self.wal.append(delta, source, seq, sync=False)
+                    self.wal.append(delta, source, seq, sync=False, prov=prov)
                     if self.wal is not None
                     else None
                 )
+                ring = getattr(self.service, "provenance", None)
+                if ring is not None:
+                    ring.admit(
+                        trace,
+                        source=source,
+                        seq=seq,
+                        offset=offset,
+                        ingest_ts=ingest_ts,
+                        enqueue_ts=enqueue_ts,
+                    )
                 if seq is not None and self.wal is not None:
                     # With a WAL the delta is durable the moment it is
                     # admitted: a redelivery may be acked as duplicate
@@ -222,7 +249,7 @@ class DeltaBatcher:
                     # — otherwise a failed batch + retry would be
                     # acked as "duplicate" and the delta silently lost.
                     self._last_seqs[source] = seq
-                pending = _Pending(delta, offset, time.monotonic(), source, seq)
+                pending = _Pending(delta, offset, time.monotonic(), source, seq, trace)
                 self._queue.append(pending)
                 self.accepted += 1
                 ACCEPTED.inc()
@@ -341,6 +368,16 @@ class DeltaBatcher:
         self.coalesced += len(batch)
         BATCHES.inc()
         COALESCED.inc(len(batch))
+        ring = getattr(self.service, "provenance", None)
+        if ring is not None:
+            # Coalescing provenance: every member of the batch learns
+            # which traces shared its warm pass; without a WAL the
+            # engine has no offset to stamp, so applied is stamped here
+            # by trace instead.
+            traces = [pending.trace for pending in batch if pending.trace]
+            ring.note_merge(traces)
+            if wal_offset is None:
+                ring.stamp_traces("applied", traces)
         if self.wal is None:
             # WAL-less mode: the batch is now the durable fact, so the
             # redelivery high-water marks may advance (admission-time

@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from ...obs import get_event_logger
+from ...obs.provenance import new_trace_id
 from ..delta import Delta
 from .batcher import DeltaBatcher, QueueFullError
 
@@ -140,12 +141,20 @@ class _PollingSource:
         file mixing both forms, one large explicit seq must not raise
         the high-water mark that later bare lines (numbered 1, 2, …)
         are deduplicated against.
+
+        There is no client request to carry a trace context here, so
+        each record gets a synthesized trace id — tailed and spooled
+        deltas are reconstructable from ``GET /provenance`` just like
+        POSTed ones.
         """
         base = source if source is not None else self.source_id
+        trace = new_trace_id()
         if seq is None:
-            self.batcher.submit(delta, source=base, seq=record_number)
+            self.batcher.submit(delta, source=base, seq=record_number, trace=trace)
         else:
-            self.batcher.submit(delta, source=base + "#explicit", seq=seq)
+            self.batcher.submit(
+                delta, source=base + "#explicit", seq=seq, trace=trace
+            )
 
     def _skip_bad_line(self, error: Exception, where: str) -> None:
         self.decode_errors += 1

@@ -12,6 +12,20 @@ restarted process cannot re-parse; ``source``/``seq`` carry the
 per-source sequence numbers the batcher's idempotent-redelivery check
 is recovered from.
 
+Schema v2 (PR 9) adds optional per-record *provenance*::
+
+    {"delta": {...}, "offset": 18, "source": "http", "v": 2,
+     "prov": {"trace": "<request id>", "ingest_ts": ..., "enqueue_ts": ...}}
+
+``prov`` carries the delta's trace id and the wall-clock stamps known
+at append time (see :mod:`repro.obs.provenance`; the fsync stamp
+cannot be in the record — it is written *before* the fsync — so the
+durable/applied stamps live in the engine's provenance ring, and the
+``GET /wal`` endpoint folds them into shipped records).  The bump is
+per-record and strictly additive: records without ``v``/``prov``
+(schema v1 — every pre-PR-9 log) parse, replay, and replicate exactly
+as before, and old readers ignore the new keys.
+
 Segments
 --------
 The log is a *sequence of segment files*.  ``path`` (conventionally
@@ -152,11 +166,16 @@ class WalRecord:
     source: str
     seq: Optional[int]
     delta: Delta
+    #: Schema-v2 provenance (trace id + stage timestamps), ``None`` for
+    #: v1 records — see the module docstring.
+    prov: Optional[dict] = None
 
     def to_json(self) -> dict:
         """Wire form — identical to the on-disk record, so the
         ``GET /wal`` log-shipping endpoint and the files themselves
-        speak one format."""
+        speak one format.  The ``prov`` dict is copied so callers
+        (log shipping augments it with ring stamps) can mutate the
+        payload without aliasing the record."""
         payload: dict = {
             "offset": self.offset,
             "source": self.source,
@@ -164,6 +183,9 @@ class WalRecord:
         }
         if self.seq is not None:
             payload["seq"] = self.seq
+        if self.prov is not None:
+            payload["v"] = 2
+            payload["prov"] = dict(self.prov)
         return payload
 
     @classmethod
@@ -176,11 +198,18 @@ class WalRecord:
         seq = payload.get("seq")
         if seq is not None and not isinstance(seq, int):
             raise ValueError(f"non-integer seq {seq!r}")
+        version = payload.get("v", 1)
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"bad record schema version {version!r}")
+        prov = payload.get("prov")
+        if prov is not None and not isinstance(prov, dict):
+            raise ValueError(f"non-object prov {prov!r}")
         return cls(
             offset=offset,
             source=payload.get("source", ""),
             seq=seq,
             delta=Delta.from_json(payload["delta"]),
+            prov=dict(prov) if prov else None,
         )
 
 
@@ -252,6 +281,10 @@ class WriteAheadLog:
         self._syncing = False
         self._sync_waiters = 0
         self.fsyncs = 0
+        #: Optional :class:`repro.obs.provenance.ProvenanceRing` — when
+        #: set (the serving stack wires the engine's ring in), every
+        #: fsync stamps ``durable`` on the offsets it covered.
+        self.provenance = None
         scan = self._scan()
         self._offset, self._last_seqs, active_bytes, active_base = scan
         self._active_base = active_base
@@ -543,6 +576,7 @@ class WriteAheadLog:
         source: str,
         seq: Optional[int] = None,
         sync: bool = True,
+        prov: Optional[dict] = None,
     ) -> int:
         """Append one accepted delta; returns its offset.
 
@@ -552,6 +586,10 @@ class WriteAheadLog:
         :meth:`sync` with the returned offset before acknowledging the
         delta to anyone (the batcher does, sharing one group fsync
         across concurrent writers).
+
+        ``prov`` (trace id + ingest/enqueue stamps) makes this a
+        schema-v2 record; without it the record is byte-identical to
+        the v1 format.
         """
         if self.read_only:
             raise RuntimeError(f"{self.path} was opened read-only")
@@ -568,6 +606,9 @@ class WriteAheadLog:
             record = {"offset": offset, "source": source, "delta": delta.to_json()}
             if seq is not None:
                 record["seq"] = seq
+            if prov is not None:
+                record["v"] = 2
+                record["prov"] = dict(prov)
             line = json.dumps(record, sort_keys=True) + "\n"
             self._stream.write(line)
             self._offset = offset
@@ -633,6 +674,8 @@ class WriteAheadLog:
                         covered = target
                         if covered > self._durable_offset:
                             self._publish_durable(covered)
+                        if self.provenance is not None:
+                            self.provenance.stamp_upto("durable", covered)
                 finally:
                     with self._commit:
                         if covered > self._durable_offset:
@@ -660,6 +703,8 @@ class WriteAheadLog:
             if self._offset > self._durable_offset:
                 self._durable_offset = self._offset
         self._publish_durable(self._offset)
+        if self.provenance is not None:
+            self.provenance.stamp_upto("durable", self._offset)
         self._active_base = self._offset + 1
         self._active_bytes = 0
 
@@ -837,6 +882,8 @@ class WriteAheadLog:
                     self._stream.close()
                     self._stream = None
                     self._publish_durable(self._offset)
+                    if self.provenance is not None:
+                        self.provenance.stamp_upto("durable", self._offset)
             with self._commit:
                 if self._offset > self._durable_offset:
                     self._durable_offset = self._offset
@@ -851,15 +898,29 @@ def replay_wal(service, wal: WriteAheadLog, max_batch: int = 256) -> int:
     original stream) and pushed through the engine; the state's
     ``wal_offset`` advances with each applied batch.  Returns the
     number of records replayed.
+
+    Replayed records are registered in the service's provenance ring
+    as *non-live* timelines: ``GET /provenance`` can still reconstruct
+    them (flagged ``replayed``), but the stage histograms are not
+    re-observed — a restart must not double-count latencies the first
+    life of the process already recorded.
     """
     from ..delta import compose_deltas
 
+    ring = getattr(service, "provenance", None)
     replayed = 0
     pending: List[WalRecord] = []
 
     def flush() -> None:
         if not pending:
             return
+        if ring is not None:
+            traces = []
+            for record in pending:
+                ring.register_record(record, live=False)
+                if record.prov and record.prov.get("trace"):
+                    traces.append(record.prov["trace"])
+            ring.note_merge(traces)
         composed = compose_deltas(record.delta for record in pending)
         service.apply_delta(composed, wal_offset=pending[-1].offset)
         pending.clear()

@@ -125,6 +125,11 @@ class SubscriptionManager:
         self._path = (
             Path(state_dir) / "subscriptions.json" if state_dir is not None else None
         )
+        #: Optional :class:`repro.obs.provenance.ProvenanceRing` of the
+        #: engine this manager listens to (wired by the server/CLI):
+        #: publishing events for a WAL offset stamps ``notified`` on the
+        #: deltas it covers — the moment watchers woke for them.
+        self.provenance = None
         self._load()
         SUBSCRIPTIONS_ACTIVE.set_callback(lambda: float(len(self._webhooks)))
         self._delivery_thread = threading.Thread(
@@ -181,6 +186,10 @@ class SubscriptionManager:
             if wal_offset > self._wal_offset:
                 self._wal_offset = wal_offset
             self._cond.notify_all()
+        if events and self.provenance is not None:
+            # Outside the condition (ring lock is leaf-level too, but
+            # waiters are already awake — stamping must not delay them).
+            self.provenance.stamp_upto("notified", wal_offset)
 
     def advance(self, version: int, wal_offset: int) -> None:
         """Advance the cursor without events (attach/no-op batches)."""
