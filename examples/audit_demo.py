@@ -1,0 +1,265 @@
+"""End-to-end demo of fleet correctness auditing.
+
+Boots a three-node fleet — a primary (``repro serve --wal``) and the
+read router as subprocesses, plus **two in-process read replicas**
+(so one of them can be corrupted from inside, which no HTTP surface
+allows) — writes through the router, then:
+
+* ``repro doctor PRIMARY --replicas A B --json`` reports the clean
+  fleet consistent (exit 0): every node at the same WAL offset holds
+  the *identical* 64-bit state digest, and each node's ``verify=1``
+  self-check passes;
+* the router's ``GET /fleet`` agrees;
+* one replica's resident state is then corrupted in-process (one
+  assignment score flipped in both the maintained assignment and the
+  equivalence store, leaving the incremental digest stale — the shape
+  of silent memory corruption);
+* the corrupted node's **own background auditor** catches it within
+  one interval: ``repro_audit_mismatch_total`` rises and its
+  ``/healthz`` latches ``degraded`` with the offending pair;
+* ``repro doctor`` (exit 1) names exactly that node ``DIVERGED`` —
+  the other replica and the primary stay ``ok`` — and localizes the
+  split to the first divergent pair via binary search over
+  entity-range sub-digests.
+
+The CI service-smoke job runs this script verbatim and asserts its
+exit code.  Run with::
+
+    PYTHONPATH=src python examples/audit_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.datasets.incremental import family_addition, family_pair
+from repro.rdf import ntriples
+from repro.service.audit import StateAuditor
+from repro.service.delta import Delta
+from repro.service.replica import ReplicaNode
+from repro.service.server import build_server
+
+BASE_FAMILIES = 20
+WRITES = 3
+PORT = int(os.environ.get("AUDIT_DEMO_PORT", "8805"))
+
+
+def wait_for(url: str, seconds: float = 120.0):
+    deadline = time.monotonic() + seconds
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=2) as response:
+                return json.load(response)
+        except (urllib.error.URLError, ConnectionError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.3)
+
+
+def post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.load(response)
+
+
+def scrape(base_url: str) -> dict:
+    with urllib.request.urlopen(base_url + "/metrics", timeout=30) as response:
+        text = response.read().decode("utf-8")
+    series = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        series[name_part] = float(value)
+    return series
+
+
+def family_delta(index: int) -> Delta:
+    add_left, add_right = family_addition(index, 1)
+    return Delta(add1=tuple(add_left), add2=tuple(add_right))
+
+
+def spawn(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv], env=os.environ.copy()
+    )
+
+
+def run_doctor(primary_url: str, replica_urls: list) -> tuple:
+    argv = [sys.executable, "-m", "repro", "doctor", primary_url, "--json"]
+    for url in replica_urls:
+        argv += ["--replicas", url]
+    completed = subprocess.run(
+        argv, env=os.environ.copy(), capture_output=True, text=True, timeout=120
+    )
+    return completed.returncode, json.loads(completed.stdout)
+
+
+def in_process_replica(primary_url: str, port: int):
+    """One replica the demo can reach into: node + auditor + server.
+
+    ``full_every=1`` makes every cycle recompute the full digest, so
+    coherent assignment+store corruption (which the sampled row check
+    cannot see — both resident copies agree) is caught within one
+    interval.
+    """
+    node = ReplicaNode(primary_url, batch=8).start()
+    auditor = StateAuditor(
+        lambda: node.service,
+        interval_ms=200,
+        sample=8,
+        full_every=1,
+        role="replica",
+    )
+    node.auditor = auditor
+    server = build_server(None, "127.0.0.1", port, replica=node, auditor=auditor)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    auditor.start()
+    return node, auditor, server, thread
+
+
+def corrupt(service) -> str:
+    """Flip one pair's score in assignment *and* store, leaving the
+    incremental digest stale — silent in-process state corruption."""
+    with service.lock:
+        entity, (counterpart, probability) = next(
+            iter(service._assignment12.items())
+        )
+        corrupted = probability * 0.5
+        service._assignment12[entity] = (counterpart, corrupted)
+        service.state.store.set(entity, counterpart, corrupted)
+    return entity.name
+
+
+def main() -> int:
+    primary_url = f"http://127.0.0.1:{PORT}"
+    replica_urls = [f"http://127.0.0.1:{PORT + 1}", f"http://127.0.0.1:{PORT + 2}"]
+    router_url = f"http://127.0.0.1:{PORT + 3}"
+    with tempfile.TemporaryDirectory(prefix="repro-audit-demo-") as workdir:
+        work = Path(workdir)
+        left, right = family_pair(BASE_FAMILIES)
+        ntriples.write_ntriples(left, work / "left.nt")
+        ntriples.write_ntriples(right, work / "right.nt")
+
+        primary = spawn(
+            "--log-format", "json",
+            "serve", str(work / "left.nt"), str(work / "right.nt"),
+            "--state-dir", str(work / "state"),
+            "--port", str(PORT),
+            "--wal",
+            "--max-lag-ms", "20",
+            "--snapshot-every", "0",
+            "--audit-interval-ms", "200",
+        )
+        router = None
+        replicas = []
+        try:
+            assert wait_for(primary_url + "/healthz")["role"] == "primary"
+            for port in (PORT + 1, PORT + 2):
+                replicas.append(in_process_replica(primary_url, port))
+            for url in replica_urls:
+                assert wait_for(url + "/healthz")["role"] == "replica"
+            router = spawn(
+                "--log-format", "json",
+                "route", "--primary", primary_url,
+                "--replica", replica_urls[0], "--replica", replica_urls[1],
+                "--port", str(PORT + 3), "--check-interval-ms", "200",
+            )
+            assert wait_for(router_url + "/healthz")["role"] == "router"
+            print("fleet up: primary + 2 replicas + router")
+
+            # --- write through the router, let the fleet converge -----
+            for step in range(WRITES):
+                report = post_json(
+                    router_url + f"/delta?source=demo&seq={step + 1}",
+                    family_delta(BASE_FAMILIES + step).to_json(),
+                )
+                assert report["converged"], report
+            deadline = time.monotonic() + 60
+            for url in replica_urls:
+                while wait_for(url + "/stats")["wal_offset"] < WRITES:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.2)
+            print(f"wrote {WRITES} deltas through the router, replicas caught up")
+
+            # --- clean fleet: doctor and /fleet agree ------------------
+            code, verdict = run_doctor(primary_url, replica_urls)
+            assert code == 0, verdict
+            assert verdict["consistent"] is True, verdict
+            assert all(n["verdict"] == "ok" for n in verdict["nodes"]), verdict
+            digests = {n["digest"] for n in verdict["nodes"]}
+            assert len(digests) == 1, verdict
+            fleet = wait_for(router_url + "/fleet")
+            assert fleet["consistent"] is True and fleet["divergent"] == []
+            print(f"doctor: clean fleet, one digest {digests.pop()} on all 3 nodes")
+
+            # --- corrupt one replica in-process ------------------------
+            bad_url = replica_urls[1]
+            bad_node, bad_auditor, _server, _thread = replicas[1]
+            bad_entity = corrupt(bad_node.service)
+            deadline = time.monotonic() + 30
+            while bad_auditor.mismatches == 0:
+                assert time.monotonic() < deadline, "auditor never caught it"
+                time.sleep(0.05)
+            health = wait_for(bad_url + "/healthz")
+            assert health["status"] == "degraded", health
+            assert "audit mismatch" in health["degraded"], health
+            metrics = scrape(bad_url)
+            assert metrics['repro_audit_mismatch_total{kind="digest"}'] >= 1
+            stats = wait_for(bad_url + "/stats")
+            assert stats["audit"]["last_mismatch"]["kind"] == "digest", stats
+            print(
+                f"corrupted pair of {bad_entity!r} on {bad_url}: its own "
+                "auditor flagged it within one interval, /healthz degraded"
+            )
+
+            # --- doctor names exactly the corrupted node ---------------
+            code, verdict = run_doctor(primary_url, replica_urls)
+            assert code == 1, verdict
+            assert verdict["consistent"] is False, verdict
+            by_url = {n["url"]: n for n in verdict["nodes"]}
+            assert by_url[primary_url]["verdict"] == "ok", verdict
+            assert by_url[replica_urls[0]]["verdict"] == "ok", verdict
+            assert by_url[bad_url]["verdict"] == "DIVERGED", verdict
+            pair = by_url[bad_url]["first_divergent_pair"]
+            assert pair is not None and pair["left"] == bad_entity, verdict
+            assert pair["primary"]["probability"] != pair["node"]["probability"]
+            print(
+                "doctor: DIVERGENCE DETECTED on exactly the corrupted node, "
+                f"first divergent pair ({pair['left']}, {pair['node']['right']})"
+            )
+        finally:
+            for _node, auditor, server, thread in replicas:
+                auditor.stop()
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+            for _node, _auditor, _server, _thread in replicas:
+                _node.stop()
+            procs = [p for p in (router, primary) if p is not None]
+            for process in procs:
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            codes = [process.wait(timeout=60) for process in procs]
+        assert codes == [0] * len(procs), f"expected clean shutdowns, got {codes}"
+    print("audit demo OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

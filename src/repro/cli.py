@@ -54,7 +54,7 @@ import argparse
 import json
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from . import __version__
 from .core.aligner import align
@@ -401,6 +401,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         for source in sources:
             _log.info("streaming deltas", source=source.source_id)
         stream = StreamStack(batcher=batcher, wal=wal, sources=sources)
+    auditor = _build_auditor(args, lambda: service, role="primary")
     return run_server(
         service,
         args.host,
@@ -409,6 +410,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         stream=stream,
         subs=subs,
+        auditor=auditor,
+    )
+
+
+def _add_audit_options(parser: argparse.ArgumentParser) -> None:
+    from .service.audit import DEFAULT_INTERVAL_MS, DEFAULT_SAMPLE
+
+    parser.add_argument("--audit-interval-ms", type=int,
+                        default=DEFAULT_INTERVAL_MS,
+                        help="background correctness-audit interval: every "
+                             "interval, sample pairs are cold-recomputed "
+                             "against the resident store and the state "
+                             "digest is periodically re-derived in full "
+                             f"(default {DEFAULT_INTERVAL_MS}; 0 disables)")
+    parser.add_argument("--audit-sample", type=int, default=DEFAULT_SAMPLE,
+                        help="matched pairs cold-verified per audit cycle "
+                             f"(default {DEFAULT_SAMPLE})")
+
+
+def _build_auditor(args: argparse.Namespace, get_service, role: str):
+    """The background correctness auditor behind --audit-interval-ms
+    (0 disables it)."""
+    if args.audit_interval_ms <= 0:
+        return None
+    from .service.audit import StateAuditor
+
+    return StateAuditor(
+        get_service,
+        interval_ms=args.audit_interval_ms,
+        sample=args.audit_sample,
+        role=role,
     )
 
 
@@ -464,21 +496,30 @@ def cmd_replica(args: argparse.Namespace) -> int:
         offset=replica.applied_offset,
         source=replica.follower.source_id,
     )
+    # The auditor resolves the engine through the node per check, so
+    # one auditor survives re-bootstraps (like the provenance ring).
+    auditor = _build_auditor(args, lambda: replica.service, role="replica")
+    replica.auditor = auditor
     server = build_server(
         None,
         args.host,
         args.port,
         state_dir=args.state_dir,
         replica=replica,
+        auditor=auditor,
     )
     from .service.server import serve_until_signalled
 
     actual_host, actual_port = server.server_address[:2]
     _log.info("serving read replica", url=f"http://{actual_host}:{actual_port}")
     replica.start()
+    if auditor is not None:
+        auditor.start()
     try:
         serve_until_signalled(server)
     finally:
+        if auditor is not None:
+            auditor.stop()
         replica.stop()
         try:
             path = replica.snapshot()
@@ -683,6 +724,244 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _get_json(url: str, timeout: float) -> Tuple[int, Optional[dict]]:
+    """One GET returning ``(status, decoded-payload)``; status 0 means
+    the node was unreachable (payload None)."""
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except HTTPError as error:
+        try:
+            return error.code, json.loads(error.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return error.code, None
+    except (URLError, OSError, ValueError):
+        return 0, None
+
+
+def _range_digests(
+    primary_url: str, node_url: str, lo: str, hi: Optional[str], timeout: float
+) -> Optional[Tuple[dict, dict]]:
+    """Both nodes' sub-digest of the left-entity name range [lo, hi]."""
+    from urllib.parse import urlencode
+
+    params = {"lo": lo}
+    if hi is not None:
+        params["hi"] = hi
+    query = "/digest?" + urlencode(params)
+    status_p, payload_p = _get_json(primary_url + query, timeout)
+    status_n, payload_n = _get_json(node_url + query, timeout)
+    if status_p != 200 or status_n != 200:
+        return None
+    return payload_p["range"], payload_n["range"]
+
+
+def _first_divergent_pair(
+    primary_url: str, node_url: str, timeout: float
+) -> Optional[dict]:
+    """Binary-search the first divergent pair between two nodes.
+
+    Each probe compares one entity-range sub-digest (``GET
+    /digest?lo=&hi=``) on both nodes and descends into the half that
+    disagrees, until a single left entity remains; then both nodes'
+    views of that entity's best counterpart are fetched for the
+    report.  O(log pairs) round trips."""
+    from urllib.parse import urlencode
+
+    lo: str = ""  # "" sorts before every (non-empty) name: unbounded
+    hi: Optional[str] = None
+    for _ in range(64):  # 2^64 names is not a real corpus
+        ranges = _range_digests(primary_url, node_url, lo, hi, timeout)
+        if ranges is None:
+            return None
+        primary_range, node_range = ranges
+        if primary_range["digest"] == node_range["digest"]:
+            return None  # the divergence was elsewhere (or healed)
+        if max(primary_range["count"], node_range["count"]) <= 1:
+            entity = primary_range.get("min") or node_range.get("min")
+            break
+        mid = primary_range.get("mid") or node_range.get("mid")
+        left_half = _range_digests(primary_url, node_url, lo, mid, timeout)
+        if left_half is None:
+            return None
+        if left_half[0]["digest"] != left_half[1]["digest"]:
+            hi = mid
+        else:
+            # The halves are [lo, mid] and (mid, hi]: the smallest
+            # string greater than mid opens the right half.
+            lo = mid + "\x00"
+    else:
+        return None
+    if entity is None:
+        return None
+    detail: dict = {"left": entity}
+    query = "/alignment?" + urlencode({"entity": entity})
+    for key, url in (("primary", primary_url), ("node", node_url)):
+        status, payload = _get_json(url + query, timeout)
+        if status == 200 and payload is not None:
+            detail[key] = payload.get("best_counterpart_as_left")
+    return detail
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Fleet correctness verdict: quiesce at a common durable offset,
+    fan ``GET /digest`` across primary + replicas, compare offset-keyed
+    digests, and localize any split to its first divergent pair."""
+    primary_url = args.url.rstrip("/")
+    replica_urls = [url.rstrip("/") for url in args.replicas]
+    deadline = time.monotonic() + args.timeout
+
+    # --- quiesce: primary drains its ingest queue ---------------------
+    target_offset = None
+    while time.monotonic() < deadline:
+        status, stats = _get_json(primary_url + "/stats", args.timeout)
+        if status == 200 and stats is not None:
+            applied = int(stats.get("wal_offset", 0))
+            appended = int(stats.get("ingest", {}).get("wal_appended", applied))
+            if applied >= appended:
+                target_offset = applied
+                break
+        time.sleep(0.2)
+    if target_offset is None:
+        print(f"doctor: primary {primary_url} unreachable or never quiesced")
+        return 1
+
+    # --- quiesce: replicas reach the primary's offset -----------------
+    node_stats: dict = {}
+    for url in replica_urls:
+        while time.monotonic() < deadline:
+            status, stats = _get_json(url + "/stats", args.timeout)
+            if status == 200 and stats is not None:
+                node_stats[url] = stats
+                if int(stats.get("wal_offset", -1)) >= target_offset:
+                    break
+            time.sleep(0.2)
+
+    # --- digests, offset-keyed ----------------------------------------
+    status, primary_digest = _get_json(
+        primary_url + "/digest?verify=1", args.timeout
+    )
+    if status != 200 or primary_digest is None:
+        print(f"doctor: GET /digest failed on primary {primary_url}")
+        return 1
+    nodes = [
+        {
+            "url": primary_url,
+            "role": "primary",
+            "wal_offset": primary_digest["wal_offset"],
+            "digest": primary_digest["digest"],
+            "verified": primary_digest.get("verified"),
+            "match": primary_digest.get("verified", True),
+        }
+    ]
+    for url in replica_urls:
+        node: dict = {"url": url, "role": "replica"}
+        status, payload = _get_json(url + "/digest?verify=1", args.timeout)
+        if status != 200 or payload is None:
+            node.update(match=None, error=f"GET /digest failed (http {status})")
+            nodes.append(node)
+            continue
+        node["wal_offset"] = payload["wal_offset"]
+        node["digest"] = payload["digest"]
+        node["verified"] = payload.get("verified")
+        if payload["wal_offset"] == primary_digest["wal_offset"]:
+            reference = primary_digest["digest"]
+        else:
+            # Compare at the replica's own offset via the primary's
+            # checkpoint history; 409 = aged out -> verdict unknown.
+            status, at = _get_json(
+                primary_url + f"/digest?offset={payload['wal_offset']}",
+                args.timeout,
+            )
+            if status != 200 or at is None:
+                node.update(match=None, error="common offset aged out of history")
+                nodes.append(node)
+                continue
+            reference = at.get("at_offset", at)["digest"]
+        node["match"] = payload["digest"] == reference
+        if node["match"] is False or node["verified"] is False:
+            node["first_divergent_pair"] = _first_divergent_pair(
+                primary_url, url, args.timeout
+            )
+        nodes.append(node)
+
+    # --- audit counters + lag from /stats -----------------------------
+    node_stats[primary_url] = _get_json(primary_url + "/stats", args.timeout)[1] or {}
+    for node in nodes:
+        stats = node_stats.get(node["url"]) or {}
+        audit = stats.get("audit")
+        if isinstance(audit, dict):
+            node["audit_checks"] = audit.get("checks")
+            node["audit_mismatches"] = audit.get("mismatches")
+        replication = stats.get("replication")
+        if isinstance(replication, dict):
+            node["lag_ms"] = replication.get("lag_ms")
+
+    def _verdict(node: dict) -> str:
+        if node.get("match") is None:
+            return "unknown"
+        if (
+            node["match"] is False
+            or node.get("verified") is False
+            or (node.get("audit_mismatches") or 0) > 0
+        ):
+            return "DIVERGED"
+        return "ok"
+
+    for node in nodes:
+        node["verdict"] = _verdict(node)
+    healthy = all(node["verdict"] == "ok" for node in nodes)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "target_offset": target_offset,
+                    "consistent": healthy,
+                    "nodes": nodes,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0 if healthy else 1
+
+    print(f"fleet digest comparison at wal offset {target_offset}")
+    header = (
+        f"{'node':<28} {'role':<8} {'offset':>6} {'digest':<16} "
+        f"{'lag_ms':>8} {'checks':>6} {'mism':>4}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    for node in nodes:
+        lag = node.get("lag_ms")
+        print(
+            f"{node['url']:<28} {node['role']:<8} "
+            f"{node.get('wal_offset', '?'):>6} {node.get('digest', '?'):<16} "
+            f"{(f'{lag:.1f}' if isinstance(lag, (int, float)) else '-'):>8} "
+            f"{node.get('audit_checks', '-')!s:>6} "
+            f"{node.get('audit_mismatches', '-')!s:>4}  {node['verdict']}"
+        )
+        if node.get("error"):
+            print(f"  error: {node['error']}")
+        pair = node.get("first_divergent_pair")
+        if pair:
+            print(f"  first divergent pair: left={pair['left']}")
+            for side in ("primary", "node"):
+                best = pair.get(side)
+                if best:
+                    print(
+                        f"    {side}: ({pair['left']}, {best['right']}) "
+                        f"p={best['probability']:.9f}"
+                    )
+                else:
+                    print(f"    {side}: no counterpart")
+    print("verdict:", "fleet consistent" if healthy else "DIVERGENCE DETECTED")
+    return 0 if healthy else 1
+
+
 def cmd_wal_compact(args: argparse.Namespace) -> int:
     from .service import latest_version, load_state
     from .service.stream import WriteAheadLog
@@ -881,6 +1160,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "to join its fsync (0: sync immediately; "
                                    "per-delta ack-after-fsync is preserved "
                                    "either way)")
+    _add_audit_options(serve_parser)
     add_model_options(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
 
@@ -908,6 +1188,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="snapshot the replica's own state every "
                                      "Nth applied batch (0: only on shutdown; "
                                      "needs --state-dir)")
+    _add_audit_options(replica_parser)
     add_parallel_options(replica_parser)
     replica_parser.set_defaults(handler=cmd_replica)
 
@@ -974,6 +1255,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--json", action="store_true",
                               help="print the merged timeline as JSON")
     trace_parser.set_defaults(handler=cmd_trace)
+
+    doctor_parser = commands.add_parser(
+        "doctor",
+        help="fleet correctness verdict: quiesce at a common WAL offset, "
+             "compare offset-keyed state digests (GET /digest) across "
+             "primary + replicas, and name the first divergent pair",
+    )
+    doctor_parser.add_argument("url", help="primary base URL")
+    doctor_parser.add_argument("--replicas", action="append", default=[],
+                               metavar="URL",
+                               help="also audit this replica (repeatable)")
+    doctor_parser.add_argument("--timeout", type=float, default=30.0,
+                               help="seconds to wait for the fleet to "
+                                    "quiesce at a common offset (also the "
+                                    "per-request HTTP timeout)")
+    doctor_parser.add_argument("--json", action="store_true",
+                               help="print the verdict as JSON")
+    doctor_parser.set_defaults(handler=cmd_doctor)
 
     wal_parser = commands.add_parser(
         "wal", help="write-ahead-log maintenance (see: repro wal compact -h)"

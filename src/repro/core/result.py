@@ -68,6 +68,21 @@ def apply_assignment_delta(assignment: Assignment, delta: AssignmentDelta) -> As
     return assignment
 
 
+def iter_pair_changes(
+    changes: AssignmentDelta, previous: Assignment
+) -> Iterable[Tuple[Resource, Optional[Tuple[Resource, float]], Optional[Tuple[Resource, float]]]]:
+    """``(entity, old match, new match)`` rows of one net change log.
+
+    ``previous`` must be the assignment *before* ``changes`` applied —
+    the convention every consumer of the change log shares (change
+    events, the query index, the state digest): the old side of a row
+    comes from the pre-delta assignment, the new side from the delta
+    itself, and an entity absent from either side reads as ``None``.
+    """
+    for entity, match in changes.items():
+        yield entity, previous.get(entity), match
+
+
 def merge_assignment_deltas(
     deltas: Iterable[AssignmentDelta], base: Assignment
 ) -> AssignmentDelta:

@@ -12,6 +12,10 @@ replica:
 * :mod:`repro.obs.trace` — span timers over the fixpoint engine's
   stages; the last align's span tree is served in ``/stats`` as
   ``last_align_profile``.
+* :mod:`repro.obs.audit` — the order-insensitive, offset-keyed state
+  digest behind ``GET /digest`` / ``GET /fleet`` and the continuous
+  correctness auditing of PR 10 (imported directly, not re-exported
+  here: it depends on :mod:`repro.core.result` and must stay a leaf).
 
 ROADMAP.md's "Observability" section lists the exported metric names
 and the logging contract.

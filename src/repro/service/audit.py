@@ -1,0 +1,240 @@
+"""Continuous correctness auditing of a live alignment engine.
+
+:class:`StateAuditor` is a background thread that runs on the primary
+and on every replica, turning the repo's central invariant — resident
+state ≡ cold recompute within 1e-9 — into a runtime signal instead of
+a test-suite-only promise:
+
+* every interval it **samples K matched entities** and cold-recomputes
+  their assignment rows against the resident equivalence store
+  (:func:`repro.core.store.best_counterpart`, the same single
+  definition the warm loop maintains incrementally), checking both the
+  counterpart and the exact stored probability;
+* every ``full_every``-th cycle it **fully recomputes the state
+  digest** and compares it to the incrementally-maintained one
+  (:class:`repro.obs.audit.DigestMaintainer`);
+* any mismatch bumps ``repro_audit_mismatch_total``, latches a
+  structured mismatch record — offending pair, WAL offset, and the
+  provenance **trace ids of the deltas that last touched the pair**
+  (PR 9's :class:`~repro.obs.provenance.ProvenanceRing`) — and flips
+  the role's ``/healthz`` to degraded until an operator intervenes.
+
+The auditor holds a ``get_service`` callable, not the engine itself,
+so one auditor survives a replica's engine re-bootstraps the same way
+the node-owned provenance ring does.  All checks run under the engine
+lock (reads are cheap dictionary work; the full digest recompute is
+O(matched) and rate-limited by ``full_every``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.store import best_counterpart
+from ..obs import get_event_logger
+from ..obs.audit import (
+    AUDIT_CHECKS,
+    AUDIT_MISMATCH,
+    SCORE_QUANTUM,
+    digest_assignment,
+    format_digest,
+)
+
+_log = get_event_logger("repro.audit")
+
+#: Defaults for the CLI flags (``--audit-interval-ms``, ``--audit-sample``).
+DEFAULT_INTERVAL_MS = 5000
+DEFAULT_SAMPLE = 16
+DEFAULT_FULL_EVERY = 10
+
+
+class StateAuditor:
+    """Background sampled cold-verification of one engine's state."""
+
+    def __init__(
+        self,
+        get_service: Callable[[], Optional[object]],
+        interval_ms: int = DEFAULT_INTERVAL_MS,
+        sample: int = DEFAULT_SAMPLE,
+        full_every: int = DEFAULT_FULL_EVERY,
+        role: str = "primary",
+        seed: Optional[int] = None,
+    ) -> None:
+        self._get_service = get_service
+        self.interval_s = max(interval_ms, 1) / 1000.0
+        self.sample = sample
+        self.full_every = max(full_every, 1)
+        self.role = role
+        self._rng = random.Random(seed)
+        self._cycle = 0
+        self.checks = 0
+        self.mismatches = 0
+        self.last_audit_ts: Optional[float] = None
+        #: Latched description of the first divergence seen — drives the
+        #: degraded ``/healthz``.  Never cleared by the auditor itself:
+        #: a state that diverged once cannot be trusted again without an
+        #: operator (restart/re-bootstrap replaces the engine *and* the
+        #: auditor latch is reset via :meth:`reset`).
+        self.last_mismatch: Optional[Dict[str, object]] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-auditor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def reset(self) -> None:
+        """Clear the mismatch latch (a re-bootstrap replaced the state)."""
+        self.last_mismatch = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.check_once()
+            except Exception as error:  # noqa: BLE001 - never kill the loop
+                _log.warning("audit cycle failed", error=repr(error))
+
+    # ------------------------------------------------------------------
+    # the checks
+    # ------------------------------------------------------------------
+
+    def _record_mismatch(
+        self, service, kind: str, detail: Dict[str, object]
+    ) -> None:
+        self.mismatches += 1
+        AUDIT_MISMATCH.inc(kind=kind)
+        record: Dict[str, object] = {
+            "kind": kind,
+            "role": self.role,
+            "wal_offset": service.digests.wal_offset,
+            "ts": time.time(),
+            **detail,
+        }
+        if self.last_mismatch is None:
+            self.last_mismatch = record
+        _log.error("state audit mismatch", **{
+            key: value for key, value in record.items() if key != "ts"
+        })
+
+    def _trace_ids_for(self, service, entities) -> List[str]:
+        """Provenance trace ids of the deltas that last touched
+        ``entities`` — the PR 9 hook that turns "this pair is wrong"
+        into "these writes made it wrong"."""
+        traces: List[str] = []
+        for offset in service.digests.offsets_touching(entities):
+            found = service.provenance.lookup_offset(offset)
+            if found is not None and found.get("trace"):
+                traces.append(found["trace"])
+        return traces
+
+    def check_once(self) -> Optional[Dict[str, object]]:
+        """Run one audit cycle; returns the first mismatch found (also
+        latched), or ``None`` when the state checked out clean."""
+        service = self._get_service()
+        if service is None or getattr(service, "poisoned", None) is not None:
+            return None
+        self._cycle += 1
+        first: Optional[Dict[str, object]] = None
+        with service.lock:
+            assignment = service._assignment12
+            store = service.state.store
+            matched = list(assignment)
+            count = min(self.sample, len(matched))
+            sampled = self._rng.sample(matched, count) if count else []
+            for entity in sampled:
+                self.checks += 1
+                AUDIT_CHECKS.inc(kind="sample")
+                maintained = assignment[entity]
+                recomputed = best_counterpart(store.equals_of(entity))
+                stored = store.get(entity, maintained[0])
+                if recomputed is None or recomputed[0] != maintained[0]:
+                    mismatch = {
+                        "left": entity.name,
+                        "right": maintained[0].name,
+                        "maintained_probability": maintained[1],
+                        "recomputed_counterpart": (
+                            recomputed[0].name if recomputed else None
+                        ),
+                        "traces": self._trace_ids_for(service, [entity]),
+                    }
+                    self._record_mismatch(service, "sample", mismatch)
+                    first = first or self.last_mismatch
+                elif abs(stored - maintained[1]) > SCORE_QUANTUM:
+                    mismatch = {
+                        "left": entity.name,
+                        "right": maintained[0].name,
+                        "maintained_probability": maintained[1],
+                        "stored_probability": stored,
+                        "traces": self._trace_ids_for(service, [entity]),
+                    }
+                    self._record_mismatch(service, "sample", mismatch)
+                    first = first or self.last_mismatch
+            if self._cycle % self.full_every == 0:
+                self.checks += 1
+                AUDIT_CHECKS.inc(kind="digest")
+                incremental = service.digests.digest
+                recomputed_digest = digest_assignment(assignment)
+                if recomputed_digest != incremental:
+                    self._record_mismatch(
+                        service,
+                        "digest",
+                        {
+                            "incremental": format_digest(incremental),
+                            "recomputed": format_digest(recomputed_digest),
+                        },
+                    )
+                    first = first or self.last_mismatch
+        self.last_audit_ts = time.time()
+        return first
+
+    # ------------------------------------------------------------------
+    # surfaces
+    # ------------------------------------------------------------------
+
+    def degraded(self) -> Optional[str]:
+        """The ``/healthz`` degradation reason, or ``None`` while clean."""
+        if self.last_mismatch is None:
+            return None
+        mismatch = self.last_mismatch
+        pair = ""
+        if "left" in mismatch:
+            pair = f" pair ({mismatch['left']}, {mismatch.get('right')})"
+        return (
+            f"audit mismatch ({mismatch['kind']}):{pair} "
+            f"at wal offset {mismatch['wal_offset']}"
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The auditor block of ``GET /stats`` (all three roles)."""
+        service = self._get_service()
+        payload: Dict[str, object] = {
+            "last_audit_ts": self.last_audit_ts,
+            "checks": self.checks,
+            "mismatches": self.mismatches,
+            "interval_ms": int(self.interval_s * 1000),
+            "sample": self.sample,
+        }
+        if service is not None:
+            offset, digest = service.digests.snapshot()
+            payload["digest"] = format_digest(digest)
+            payload["digest_offset"] = offset
+        if self.last_mismatch is not None:
+            payload["last_mismatch"] = self.last_mismatch
+        return payload

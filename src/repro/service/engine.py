@@ -46,6 +46,14 @@ from ..core.incremental import (
 from ..core.result import Assignment, AssignmentDelta, assignment_delta
 from ..core.subclasses import IncrementalClassPass
 from ..obs import get_event_logger
+from ..obs.audit import (
+    AUDIT_CHECKS,
+    AUDIT_MISMATCH,
+    DigestMaintainer,
+    digest_assignment,
+    format_digest,
+    range_digest,
+)
 from ..obs.metrics import REGISTRY
 from ..obs.provenance import ProvenanceRing, set_active_ring
 from ..rdf.ontology import Ontology
@@ -148,6 +156,22 @@ class AlignmentService:
         self._assignment12, self._assignment21 = current_assignments(
             self._view_maintainer, state.store
         )
+        # Order-insensitive state digest (PR 10): recomputed in full at
+        # attach, then maintained O(changes) per delta.  A snapshot that
+        # carried a digest is integrity-checked here — the bootstrap
+        # audit — before this engine trusts (and extends) its state.
+        self.digests = DigestMaintainer(self._assignment12, state.wal_offset)
+        if state.digest is not None:
+            AUDIT_CHECKS.inc(kind="bootstrap")
+            if state.digest != self.digests.digest:
+                AUDIT_MISMATCH.inc(kind="bootstrap")
+                _log.error(
+                    "snapshot digest mismatch at attach",
+                    expected=format_digest(state.digest),
+                    recomputed=format_digest(self.digests.digest),
+                    wal_offset=state.wal_offset,
+                )
+        state.digest = self.digests.digest
         self._rel12 = IncrementalRelationPass(
             state.ontology1,
             state.ontology2,
@@ -497,6 +521,10 @@ class AlignmentService:
         events: List[ChangeEvent] = []
         if pending is not None:
             changes12, changes21, old12, old21 = pending
+            # Digest maintenance rides the same O(changes) log: XOR the
+            # old pair hash out, the new one in, checkpoint at the
+            # offset the batch is durable under.
+            self.digests.apply(changes12, old12, wal_offset)
             self.query_index.apply_changes(
                 changes12, version=version, wal_offset=wal_offset
             )
@@ -507,7 +535,11 @@ class AlignmentService:
                 self._events_for("right", changes21, old21, wal_offset, version)
             )
         else:
+            self.digests.advance(wal_offset)
             self.query_index.apply_changes({}, version=version, wal_offset=wal_offset)
+        # Mirror onto the state so every snapshot carries the digest it
+        # was taken at — the bootstrap integrity check on the far side.
+        self.state.digest = self.digests.digest
         for listener in self.change_listeners:
             try:
                 listener(events, version, wal_offset)
@@ -600,6 +632,57 @@ class AlignmentService:
         pairs.sort(key=lambda row: (-row[2], row[0], row[1]))
         return pairs
 
+    def digest_payload(
+        self,
+        offset: Optional[int] = None,
+        lo: Optional[str] = None,
+        hi: Optional[str] = None,
+        verify: bool = False,
+    ) -> Dict[str, object]:
+        """The state digest surface behind ``GET /digest``.
+
+        * no params — the current ``(wal_offset, digest)``;
+        * ``offset=K`` — the digest as of WAL offset K, from the bounded
+          checkpoint history (``KeyError`` once aged out → HTTP 409);
+        * ``lo=``/``hi=`` — a live entity-range sub-digest, the probe
+          ``repro doctor`` binary-searches divergence with;
+        * ``verify`` — full recompute alongside the incremental digest,
+          so one request both reads and self-checks.
+        """
+        with self.lock:
+            self._check_consistent()
+            wal_offset, digest = self.digests.snapshot()
+            payload: Dict[str, object] = {
+                "wal_offset": wal_offset,
+                "digest": format_digest(digest),
+                "version": self.state.version,
+                "pairs": len(self._assignment12),
+            }
+            if offset is not None and offset != wal_offset:
+                at = self.digests.at_offset(offset)
+                if at is None:
+                    raise KeyError(
+                        f"offset {offset} not in digest history "
+                        f"(current {wal_offset})"
+                    )
+                payload["at_offset"] = {"wal_offset": offset, "digest": format_digest(at)}
+            if lo is not None or hi is not None:
+                payload["range"] = range_digest(self._assignment12, lo, hi)
+            if verify:
+                recomputed = digest_assignment(self._assignment12)
+                AUDIT_CHECKS.inc(kind="digest")
+                if recomputed != digest:
+                    AUDIT_MISMATCH.inc(kind="digest")
+                    _log.error(
+                        "incremental digest diverged from full recompute",
+                        incremental=format_digest(digest),
+                        recomputed=format_digest(recomputed),
+                        wal_offset=wal_offset,
+                    )
+                payload["recomputed"] = format_digest(recomputed)
+                payload["verified"] = recomputed == digest
+            return payload
+
     def health(self) -> Dict[str, object]:
         with self.lock:
             state = self.state
@@ -635,6 +718,8 @@ class AlignmentService:
                 "pairs_touched_total": self.total_pairs_touched,
                 "instance_pairs": len(state.store),
                 "converged": state.converged,
+                "digest": format_digest(self.digests.digest),
+                "digest_offset": self.digests.wal_offset,
                 # Span tree of the most recent cold/warm align — the
                 # staged kernel build/score/merge profile, live.
                 "last_align_profile": self.aligner.last_profile,

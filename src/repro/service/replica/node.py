@@ -151,6 +151,14 @@ class ReplicaNode:
         #: re-bootstrap swaps the engine but must not lose the delta
         #: timelines already collected (every built engine points here).
         self.provenance = ProvenanceRing()
+        #: The node's background correctness auditor, when one runs
+        #: (:class:`repro.service.audit.StateAuditor`, attached by the
+        #: CLI).  Like the ring it outlives engine swaps — but a
+        #: re-bootstrap *clears* its mismatch latch: the state was
+        #: replaced wholesale from a primary snapshot (integrity-checked
+        #: against the digest it carries), so stale divergence evidence
+        #: must not keep /healthz degraded.
+        self.auditor = None
         self.service = self._build_service(bootstrap_state(source, self.state_dir))
         self.bootstrapped_at_offset = self.applied_offset
         self.records_applied = 0
@@ -329,6 +337,8 @@ class ReplicaNode:
         self.service = self._build_service(state)
         self.rebootstraps += 1
         REBOOTSTRAPS.inc()
+        if self.auditor is not None:
+            self.auditor.reset()
         if self.state_dir is not None:
             self.service.snapshot(self.state_dir)
 

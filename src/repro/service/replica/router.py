@@ -59,6 +59,8 @@ ROUTES = {
     "GET /metrics": "the router's own Prometheus registry",
     "GET /pair/<left>/<right>": "routed read (replicas round-robin, staleness bounds)",
     "GET /alignment": "routed read (replicas round-robin, staleness bounds)",
+    "GET /fleet": "fan GET /digest across all backends, compare at common offsets",
+    "GET /provenance": "relayed to the primary (ETag/request-id semantics)",
     "GET *": "any other read, forwarded to the primary verbatim",
     "POST *": "any write, forwarded to the primary verbatim",
 }
@@ -170,6 +172,24 @@ class _Target:
                 replication = self.stats.get("replication")
                 if isinstance(replication, dict):
                     payload["lag_ms"] = replication.get("lag_ms")
+                # Auditor surface (PR 10), straight from the backend's
+                # cached /stats: the fleet view of who last self-checked.
+                audit = self.stats.get("audit")
+                if isinstance(audit, dict):
+                    payload["audit"] = {
+                        key: audit.get(key)
+                        for key in (
+                            "last_audit_ts",
+                            "checks",
+                            "mismatches",
+                            "digest",
+                            "digest_offset",
+                        )
+                        if key in audit
+                    }
+                elif "digest" in self.stats:
+                    payload["digest"] = self.stats.get("digest")
+                    payload["digest_offset"] = self.stats.get("digest_offset")
         return payload
 
 
@@ -432,8 +452,21 @@ class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         if parts and parts[0] in ("pair", "alignment"):
             self._route_read(url)
             return
+        if parts == ["fleet"]:
+            self._route_fleet()
+            return
+        if parts == ["provenance"]:
+            # Delta timelines live on the primary's ring; relayed with
+            # the standard ETag/request-id semantics.  (Per-replica
+            # timelines are still read off each node directly — that is
+            # what `repro trace --replicas` does.)
+            self._forward_primary()
+            return
         # Everything else (e.g. /wal for a chained replica) is the
         # primary's business.
+        self._forward_primary()
+
+    def _forward_primary(self) -> None:
         result = self._forward(self.router.primary, "GET", self.path, None)
         if result is None:
             self._send_json(
@@ -443,6 +476,102 @@ class RouterRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             )
             return
         self._relay(*result, self.router.primary.url)
+
+    def _fetch_digest(self, target: _Target, suffix: str = "") -> Tuple[int, object]:
+        """One unconditional ``GET /digest`` against a backend (no
+        If-None-Match relay — the fleet comparison needs bodies, never
+        304s).  Returns ``(status, payload-or-error-string)``."""
+        request = urllib.request.Request(
+            target.url + "/digest" + suffix,
+            headers=(
+                {"X-Request-Id": self.request_id} if self.request_id else {}
+            ),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.router.probe_timeout
+            ) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            try:
+                return error.code, json.load(error)
+            except ValueError:
+                return error.code, {"error": f"http {error.code}"}
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            return 0, {"error": repr(error)}
+
+    def _route_fleet(self) -> None:
+        """``GET /fleet`` — the router-side half of `repro doctor`:
+        fetch every backend's current digest and compare each replica
+        against the primary *at the replica's own offset* (via the
+        primary's offset-keyed checkpoint history when the replica
+        lags).  ``match`` per node: true/false, or null when the
+        common offset already aged out of the history."""
+        router = self.router
+        status, primary_payload = self._fetch_digest(router.primary)
+        nodes: List[Dict[str, object]] = []
+        split: List[str] = []
+        if status != 200:
+            self._send_json(
+                {
+                    "role": "router",
+                    "error": "primary digest unavailable",
+                    "detail": primary_payload,
+                },
+                status=502,
+                retry_after=router.retry_after,
+            )
+            return
+        primary_offset = primary_payload["wal_offset"]
+        primary_digest = primary_payload["digest"]
+        nodes.append(
+            {
+                "url": router.primary.url,
+                "role": "primary",
+                "wal_offset": primary_offset,
+                "digest": primary_digest,
+                "match": True,
+            }
+        )
+        for replica in router.replicas:
+            node: Dict[str, object] = {"url": replica.url, "role": "replica"}
+            status, payload = self._fetch_digest(replica)
+            if status != 200:
+                node["error"] = payload.get("error", f"http {status}")
+                node["match"] = None
+                nodes.append(node)
+                continue
+            offset = payload["wal_offset"]
+            digest = payload["digest"]
+            node["wal_offset"] = offset
+            node["digest"] = digest
+            node["behind"] = primary_offset - offset
+            if offset == primary_offset:
+                node["match"] = digest == primary_digest
+            else:
+                # Compare at the replica's offset: the primary keeps a
+                # bounded history of (offset, digest) checkpoints.
+                status, at = self._fetch_digest(
+                    router.primary, f"?offset={offset}"
+                )
+                if status == 200:
+                    reference = at.get("at_offset", at)
+                    node["match"] = digest == reference["digest"]
+                else:
+                    node["match"] = None  # aged out: unknown, not wrong
+            if node["match"] is False:
+                split.append(replica.url)
+            nodes.append(node)
+        self._send_json(
+            {
+                "role": "router",
+                "wal_offset": primary_offset,
+                "digest": primary_digest,
+                "consistent": not split,
+                "divergent": split,
+                "nodes": nodes,
+            }
+        )
 
     def _route_read(self, url) -> None:
         router = self.router

@@ -112,6 +112,7 @@ ROUTES = {
     "GET /alignment": "maximal assignment: paginated, top-k, per-entity, or streamed dump",
     "GET /watch": "long-poll for changes to one entity's alignments",
     "GET /provenance": "one delta's stage timeline, by ?trace= or ?offset=",
+    "GET /digest": "offset-keyed state digest (+range sub-digests, +self-verify)",
     "GET /subscriptions": "registered webhook subscriptions",
     "POST /delta": "apply a JSON delta batch (primary only)",
     "POST /snapshot": "force a snapshot (primary only)",
@@ -302,11 +303,18 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
         parts = [unquote(part) for part in url.path.split("/") if part]
         replica = self.server.replica  # type: ignore[attr-defined]
         if parts == ["healthz"]:
+            auditor = getattr(self.server, "auditor", None)
+            audit_degraded = auditor.degraded() if auditor is not None else None
             etag = self._state_etag()
-            if self._maybe_not_modified(etag):
+            # A latched audit mismatch must reach probes immediately:
+            # the state ETag did not move, so the 304 path is skipped.
+            if audit_degraded is None and self._maybe_not_modified(etag):
                 return
             payload = self.service.health()
             payload["role"] = "replica" if replica is not None else "primary"
+            if audit_degraded is not None and payload["status"] == "ok":
+                payload["status"] = "degraded"
+                payload["degraded"] = audit_degraded
             # Probes get the WAL position without parsing /stats: what
             # the engine applied, and (with a log attached) what the
             # primary appended / made durable.
@@ -342,7 +350,13 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
                 }
             if replica is not None:
                 payload["replication"] = replica.stats()
+            auditor = getattr(self.server, "auditor", None)
+            if auditor is not None:
+                payload["audit"] = auditor.stats()
             self._send_json(payload, headers=self._cache_headers(etag))
+            return
+        if parts == ["digest"]:
+            self._route_get_digest(url)
             return
         if parts == ["wal"]:
             self._route_get_wal(url)
@@ -374,6 +388,45 @@ class AlignmentRequestHandler(ObservedHandlerMixin, BaseHTTPRequestHandler):
             self._send_json({"subscriptions": subs.subscriptions()})
             return
         self._error(404, f"no such resource: {url.path}")
+
+    def _route_get_digest(self, url) -> None:
+        """``GET /digest`` — the state digest `repro doctor` compares.
+
+        ``?offset=K`` answers from the bounded checkpoint history (409
+        once K aged out, so the doctor knows to re-quiesce);
+        ``?lo=&hi=`` serves a live entity-range sub-digest for the
+        divergence binary search; ``?verify=1`` recomputes the digest
+        in full alongside the incremental one.
+        """
+        # keep_blank_values: `?lo=` (the empty string, sorting before
+        # every name) is how the doctor asks for the unbounded range.
+        query = parse_qs(url.query, keep_blank_values=True)
+        offset: Optional[int] = None
+        if "offset" in query:
+            try:
+                offset = int(query["offset"][0])
+            except ValueError:
+                self._error(400, f"invalid offset {query['offset'][0]!r}")
+                return
+        lo = query.get("lo", [None])[0]
+        hi = query.get("hi", [None])[0]
+        verify = query.get("verify", ["0"])[0] not in ("0", "", "false")
+        etag = self._state_etag()
+        if self._maybe_not_modified(etag):
+            return
+        try:
+            payload = self.service.digest_payload(
+                offset=offset, lo=lo, hi=hi, verify=verify
+            )
+        except KeyError as error:
+            self._error(409, str(error.args[0]))
+            return
+        payload["role"] = (
+            "replica"
+            if self.server.replica is not None  # type: ignore[attr-defined]
+            else "primary"
+        )
+        self._send_json(payload, headers=self._cache_headers(etag))
 
     def _route_get_alignment(self, url) -> None:
         """The alignment read surface: keyset pages, top-k, per-entity
@@ -865,6 +918,7 @@ def build_server(
     replica=None,
     handler_timeout: Optional[float] = 30.0,
     subs: Optional[SubscriptionManager] = None,
+    auditor=None,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) the HTTP server.
 
@@ -923,6 +977,10 @@ def build_server(
     server.stream = stream  # type: ignore[attr-defined]
     server.replica = replica  # type: ignore[attr-defined]
     server.handler_timeout = handler_timeout  # type: ignore[attr-defined]
+    # The background correctness auditor (see repro.service.audit):
+    # /healthz consults it for the degraded flip, /stats embeds its
+    # counters.  Owned and started by the caller; None = not auditing.
+    server.auditor = auditor  # type: ignore[attr-defined]
     server.daemon_threads = True
     if (
         stream is not None
@@ -975,6 +1033,7 @@ def run_server(
     snapshot_every: int = 1,
     stream: Optional[StreamStack] = None,
     subs: Optional[SubscriptionManager] = None,
+    auditor=None,
 ) -> int:
     """Serve until SIGTERM/SIGINT; snapshot on the way out.
 
@@ -982,6 +1041,10 @@ def run_server(
     batcher run for the server's lifetime; shutdown stops the sources,
     drains the queue through the engine, and only then snapshots — so
     the final snapshot's WAL offset covers everything ingested.
+
+    ``auditor`` (a :class:`~repro.service.audit.StateAuditor`) is
+    started with the server and stopped with it; ``/healthz`` and
+    ``/stats`` surface it via ``build_server``.
 
     Returns the process exit code (0 on a clean, signalled shutdown).
     """
@@ -994,6 +1057,7 @@ def run_server(
         snapshot_every=snapshot_every,
         stream=stream,
         subs=subs,
+        auditor=auditor,
     )
     actual_host, actual_port = server.server_address[:2]
     _log.info(
@@ -1006,9 +1070,13 @@ def run_server(
 
     if stream is not None:
         stream.start()
+    if auditor is not None:
+        auditor.start()
     try:
         serve_until_signalled(server)
     finally:
+        if auditor is not None:
+            auditor.stop()
         if stream is not None:
             # Sources stop, the queue drains through the engine, the
             # WAL closes — before the snapshot records the offset.

@@ -64,13 +64,21 @@ class AlignmentState:
     #: WAL suffix: records ``wal_offset + 1 ..`` are reapplied, records
     #: at or below it are already inside the pickled stores.
     wal_offset: int = 0
+    #: Order-insensitive 64-bit digest of the maximal assignment as of
+    #: ``wal_offset`` (see :mod:`repro.obs.audit`).  ``None`` on
+    #: snapshots written before digests existed; the engine recomputes
+    #: at attach, and verifies bootstrap integrity when it is present.
+    digest: Optional[int] = None
 
     def __setstate__(self, state: dict) -> None:
         # Snapshots pickled before the WAL existed restore without the
-        # offset; default it instead of breaking resume.
+        # offset; default it instead of breaking resume.  Same story for
+        # pre-digest snapshots: None means "recompute, nothing to check".
         self.__dict__.update(state)
         if "wal_offset" not in state:
             self.wal_offset = 0
+        if "digest" not in state:
+            self.digest = None
 
     @classmethod
     def from_result(

@@ -113,8 +113,11 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from ..delta import Delta
+from ...obs import get_event_logger
 from ...obs.metrics import REGISTRY
 from ...obs.trace import span
+
+_log = get_event_logger("repro.wal")
 
 APPENDED_OFFSET = REGISTRY.gauge(
     "repro_wal_appended_offset",
@@ -931,4 +934,28 @@ def replay_wal(service, wal: WriteAheadLog, max_batch: int = 256) -> int:
         if len(pending) >= max_batch:
             flush()
     flush()
+    if replayed:
+        # Replay self-check: the incrementally-maintained digest after
+        # reapplying the suffix must equal a full recompute over the
+        # caught-up assignment — warm application is deterministic, so
+        # a mismatch here means the replayed state cannot be trusted.
+        from ...obs.audit import (
+            AUDIT_CHECKS,
+            AUDIT_MISMATCH,
+            digest_assignment,
+            format_digest,
+        )
+
+        AUDIT_CHECKS.inc(kind="replay")
+        with service.lock:
+            incremental = service.digests.digest
+            recomputed = digest_assignment(service._assignment12)
+        if recomputed != incremental:
+            AUDIT_MISMATCH.inc(kind="replay")
+            _log.error(
+                "replayed state failed the digest self-check",
+                incremental=format_digest(incremental),
+                recomputed=format_digest(recomputed),
+                offset=service.state.wal_offset,
+            )
     return replayed
